@@ -1,0 +1,97 @@
+"""Benchmarks for the extension experiments and substrates."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CompressedPGMIndex, DynamicPGMIndex, FASTIndex
+from repro.bench.extensions import ext_robust, ext_variance
+from repro.core.neural import NeuralNet
+from repro.core.robust import RobustRMI, detect_outliers
+from repro.core.serialize import load_rmi, save_rmi
+from repro.core.rmi import RMI
+from .conftest import BENCH_N, BENCH_SEED
+
+
+def test_detect_outliers_kernel(benchmark, fb):
+    split = benchmark(lambda: detect_outliers(fb))
+    assert split.num_high == 21
+
+
+def test_robust_rmi_build(benchmark, fb):
+    robust = benchmark(lambda: RobustRMI(fb, layer_sizes=[BENCH_N // 100]))
+    assert robust.split.num_outliers == 21
+
+
+def test_ext_robust_shape(benchmark):
+    result = benchmark.pedantic(
+        lambda: ext_robust(n=BENCH_N, seed=BENCH_SEED, num_lookups=500),
+        rounds=1, iterations=1,
+    )
+    rows = {r["variant"]: r for r in result.rows}
+    plain = next(v for k, v in rows.items() if k.startswith("rmi"))
+    robust = next(v for k, v in rows.items() if k.startswith("robust"))
+    assert robust["median_err"] < plain["median_err"] / 10
+    assert robust["est_ns"] < rows["binary-search"]["est_ns"]
+
+
+def test_ext_variance_shape(benchmark):
+    result = benchmark.pedantic(
+        lambda: ext_variance(n=BENCH_N, seed=BENCH_SEED, num_lookups=400),
+        rounds=1, iterations=1,
+    )
+    for ds in ("books", "osmc"):
+        pgm = result.series(dataset=ds, index="pgm-index")[0]
+        rmi = result.series(dataset=ds, index="rmi")[0]
+        assert pgm["p99_over_p50"] <= 1.5
+        # The RMI's tail is at least as wide as the capped index's.
+        assert rmi["p99_over_p50"] >= pgm["p99_over_p50"] * 0.99
+
+
+def test_dynamic_pgm_insert_throughput(benchmark):
+    rng = np.random.default_rng(BENCH_SEED)
+    keys = rng.choice(2**50, 4_000, replace=False).astype(np.uint64)
+
+    def run():
+        index = DynamicPGMIndex(eps=16, base_size=64)
+        for k in keys:
+            index.insert(int(k))
+        return index
+
+    index = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(index) == len(keys)
+
+
+def test_compressed_pgm_build(benchmark, osmc):
+    index = benchmark(lambda: CompressedPGMIndex(osmc, eps=64))
+    assert index.stats()["compression_ratio"] > 1.0
+
+
+def test_fast_batch_lookup(benchmark, books):
+    index = FASTIndex(books, sparsity=4)
+    rng = np.random.default_rng(BENCH_SEED)
+    queries = books[rng.integers(0, len(books), 5_000)]
+    got = benchmark(lambda: index.lower_bound_batch(queries))
+    np.testing.assert_array_equal(
+        got, np.searchsorted(books, queries, side="left")
+    )
+
+
+def test_neural_net_training(benchmark, books):
+    targets = np.arange(len(books), dtype=np.float64)
+    nn = benchmark.pedantic(
+        lambda: NeuralNet.fit(books, targets), rounds=1, iterations=1
+    )
+    err = np.abs(nn.predict_batch(books) - targets)
+    assert np.median(err) < len(books) * 0.05
+
+
+def test_serialize_roundtrip(benchmark, books, tmp_path):
+    rmi = RMI(books, layer_sizes=[max(BENCH_N // 100, 64)])
+    path = tmp_path / "bench.npz"
+
+    def roundtrip():
+        save_rmi(rmi, path)
+        return load_rmi(path)
+
+    loaded = benchmark(roundtrip)
+    assert loaded.lookup(int(books[99])) == 99

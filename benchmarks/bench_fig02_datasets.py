@@ -1,0 +1,29 @@
+"""Figure 2: dataset generation and structural properties."""
+
+import numpy as np
+import pytest
+
+from repro import data
+from repro.bench.figures import fig02_datasets
+from .conftest import BENCH_N, BENCH_SEED
+
+
+@pytest.mark.parametrize("name", ["books", "fb", "osmc", "wiki"])
+def test_generate_dataset(benchmark, name):
+    keys = benchmark(lambda: data.generate(name, n=BENCH_N, seed=BENCH_SEED))
+    assert len(keys) == BENCH_N
+    assert np.all(keys[1:] >= keys[:-1])
+
+
+def test_fig02_driver_shape(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig02_datasets(n=BENCH_N, seed=BENCH_SEED),
+        rounds=1, iterations=1,
+    )
+    rows = {r["dataset"]: r for r in result.rows}
+    # Paper Section 4.3: fb outliers dominate the key span; wiki is the
+    # only dataset with duplicates.
+    assert rows["fb"]["outlier_span"] > 100
+    assert rows["wiki"]["duplicates"]
+    assert not rows["books"]["duplicates"]
+    assert rows["osmc"]["noise"] > rows["books"]["noise"]

@@ -1,0 +1,39 @@
+"""Figure 3: root-model CDF approximations (fit + evaluate kernels)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.figures import fig03_root_approximations
+from repro.core.models import resolve_model_type
+from .conftest import BENCH_N, BENCH_SEED
+
+
+@pytest.mark.parametrize("model_type", ["lr", "ls", "cs", "rx"])
+def test_fit_root_model(benchmark, books, model_type):
+    targets = np.arange(len(books), dtype=np.float64)
+    cls = resolve_model_type(model_type)
+    model = benchmark(lambda: cls.fit(books, targets))
+    assert model.is_monotonic()
+
+
+@pytest.mark.parametrize("model_type", ["lr", "ls", "cs", "rx"])
+def test_evaluate_root_model(benchmark, books, model_type):
+    targets = np.arange(len(books), dtype=np.float64)
+    model = resolve_model_type(model_type).fit(books, targets)
+    preds = benchmark(lambda: model.predict_batch(books))
+    assert len(preds) == len(books)
+
+
+def test_fig03_driver_shape(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig03_root_approximations(n=BENCH_N, seed=BENCH_SEED),
+        rounds=1, iterations=1,
+    )
+    # Section 5.1: spline roots cover (nearly) the full position range
+    # on books; every root's approximation collapses on fb.
+    ls_books = result.series(dataset="books", root="ls")[0]
+    assert ls_books["coverage_frac"] > 0.95
+    for root in ("lr", "ls", "cs", "rx"):
+        assert result.series(dataset="fb", root=root)[0][
+            "median_abs_err"
+        ] > BENCH_N * 0.05

@@ -1,0 +1,35 @@
+"""Figure 4: percentage of empty segments per root model."""
+
+import pytest
+
+from repro.bench.figures import fig04_empty_segments
+from repro.core.analysis import segment_keys, segmentation_stats
+from .conftest import BENCH_N, BENCH_SEED
+
+SEGMENTS = max(BENCH_N // 50, 64)
+
+
+@pytest.mark.parametrize("root", ["lr", "ls", "cs", "rx"])
+def test_segment_keys_kernel(benchmark, books, root):
+    assignment = benchmark(lambda: segment_keys(books, root, SEGMENTS))
+    assert len(assignment) == len(books)
+
+
+def test_fig04_driver_shape(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig04_empty_segments(
+            n=BENCH_N, seed=BENCH_SEED,
+            segment_counts=[SEGMENTS // 4, SEGMENTS],
+        ),
+        rounds=1, iterations=1,
+    )
+    for root in ("lr", "ls", "cs", "rx"):
+        books_pct = result.column("empty_pct", dataset="books", root=root)
+        osmc_pct = result.column("empty_pct", dataset="osmc", root=root)
+        # Section 5.1: osmc's clustering leaves far more segments empty
+        # than smooth books, for every root model.
+        assert osmc_pct[-1] > books_pct[-1], root
+    # RX leaves more segments empty than LS on books (partial coverage).
+    rx = result.column("empty_pct", dataset="books", root="rx")[-1]
+    ls = result.column("empty_pct", dataset="books", root="ls")[-1]
+    assert rx > ls

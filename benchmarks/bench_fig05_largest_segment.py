@@ -1,0 +1,32 @@
+"""Figure 5: keys in the largest segment per root model."""
+
+import pytest
+
+from repro.bench.figures import fig05_largest_segment
+from .conftest import BENCH_N, BENCH_SEED
+
+SEGMENTS = [max(BENCH_N // 400, 16), max(BENCH_N // 50, 64)]
+
+
+def test_fig05_driver_shape(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig05_largest_segment(
+            n=BENCH_N, seed=BENCH_SEED, segment_counts=SEGMENTS,
+        ),
+        rounds=1, iterations=1,
+    )
+    # Section 5.1, three findings:
+    # (1) fb: almost all keys in one segment, any root, any size.
+    for root in ("lr", "ls", "cs", "rx"):
+        for seg in SEGMENTS:
+            row = result.series(dataset="fb", root=root, segments=seg)[0]
+            assert row["largest_frac"] > 0.9, (root, seg)
+    # (2) spline roots: the largest segment shrinks with more segments.
+    for root in ("ls", "cs"):
+        series = result.column("largest", dataset="books", root=root)
+        assert series[-1] < series[0], root
+    # (3) LR: clamping keeps a near-constant large segment on datasets
+    # where its fit under-covers (wiki in our generators).
+    lr = result.column("largest", dataset="wiki", root="lr")
+    ls = result.column("largest", dataset="wiki", root="ls")
+    assert lr[-1] >= ls[-1]

@@ -1,0 +1,53 @@
+"""Figure 6: median absolute prediction error of model combinations."""
+
+import numpy as np
+import pytest
+
+from repro.bench.figures import fig06_prediction_error
+from repro.core.analysis import prediction_errors
+from repro.core.rmi import RMI
+from .conftest import BENCH_N, BENCH_SEED
+
+SEGMENTS = [max(BENCH_N // 800, 16), max(BENCH_N // 50, 64)]
+
+
+@pytest.mark.parametrize("combo", [("ls", "lr"), ("cs", "lr"), ("rx", "ls")])
+def test_train_and_measure_error(benchmark, books, combo):
+    def build_and_measure():
+        rmi = RMI(books, layer_sizes=[SEGMENTS[-1]], model_types=combo,
+                  bound_type="nb")
+        return float(np.median(prediction_errors(rmi)))
+
+    median = benchmark(build_and_measure)
+    assert median < len(books)
+
+
+def test_fig06_driver_shape(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig06_prediction_error(
+            n=BENCH_N, seed=BENCH_SEED, segment_counts=SEGMENTS,
+        ),
+        rounds=1, iterations=1,
+    )
+    # Section 5.2's findings:
+    # (1) LR on the second layer always beats LS.
+    for ds in ("books", "osmc", "wiki"):
+        for root in ("ls", "cs", "rx"):
+            lr = result.column("median_err", dataset=ds,
+                               combo=f"{root}->lr", segments=SEGMENTS[-1])[0]
+            ls = result.column("median_err", dataset=ds,
+                               combo=f"{root}->ls", segments=SEGMENTS[-1])[0]
+            assert lr <= ls * 1.05, (ds, root)
+    # (2) more segments -> lower error on books/wiki.
+    for ds in ("books", "wiki"):
+        series = result.column("median_err", dataset=ds, combo="ls->lr")
+        assert series[-1] <= series[0], ds
+    # (3) fb's error is insensitive to the segment count (plateau).
+    fb_series = result.column("median_err", dataset="fb", combo="ls->lr")
+    assert min(fb_series) > BENCH_N * 0.01
+    # (4) books/wiki reach far lower errors than osmc at equal size.
+    for ds in ("books", "wiki"):
+        ds_err = result.column("median_err", dataset=ds, combo="ls->lr")[-1]
+        osmc_err = result.column("median_err", dataset="osmc",
+                                 combo="ls->lr")[-1]
+        assert ds_err < osmc_err, ds

@@ -1,0 +1,60 @@
+"""Figure 7: median error-interval size per bound strategy."""
+
+import pytest
+
+from repro.bench.figures import fig07_error_bounds
+from repro.core.bounds import compute_bounds
+from repro.core.rmi import RMI
+from repro.core.analysis import interval_stats
+from .conftest import BENCH_N, BENCH_SEED
+
+SEGMENTS = [max(BENCH_N // 400, 32), max(BENCH_N // 100, 64)]
+
+
+@pytest.mark.parametrize("bound", ["lind", "labs", "gind", "gabs"])
+def test_compute_bounds_kernel(benchmark, books, bound):
+    rmi = RMI(books, layer_sizes=[SEGMENTS[-1]], bound_type="nb")
+    import numpy as np
+
+    preds = rmi._predict_positions(books, rmi.leaf_model_ids)
+    positions = np.arange(len(books), dtype=np.int64)
+    bounds = benchmark(
+        lambda: compute_bounds(bound, preds, positions, rmi.leaf_model_ids,
+                               SEGMENTS[-1], len(books))
+    )
+    assert bounds.size_in_bytes() >= 0
+
+
+def test_fig07_driver_shape(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig07_error_bounds(
+            n=BENCH_N, seed=BENCH_SEED, segment_counts=SEGMENTS,
+        ),
+        rounds=1, iterations=1,
+    )
+    # Section 5.3: at *similar index size*, local bounds lead to smaller
+    # error intervals than global bounds.
+    for ds in ("books", "wiki"):
+        lind = result.series(dataset=ds, combo="ls->lr", bounds="lind",
+                             segments=SEGMENTS[0])[0]
+        gabs_rows = result.series(dataset=ds, combo="ls->lr", bounds="gabs")
+        match = min(gabs_rows,
+                    key=lambda r: abs(r["index_bytes"] - lind["index_bytes"]))
+        assert lind["median_interval"] <= match["median_interval"], ds
+    # fb omitted like the paper.
+    assert not result.series(dataset="fb")
+
+
+def test_lind_tighter_than_labs_for_ls_leaf(benchmark, osmc):
+    """LS leaves are one-sidedly biased, so individual bounds beat
+    absolute bounds for them (Section 5.3)."""
+
+    def build():
+        lind = RMI(osmc, layer_sizes=[SEGMENTS[0]], model_types=("ls", "ls"),
+                   bound_type="lind")
+        labs = RMI(osmc, layer_sizes=[SEGMENTS[0]], model_types=("ls", "ls"),
+                   bound_type="labs")
+        return interval_stats(lind).median, interval_stats(labs).median
+
+    lind_med, labs_med = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert lind_med <= labs_med

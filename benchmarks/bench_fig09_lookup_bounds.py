@@ -1,0 +1,29 @@
+"""Figure 9: lookup time per error-bound type."""
+
+import pytest
+
+from repro.bench.figures import fig09_lookup_bounds
+from .conftest import BENCH_N, BENCH_SEED
+
+SEGMENTS = max(BENCH_N // 200, 64)
+
+
+def test_fig09_driver_shape(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig09_lookup_bounds(
+            n=BENCH_N, seed=BENCH_SEED,
+            segment_counts=[SEGMENTS], num_lookups=2_000,
+        ),
+        rounds=1, iterations=1,
+    )
+    assert all(r["checksum_ok"] for r in result.rows)
+    # Section 6.2: local bounds generally beat global bounds, and binary
+    # search compresses even order-of-magnitude interval differences
+    # into modest latency differences.
+    for ds in ("books", "osmc", "wiki"):
+        lind = result.series(dataset=ds, combo="ls->lr", bounds="lind")[0]
+        gabs = result.series(dataset=ds, combo="ls->lr", bounds="gabs")[0]
+        assert lind["est_ns"] <= gabs["est_ns"] * 1.05, ds
+        # Compression: the latency gap is far smaller than the interval
+        # gap would suggest (log2 of the ratio).
+        assert gabs["est_ns"] / max(lind["est_ns"], 1e-9) < 10

@@ -1,0 +1,60 @@
+"""Figure 10: lookup time per search algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.bench.figures import fig10_search_algorithms
+from repro.core.rmi import RMI
+from repro.core.search import SEARCH_ALGORITHMS
+from .conftest import BENCH_N, BENCH_SEED
+
+SEGMENTS = max(BENCH_N // 100, 64)
+
+
+@pytest.mark.parametrize("algo", ["bin", "mbin", "mlin", "mexp"])
+def test_scalar_search_kernel(benchmark, books, algo):
+    """Scalar error-correction cost with a realistic prediction."""
+    rmi = RMI(books, layer_sizes=[SEGMENTS], bound_type="lind")
+    rng = np.random.default_rng(BENCH_SEED)
+    queries = books[rng.integers(0, len(books), 200)]
+    fn = SEARCH_ALGORITHMS[algo]
+
+    prepared = []
+    for q in queries:
+        model_id, pred = rmi.predict(int(q))
+        lo, hi = rmi.bounds.interval(pred, model_id)
+        prepared.append((int(q), max(lo, 0), min(hi, len(books) - 1), pred))
+
+    def run():
+        total = 0
+        for q, lo, hi, pred in prepared:
+            total += fn(books, q, lo, hi, pred).position
+        return total
+
+    checksum = benchmark(run)
+    want = int(np.searchsorted(books, queries, side="left").sum())
+    assert checksum == want
+
+
+def test_fig10_driver_shape(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig10_search_algorithms(
+            n=BENCH_N, seed=BENCH_SEED,
+            segment_counts=[SEGMENTS // 8, SEGMENTS],
+            num_lookups=1_000, include_plain=True,
+        ),
+        rounds=1, iterations=1,
+    )
+    assert all(r["checksum_ok"] for r in result.rows)
+    # Section 6.3: on osmc (hard to approximate), Bin/MBin stay fastest.
+    osmc_rows = result.series(dataset="osmc", combo="ls->lr",
+                              segments=SEGMENTS // 8)
+    by_algo = {r["search"]: r["est_ns"] for r in osmc_rows}
+    assert by_algo["bin"] <= by_algo["mexp"] * 1.2
+    # Section 4.2: plain linear/exponential always lose to their
+    # model-biased counterparts (measured via comparison counts).
+    for ds in ("books", "osmc", "wiki"):
+        rows = {r["search"]: r for r in
+                result.series(dataset=ds, combo="ls->lr", segments=SEGMENTS)}
+        assert rows["exp"]["mean_comparisons"] >= rows["mexp"]["mean_comparisons"]
+        assert rows["lin"]["mean_comparisons"] >= rows["mlin"]["mean_comparisons"]

@@ -1,0 +1,58 @@
+"""Figure 11: build-time decomposition and the no-copy ablation."""
+
+import pytest
+
+from repro.bench.figures import fig11_build_time
+from repro.core.builder import RMIConfig
+from .conftest import BENCH_N, BENCH_SEED
+
+SEGMENTS = max(BENCH_N // 100, 64)
+
+
+@pytest.mark.parametrize("root", ["lr", "ls", "cs", "rx"])
+def test_build_per_root_type(benchmark, books, root):
+    """Figure 11a: root-type build cost (leaf LR, no bounds)."""
+    cfg = RMIConfig(model_types=(root, "lr"), layer_sizes=(SEGMENTS,),
+                    bound_type="nb")
+    rmi = benchmark(lambda: cfg.build(books))
+    assert rmi.n == len(books)
+
+
+@pytest.mark.parametrize("bounds", ["nb", "labs", "lind", "gabs", "gind"])
+def test_build_per_bound_type(benchmark, books, bounds):
+    """Figure 11c: bound-type build cost (LS→LR)."""
+    cfg = RMIConfig(layer_sizes=(SEGMENTS,), bound_type=bounds)
+    rmi = benchmark(lambda: cfg.build(books))
+    assert rmi.bounds.abbreviation == bounds
+
+
+@pytest.mark.parametrize("copy_keys", [False, True],
+                         ids=["no-copy", "copy"])
+def test_build_copy_ablation(benchmark, books, copy_keys):
+    """Section 4.1/7 ablation: the no-copy trainer vs the reference
+    copying trainer.  Compare the two benchmark rows: no-copy should be
+    faster (the paper reports 2x at 200M keys)."""
+    cfg = RMIConfig(layer_sizes=(SEGMENTS,), bound_type="labs",
+                    copy_keys=copy_keys)
+    rmi = benchmark(lambda: cfg.build(books))
+    assert (rmi.build_stats.keys_copied > 0) == copy_keys
+
+
+def test_fig11_driver_shape(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig11_build_time(
+            n=BENCH_N, seed=BENCH_SEED, segment_counts=[SEGMENTS], runs=3,
+        ),
+        rounds=1, iterations=1,
+    )
+    # Figure 11a: LR roots train slower than LS roots (LR touches all
+    # keys, LS only two).
+    lr = result.series(panel="root", variant="lr")[0]
+    ls = result.series(panel="root", variant="ls")[0]
+    assert lr["train_root_s"] >= ls["train_root_s"]
+    # Figure 11c: configurations with bounds pay an extra evaluation
+    # pass that NB skips entirely.
+    nb = result.series(panel="bounds", variant="nb")[0]
+    for bounds in ("labs", "lind", "gabs", "gind"):
+        row = result.series(panel="bounds", variant=bounds)[0]
+        assert row["bounds_s"] > nb["bounds_s"], bounds

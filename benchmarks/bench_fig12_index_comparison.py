@@ -1,0 +1,86 @@
+"""Figure 12: lookup time vs index size across all Table 5 indexes."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ARTIndex,
+    BinarySearchIndex,
+    BTreeIndex,
+    HistTree,
+    PGMIndex,
+    RadixSpline,
+    RMIAsIndex,
+)
+from repro.bench.figures import fig12_index_comparison
+from .conftest import BENCH_N, BENCH_SEED
+
+LOOKUPS = 2_000
+
+
+def _queries(keys):
+    rng = np.random.default_rng(BENCH_SEED)
+    return keys[rng.integers(0, len(keys), LOOKUPS)]
+
+
+FACTORIES = {
+    "rmi": lambda keys: RMIAsIndex(keys, layer2_size=max(len(keys) // 100, 64)),
+    "pgm": lambda keys: PGMIndex(keys, eps=64),
+    "radix-spline": lambda keys: RadixSpline(keys, max_error=64, radix_bits=10),
+    "b-tree": lambda keys: BTreeIndex(keys, sparsity=4),
+    "hist-tree": lambda keys: HistTree(keys, num_bins=64, max_error=64),
+    "art": lambda keys: ARTIndex(keys, sparsity=4),
+    "binary-search": lambda keys: BinarySearchIndex(keys),
+}
+
+
+@pytest.mark.parametrize("index_name", list(FACTORIES))
+def test_lookup_throughput_per_index(benchmark, books, index_name):
+    index = FACTORIES[index_name](books)
+    queries = _queries(books)
+    want = np.searchsorted(books, queries, side="left")
+    got = benchmark(lambda: index.lower_bound_batch(queries))
+    assert np.array_equal(got, want)
+
+
+def test_fig12_driver_shape(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig12_index_comparison(
+            n=BENCH_N, seed=BENCH_SEED, num_lookups=LOOKUPS,
+        ),
+        rounds=1, iterations=1,
+    )
+    assert all(r["checksum_ok"] for r in result.rows)
+
+    def best(ds, index):
+        return min(r["est_ns"] for r in result.series(dataset=ds, index=index))
+
+    for ds in ("books", "osmc"):
+        base = best(ds, "binary-search")
+        # Section 8.1: learned indexes clearly beat binary search;
+        # the B-tree barely beats binary search.
+        assert best(ds, "rmi") < base, ds
+        assert best(ds, "pgm-index") < base, ds
+        assert best(ds, "b-tree") < base * 1.05, ds
+    # The paper compares at matched index size (its x-axis): a B-tree
+    # as small as the best learned index must be sparse and therefore
+    # slower.  This separation is cleanly visible on smooth CDFs at any
+    # scale; on osmc it only appears once B-tree levels fall out of
+    # cache (the paper's 200M-key regime), so we assert it on books.
+    for learned in ("rmi", "pgm-index"):
+        rows = result.series(dataset="books", index=learned)
+        best_row = min(rows, key=lambda r: r["est_ns"])
+        small_btrees = [
+            r for r in result.series(dataset="books", index="b-tree")
+            if r["index_bytes"] <= 10 * max(best_row["index_bytes"], 1)
+        ]
+        if small_btrees:
+            assert best_row["est_ns"] < min(
+                r["est_ns"] for r in small_btrees
+            ), learned
+    # RMI works best on smooth CDFs: its best books latency beats its
+    # best osmc latency.
+    assert best("books", "rmi") <= best("osmc", "rmi")
+    # ART and Hist-Tree skip wiki (duplicates), like the paper.
+    wiki_indexes = {r["index"] for r in result.series(dataset="wiki")}
+    assert "art" not in wiki_indexes and "hist-tree" not in wiki_indexes

@@ -1,0 +1,38 @@
+"""Figure 13: evaluation vs search share of the best lookup times."""
+
+import pytest
+
+from repro.bench.figures import fig13_eval_vs_search
+from .conftest import BENCH_N, BENCH_SEED
+
+
+def test_fig13_driver_shape(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig13_eval_vs_search(
+            n=BENCH_N, seed=BENCH_SEED, num_lookups=2_000,
+        ),
+        rounds=1, iterations=1,
+    )
+    rows = {(r["dataset"], r["index"]): r for r in result.rows}
+    for (ds, index), row in rows.items():
+        assert row["eval_ns"] + row["search_ns"] == pytest.approx(
+            row["est_ns"], rel=0.01
+        )
+    # Section 8.1's trade-off: RMI prioritizes fast evaluation (a fixed
+    # number of model steps) while trees pay traversal per lookup.
+    # (Which ART/B-tree sweep point wins varies with cache residency at
+    # reduced scale, so compare evaluation *cost*, not its share.)
+    for ds in ("books", "osmc"):
+        rmi = rows[(ds, "rmi")]
+        btree = rows[(ds, "b-tree")]
+        art = rows[(ds, "art")]
+        assert rmi["eval_ns"] < btree["eval_ns"], ds
+        assert rmi["eval_ns"] < art["eval_ns"], ds
+        # Binary search is pure search; the RMI splits its budget.
+        assert rows[(ds, "binary-search")]["eval_share"] == 0
+        assert 0.05 < rmi["eval_share"] < 0.95, ds
+    # PGM/RadixSpline cap the search, so their search share is bounded:
+    # search cost corresponds to at most log2(2*eps+1) comparisons.
+    for ds in ("books", "osmc"):
+        pgm = rows[(ds, "pgm-index")]
+        assert pgm["search_ns"] <= rows[(ds, "binary-search")]["search_ns"], ds

@@ -1,0 +1,52 @@
+"""Figure 14: build time vs index size across all Table 5 indexes."""
+
+import pytest
+
+from repro.baselines import (
+    ALEXIndex,
+    ARTIndex,
+    BTreeIndex,
+    HistTree,
+    PGMIndex,
+    RadixSpline,
+    RMIAsIndex,
+)
+from repro.bench.figures import fig14_build_comparison
+from .conftest import BENCH_N, BENCH_SEED
+
+BUILDERS = {
+    "rmi": lambda keys: RMIAsIndex(keys, layer2_size=max(len(keys) // 100, 64)),
+    "pgm": lambda keys: PGMIndex(keys, eps=64),
+    "radix-spline": lambda keys: RadixSpline(keys, max_error=64, radix_bits=10),
+    "alex": lambda keys: ALEXIndex(keys, sparsity=4),
+    "b-tree": lambda keys: BTreeIndex(keys, sparsity=4),
+    "hist-tree": lambda keys: HistTree(keys, num_bins=64, max_error=64),
+    "art": lambda keys: ARTIndex(keys, sparsity=4),
+}
+
+
+@pytest.mark.parametrize("index_name", list(BUILDERS))
+def test_build_per_index(benchmark, books, index_name):
+    index = benchmark(lambda: BUILDERS[index_name](books))
+    assert index.size_in_bytes() > 0
+
+
+def test_fig14_driver_shape(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig14_build_comparison(
+            n=BENCH_N, seed=BENCH_SEED, datasets=["books", "osmc"], runs=1,
+        ),
+        rounds=1, iterations=1,
+    )
+    assert all(r["build_s"] > 0 for r in result.rows)
+
+    def fastest(ds, index):
+        return min(r["build_s"] for r in result.series(dataset=ds, index=index))
+
+    for ds in ("books", "osmc"):
+        # Section 8.2: B-tree builds fastest; learned indexes trained on
+        # the entire dataset (RMI, PGM, RadixSpline) are slower to build
+        # than a sparse B-tree.
+        assert fastest(ds, "b-tree") < fastest(ds, "rmi"), ds
+        assert fastest(ds, "b-tree") < fastest(ds, "pgm-index"), ds
+        assert fastest(ds, "b-tree") < fastest(ds, "radix-spline"), ds

@@ -1,0 +1,59 @@
+"""Shared benchmark fixtures.
+
+Benchmarks run at ``BENCH_N`` keys per dataset (override with the
+``REPRO_BENCH_N`` environment variable).  Each ``bench_figNN_*`` file
+covers one figure of the paper: it times the relevant kernels with
+pytest-benchmark and asserts the figure's qualitative shape on the
+driver's output.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import data
+
+BENCH_N = int(os.environ.get("REPRO_BENCH_N", "50000"))
+BENCH_SEED = 42
+
+
+@pytest.fixture(scope="session")
+def bench_n() -> int:
+    return BENCH_N
+
+
+@pytest.fixture(scope="session")
+def datasets() -> dict[str, np.ndarray]:
+    return {
+        name: data.generate(name, n=BENCH_N, seed=BENCH_SEED)
+        for name in data.dataset_names()
+    }
+
+
+@pytest.fixture(scope="session")
+def books(datasets) -> np.ndarray:
+    return datasets["books"]
+
+
+@pytest.fixture(scope="session")
+def osmc(datasets) -> np.ndarray:
+    return datasets["osmc"]
+
+
+@pytest.fixture(scope="session")
+def fb(datasets) -> np.ndarray:
+    return datasets["fb"]
+
+
+@pytest.fixture(scope="session")
+def wiki(datasets) -> np.ndarray:
+    return datasets["wiki"]
+
+
+@pytest.fixture(scope="session")
+def query_batch(books) -> np.ndarray:
+    rng = np.random.default_rng(BENCH_SEED)
+    return books[rng.integers(0, len(books), 10_000)]

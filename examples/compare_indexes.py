@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Compare every index of the paper's Table 5 on one dataset.
+
+Builds RMI, ALEX, PGM-index, RadixSpline, B-tree, Hist-Tree, ART,
+FITing-tree, and plain binary search over the same keys, runs the
+paper's lower-bound workload against each, and prints a comparison
+table: index size, build time, estimated lookup latency (analytic cost
+model projecting the paper's machine), and measured Python throughput.
+
+This is the single-dataset version of Figures 12-14.
+
+Run:  python examples/compare_indexes.py [dataset] [n]
+      e.g. python examples/compare_indexes.py osmc 100000
+"""
+
+import sys
+
+from repro import data
+from repro.baselines import (
+    ALEXIndex,
+    ARTIndex,
+    BinarySearchIndex,
+    BTreeIndex,
+    FITingTree,
+    HistTree,
+    PGMIndex,
+    RadixSpline,
+    RMIAsIndex,
+    UnsupportedDataError,
+)
+from repro.bench.report import format_bytes, format_ns, render_table
+from repro.workload import make_workload, measure_build, run_workload
+
+dataset = sys.argv[1] if len(sys.argv) > 1 else "books"
+n = int(sys.argv[2]) if len(sys.argv) > 2 else 100_000
+
+keys = data.generate(dataset, n=n)
+workload = make_workload(keys, num_lookups=10_000)
+print(f"dataset={dataset}, n={n:,}, workload={workload.num_lookups:,} "
+      "lower-bound lookups\n")
+
+FACTORIES = {
+    "rmi (LS→LR, LAbs)": lambda: RMIAsIndex(keys, layer2_size=max(n // 100, 64)),
+    "pgm-index (eps=64)": lambda: PGMIndex(keys, eps=64),
+    "radix-spline (err=64)": lambda: RadixSpline(keys, max_error=64,
+                                                 radix_bits=12),
+    "alex": lambda: ALEXIndex(keys),
+    "fiting-tree (err=64)": lambda: FITingTree(keys, error=64),
+    "b-tree (dense)": lambda: BTreeIndex(keys),
+    "hist-tree (err=64)": lambda: HistTree(keys, num_bins=64, max_error=64),
+    "art (dense)": lambda: ARTIndex(keys),
+    "binary search": lambda: BinarySearchIndex(keys),
+}
+
+rows = []
+for name, factory in FACTORIES.items():
+    try:
+        index, build_s = measure_build(factory, runs=1)
+    except UnsupportedDataError as exc:
+        print(f"  {name}: skipped ({exc})")
+        continue
+    result = run_workload(index, workload, runs=1)
+    rows.append({
+        "index": name,
+        "size": format_bytes(result.index_bytes),
+        "build": f"{build_s * 1e3:.1f} ms",
+        "est lookup": format_ns(result.estimated_ns_per_lookup),
+        "eval/search": f"{result.estimated_eval_ns:.0f}/"
+                       f"{result.estimated_search_ns:.0f} ns",
+        "median interval": f"{result.counters.median_interval:.0f}",
+        "checksum": "ok" if result.checksum_ok else "WRONG",
+    })
+
+print(render_table(
+    ["index", "size", "build", "est lookup", "eval/search",
+     "median interval", "checksum"],
+    rows,
+))
+print("\nest lookup = analytic cost model projecting the paper's Xeon; "
+      "see repro.cost for the calibration.")

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""The fb anomaly: why outliers break RMIs (paper Sections 5.1/6.1).
+
+The fb dataset's 21 extreme outliers flatten every root model's CDF
+approximation, so almost all keys land in one segment whose single
+linear model cannot fit the noisy body -- and *no* RMI configuration
+beats plain binary search.  This example reproduces that story end to
+end and then shows the trimmed-LR variant the paper attributes prior
+work's good fb numbers to (ignoring the lowest/highest 0.01% of keys
+during root training), along with the paper's caveat about it.
+
+Run:  python examples/outlier_study.py [n]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import RMI, data
+from repro.baselines import BinarySearchIndex
+from repro.core.analysis import prediction_errors, segment_keys, segmentation_stats
+from repro.core.models import LinearRegression
+from repro.core.rmi import _assignments
+from repro.bench.report import render_table
+from repro.workload import make_workload, run_workload
+
+n = int(sys.argv[1]) if len(sys.argv) > 1 else 100_000
+keys = data.fb(n=n)
+workload = make_workload(keys, num_lookups=5_000)
+
+print(f"=== fb: {n:,} keys, body < 2^44, 21 outliers up to 2^63 ===\n")
+
+# --- 1. Segmentation collapses -------------------------------------------
+print("1. Segmentation: share of keys in the largest segment (1024 segments)")
+rows = []
+for root in ("lr", "ls", "cs", "rx"):
+    stats = segmentation_stats(segment_keys(keys, root, 1024), 1024)
+    rows.append({
+        "root": root.upper(),
+        "largest_segment_share": round(stats.largest_fraction, 4),
+        "empty_pct": round(100 * stats.empty_fraction, 1),
+    })
+print(render_table(["root", "largest_segment_share", "empty_pct"], rows))
+print("   -> all roots assign ~everything to one segment\n")
+
+# --- 2. Error does not improve with more segments -------------------------
+print("2. Median |error| vs segment count (LS→LR)")
+rows = []
+for m in (2**6, 2**9, 2**12, 2**15):
+    if m > n:
+        break
+    rmi = RMI(keys, layer_sizes=[m])
+    rows.append({
+        "segments": m,
+        "median_err": float(np.median(prediction_errors(rmi))),
+    })
+print(render_table(["segments", "median_err"], rows))
+print("   -> the error plateaus until the outliers finally leave the big "
+      "segment (the paper's sudden drop), then stays noise-bound\n")
+
+# --- 3. RMI vs binary search ----------------------------------------------
+print("3. Estimated lookup latency vs plain binary search")
+base = run_workload(BinarySearchIndex(keys), workload, runs=1)
+rows = [{
+    "index": "binary search",
+    "est_ns": round(base.estimated_ns_per_lookup, 1),
+}]
+for m in (2**8, 2**11):
+    rmi = RMI(keys, layer_sizes=[m])
+    res = run_workload(rmi, workload, runs=1)
+    rows.append({
+        "index": f"RMI LS→LR ({m} segments)",
+        "est_ns": round(res.estimated_ns_per_lookup, 1),
+    })
+print(render_table(["index", "est_ns"], rows))
+print("   -> 'none of the RMIs is able to beat binary search on the fb "
+      "dataset' (Section 6.1)\n")
+
+# --- 4. The trimmed-LR workaround (and its caveat) -------------------------
+print("4. Root segmentation with outlier-trimmed LR")
+positions = np.arange(len(keys), dtype=np.float64)
+m = 1024
+rows = []
+for name, trim in (("LR (no trim)", 0.0), ("LR trim=0.01%", 0.0001),
+                   ("LR trim=0.1%", 0.001)):
+    model = LinearRegression.fit(keys, positions * (m / n), trim=trim)
+    assignment = _assignments(model.predict_batch(keys), m, n, scaled=True)
+    stats = segmentation_stats(assignment, m)
+    rows.append({
+        "root": name,
+        "trimmed_keys_per_end": int(n * trim),
+        "largest_segment_share": round(stats.largest_fraction, 4),
+    })
+print(render_table(["root", "trimmed_keys_per_end",
+                    "largest_segment_share"], rows))
+print(f"   -> the paper's caveat, demonstrated: trim=0.01% drops "
+      f"{int(n * 0.0001)} keys per end, fewer than the 21 outliers at "
+      "n={:,}, so it does NOT help here -- it 'only works if there are "
+      "at most 0.01% of outliers at either end of the key space' "
+      "(Section 6.1).  At SOSD scale (200M keys) 0.01% is 20,000 keys "
+      "and the trick works, which the paper credits for prior work's fb "
+      "numbers.  A wider trim rescues the segmentation at this scale; "
+      "the paper argues for proper outlier detection instead.".format(n))

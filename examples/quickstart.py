@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Quickstart: build a recursive model index and look keys up.
+
+Covers the 90% use case in ~40 lines:
+
+1. get a sorted ``uint64`` key array (here: the synthetic books dataset),
+2. build a two-layer RMI with the paper's recommended configuration,
+3. run lower-bound lookups (scalar and batch),
+4. inspect accuracy, size, and build-time statistics.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import RMI, data
+from repro.core import guideline_config, prediction_errors
+
+# 1. A sorted array of 64-bit keys.  Any sorted np.uint64 array works;
+#    here we use the synthetic stand-in for SOSD's books dataset.
+keys = data.books(n=200_000)
+print(f"dataset: {len(keys):,} sorted keys, "
+      f"range [{keys[0]:,} .. {keys[-1]:,}]")
+
+# 2. Build an RMI.  guideline_config() applies the paper's Section 9.1
+#    recommendations (LS root, LR leaves, LAbs bounds, binary search,
+#    second layer >= 0.01% of n).
+config = guideline_config(len(keys))
+print(f"configuration: {config.describe()}")
+index = config.build(keys)
+
+# 3. Lookups.  lookup() returns the lower bound: the position of the
+#    smallest key >= the query -- exactly np.searchsorted semantics.
+query = int(keys[123_456])
+print(f"lookup({query:,}) -> position {index.lookup(query):,}")
+
+absent = query + 1  # not in the array: returns the insertion point
+print(f"lookup({absent:,}) -> position {index.lookup(absent):,} (absent key)")
+
+queries = keys[np.random.default_rng(0).integers(0, len(keys), 10_000)]
+positions = index.lookup_batch(queries)
+assert np.array_equal(positions, np.searchsorted(keys, queries, side="left"))
+print(f"batch lookup: {len(queries):,} queries verified against searchsorted")
+
+# 4. Introspection.
+errors = prediction_errors(index)
+stats = index.build_stats
+print(f"index size: {index.size_in_bytes():,} bytes "
+      f"({index.size_in_bytes() / len(keys):.3f} bytes/key)")
+print(f"median |prediction error|: {np.median(errors):.0f} positions")
+print(f"build time: {stats.total_seconds * 1e3:.1f} ms "
+      f"(root {stats.train_root_seconds * 1e3:.1f} / "
+      f"segment {stats.segment_seconds * 1e3:.1f} / "
+      f"leaves {stats.train_leaves_seconds * 1e3:.1f} / "
+      f"bounds {stats.bounds_seconds * 1e3:.1f})")

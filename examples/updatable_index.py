@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Updates: what separates ALEX (and dynamic PGM) from RMIs.
+
+The paper's Table 1 classifies learned indexes by update support: RMI
+and RadixSpline are static, ALEX supports inserts natively.  This
+example demonstrates the difference:
+
+* inserting into our ALEX implementation (gapped arrays absorb inserts,
+  full leaves expand and retrain);
+* "inserting" into an RMI, which requires a rebuild -- and measures how
+  stale an RMI's error bounds become if the array grows underneath it.
+
+Run:  python examples/updatable_index.py [n]
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro import RMI, data
+from repro.baselines import ALEXIndex
+from repro.core.analysis import prediction_errors
+
+n = int(sys.argv[1]) if len(sys.argv) > 1 else 50_000
+rng = np.random.default_rng(7)
+
+base = data.books(n=n)
+half = base[::2]  # start with every second key, insert the rest later
+inserts = np.setdiff1d(base, half)[: n // 10]
+
+print(f"=== start with {len(half):,} keys, insert {len(inserts):,} more ===\n")
+
+# --- ALEX: native inserts --------------------------------------------------
+alex = ALEXIndex(half, max_leaf_keys=256)
+t0 = time.perf_counter()
+for key in inserts:
+    alex.insert_key(int(key))
+alex_insert_s = time.perf_counter() - t0
+stored = np.concatenate([l.keys_in_order() for l in alex._leaves_chain])
+print(f"ALEX: {len(inserts):,} inserts in {alex_insert_s * 1e3:.1f} ms "
+      f"({alex_insert_s / len(inserts) * 1e6:.1f} us/insert)")
+print(f"ALEX now stores {len(stored):,} keys; "
+      f"order preserved: {bool(np.all(np.diff(stored.astype(np.int64)) > 0))}\n")
+
+# --- RMI: rebuild required --------------------------------------------------
+rmi = RMI(half, layer_sizes=[max(len(half) // 100, 16)])
+err_before = float(np.median(prediction_errors(rmi)))
+
+grown = np.sort(np.concatenate([half, inserts]))
+t0 = time.perf_counter()
+rebuilt = RMI(grown, layer_sizes=[max(len(grown) // 100, 16)])
+rebuild_s = time.perf_counter() - t0
+err_after = float(np.median(prediction_errors(rebuilt)))
+
+print(f"RMI: no insert path -- full rebuild over {len(grown):,} keys took "
+      f"{rebuild_s * 1e3:.1f} ms")
+print(f"median |error| before={err_before:.1f}, after rebuild={err_after:.1f}")
+print("\nTakeaway (paper Table 1 / Section 9.2): choose ALEX or dynamic "
+      "PGM when updates matter; RMIs excel at read-only lookups on "
+      "smooth CDFs but must be retrained on change.")

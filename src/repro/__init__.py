@@ -1,0 +1,36 @@
+"""repro -- reproduction of "A Critical Analysis of Recursive Model
+Indexes" (Maltry & Dittrich, VLDB 2022).
+
+The package provides:
+
+* :mod:`repro.core` -- a complete, configurable recursive model index
+  (models, error bounds, search algorithms, training, analysis).
+* :mod:`repro.baselines` -- from-scratch implementations of every index
+  the paper compares against (B+-tree, ART, Hist-Tree, PGM-index,
+  RadixSpline, ALEX, FITing-tree, binary search).
+* :mod:`repro.data` -- synthetic stand-ins for the four SOSD datasets
+  plus classic statistical distributions.
+* :mod:`repro.workload` -- the paper's lower-bound lookup workload and
+  a runner measuring time, operation counts, and checksums.
+* :mod:`repro.cost` -- an analytic latency model turning operation
+  counts into nanosecond estimates that reproduce the *shape* of the
+  paper's timing figures.
+* :mod:`repro.bench` -- one experiment driver per figure (3-14).
+
+Quickstart::
+
+    import numpy as np
+    from repro import RMI, data
+
+    keys = data.books(n=100_000)
+    index = RMI(keys, layer_sizes=[1024], model_types=("ls", "lr"))
+    pos = index.lookup(int(keys[1234]))
+    assert pos == 1234
+"""
+
+from . import core, data
+from .core import RMI, build_rmi_layers
+
+__version__ = "1.0.0"
+
+__all__ = ["core", "data", "RMI", "build_rmi_layers", "__version__"]

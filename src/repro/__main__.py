@@ -1,0 +1,154 @@
+"""Top-level CLI.
+
+Subcommands::
+
+    python -m repro tune <dataset|file.sosd> [--n N]   CDFShop-style tuner
+    python -m repro compare <dataset|file.sosd>        quick index shoot-out
+    python -m repro guideline <num_keys>               paper §9.1 defaults
+
+`python -m repro.bench` reproduces the paper's figures;
+`python -m repro.data` generates and inspects datasets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+
+def _load_keys(spec: str, n: int, seed: int) -> np.ndarray:
+    from repro.data import DATASETS, DISTRIBUTIONS, sosd, distributions
+    from repro.data.io import read_sosd
+
+    if Path(spec).exists():
+        return read_sosd(spec)
+    if spec in DATASETS:
+        return sosd.generate(spec, n=n, seed=seed)
+    if spec in DISTRIBUTIONS:
+        return distributions.generate(spec, n=n, seed=seed)
+    raise SystemExit(
+        f"unknown dataset {spec!r}: not a file, SOSD generator, or "
+        "distribution"
+    )
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro.bench.report import format_bytes, render_table
+    from repro.core import grid_search, guideline_config, pareto_front
+
+    keys = _load_keys(args.dataset, args.n, args.seed)
+    sizes = [max(len(keys) // d, 16) for d in (800, 200, 50)]
+    results = grid_search(keys, layer2_sizes=sizes)
+    front = pareto_front(results)
+    rows = [{
+        "config": r.config.describe(),
+        "size": format_bytes(r.size_bytes),
+        "median_interval": r.median_interval,
+        "cost_proxy": round(r.lookup_cost, 2),
+    } for r in front]
+    print(f"Pareto-optimal RMI configurations for {args.dataset} "
+          f"({len(keys):,} keys):")
+    print(render_table(
+        ["config", "size", "median_interval", "cost_proxy"], rows
+    ))
+    print(f"\npaper guideline default: {guideline_config(len(keys)).describe()}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.baselines import INDEX_TYPES, UnsupportedDataError
+    from repro.bench.report import format_bytes, format_ns, render_table
+    from repro.workload import make_workload, run_workload
+
+    keys = _load_keys(args.dataset, args.n, args.seed)
+    wl = make_workload(keys, num_lookups=args.lookups, seed=args.seed)
+    rows = []
+    for name, cls in INDEX_TYPES.items():
+        try:
+            index = cls(keys)
+        except UnsupportedDataError as exc:
+            print(f"{name}: skipped ({exc})")
+            continue
+        res = run_workload(index, wl, runs=1)
+        rows.append({
+            "index": name,
+            "size": format_bytes(res.index_bytes),
+            "est lookup": format_ns(res.estimated_ns_per_lookup),
+            "checksum": "ok" if res.checksum_ok else "WRONG",
+        })
+    print(render_table(["index", "size", "est lookup", "checksum"], rows))
+    return 0
+
+
+def _cmd_recommend(args: argparse.Namespace) -> int:
+    from repro.core import WorkloadRequirements, recommend_index
+
+    keys = _load_keys(args.dataset, args.n, args.seed)
+    req = WorkloadRequirements(
+        needs_updates=args.updates,
+        lookup_priority=args.lookup,
+        build_priority=args.build,
+        memory_priority=args.memory,
+    )
+    print(f"index recommendations for {args.dataset} "
+          f"({len(keys):,}-key sample):\n")
+    for i, rec in enumerate(recommend_index(keys, req, top=args.top), 1):
+        print(f"{i}. {rec}")
+        print()
+    return 0
+
+
+def _cmd_guideline(args: argparse.Namespace) -> int:
+    from repro.core import guideline_config
+
+    cfg = guideline_config(args.num_keys)
+    print(f"paper §9.1 configuration for {args.num_keys:,} keys:")
+    print(f"  {cfg.describe()}")
+    print("  (spline root, LR leaves, local absolute bounds, binary "
+          "search, second layer >= 0.01% of n)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    tune = sub.add_parser("tune", help="grid-search Pareto-optimal configs")
+    tune.add_argument("dataset")
+    tune.add_argument("--n", type=int, default=100_000)
+    tune.add_argument("--seed", type=int, default=42)
+    tune.set_defaults(func=_cmd_tune)
+
+    compare = sub.add_parser("compare", help="quick index comparison")
+    compare.add_argument("dataset")
+    compare.add_argument("--n", type=int, default=100_000)
+    compare.add_argument("--seed", type=int, default=42)
+    compare.add_argument("--lookups", type=int, default=5_000)
+    compare.set_defaults(func=_cmd_compare)
+
+    rec = sub.add_parser("recommend",
+                         help="rank index families per the §9.2 guideline")
+    rec.add_argument("dataset")
+    rec.add_argument("--n", type=int, default=50_000)
+    rec.add_argument("--seed", type=int, default=42)
+    rec.add_argument("--updates", action="store_true",
+                     help="the workload requires inserts")
+    rec.add_argument("--lookup", type=float, default=1.0)
+    rec.add_argument("--build", type=float, default=0.2)
+    rec.add_argument("--memory", type=float, default=0.2)
+    rec.add_argument("--top", type=int, default=3)
+    rec.set_defaults(func=_cmd_recommend)
+
+    guide = sub.add_parser("guideline", help="print the paper's defaults")
+    guide.add_argument("num_keys", type=int)
+    guide.set_defaults(func=_cmd_guideline)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

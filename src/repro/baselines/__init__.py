@@ -1,0 +1,58 @@
+"""Baseline indexes of Table 5, plus FITing-tree and an RMI adapter.
+
+Every class implements the :class:`~repro.baselines.interfaces.OrderedIndex`
+protocol (lower-bound queries over a sorted in-memory array) so the
+comparison experiments can sweep them uniformly.
+"""
+
+from .alex import ALEXIndex, GappedLeaf
+from .art import ARTIndex
+from .binary_search import BinarySearchIndex
+from .btree import BTreeIndex, BulkLoadedBPlusTree
+from .compressed_pgm import CompressedPGMIndex
+from .dynamic_pgm import DynamicPGMIndex
+from .fast import FASTIndex
+from .fiting_tree import FITingTree
+from .hist_tree import HistTree
+from .interfaces import OrderedIndex, SearchBounds, UnsupportedDataError
+from .pgm import PGMIndex, PlaSegment, build_pla_segments
+from .radix_spline import RadixSpline, greedy_spline_corridor
+from .rmi_adapter import RMIAsIndex
+
+#: All comparison indexes in the paper's Table 5 order (plus extensions).
+INDEX_TYPES = {
+    "rmi": RMIAsIndex,
+    "alex": ALEXIndex,
+    "pgm-index": PGMIndex,
+    "radix-spline": RadixSpline,
+    "b-tree": BTreeIndex,
+    "hist-tree": HistTree,
+    "art": ARTIndex,
+    "binary-search": BinarySearchIndex,
+    "fiting-tree": FITingTree,
+    "fast": FASTIndex,
+}
+
+__all__ = [
+    "OrderedIndex",
+    "SearchBounds",
+    "UnsupportedDataError",
+    "BinarySearchIndex",
+    "BTreeIndex",
+    "BulkLoadedBPlusTree",
+    "ARTIndex",
+    "HistTree",
+    "PGMIndex",
+    "DynamicPGMIndex",
+    "CompressedPGMIndex",
+    "PlaSegment",
+    "build_pla_segments",
+    "RadixSpline",
+    "greedy_spline_corridor",
+    "ALEXIndex",
+    "GappedLeaf",
+    "FITingTree",
+    "FASTIndex",
+    "RMIAsIndex",
+    "INDEX_TYPES",
+]

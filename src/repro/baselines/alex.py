@@ -1,0 +1,420 @@
+"""ALEX (Ding et al., SIGMOD 2020 [12]) -- an updatable adaptive
+learned index.
+
+Structure: internal nodes are linear models routing a key to one of
+``fanout`` children; leaves are *gapped arrays* holding the indexed
+(key, payload) pairs at model-predicted slots with gaps left for
+inserts, searched with exponential search from the model's prediction.
+Unlike RMI, the tree's depth is adaptive: nodes split where the data is
+dense (the original uses a full cost model; we split wherever a subtree
+exceeds the target leaf size, a simplification recorded in DESIGN.md
+that preserves the adaptive-depth behaviour the paper discusses in its
+build-time analysis, Section 8.2).
+
+Like the paper's setup, index size is varied through *sparsity*: only
+every k-th key of the data array is inserted, and a lookup yields the
+gap between the surrounding sampled keys as the search range
+(Section 4.5: "ALEX does not provide any parameters itself, so we vary
+its size by adjusting the number of keys that are inserted").
+
+ALEX "not only learns the distribution of the data but actually stores
+the key/position pairs in data nodes" (Section 8.2) -- so unlike RMI,
+its :meth:`size_in_bytes` includes the gapped data slots, which is why
+ALEX is large and its build time grows steeply with the key count.
+
+Inserts are supported (:meth:`ALEXIndex.insert_key`): the new key is
+placed at its model-predicted slot, shifting toward the nearest gap;
+a full leaf is expanded and retrained, preserving search correctness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..core.models import LinearRegression
+from .interfaces import OrderedIndex, SearchBounds
+
+__all__ = ["ALEXIndex", "GappedLeaf"]
+
+_EMPTY = np.uint64(0xFFFFFFFFFFFFFFFF)  # sentinel for empty slots
+
+
+class GappedLeaf:
+    """A gapped array data node with a linear routing model.
+
+    Keys live at model-predicted slots; empty slots carry the sentinel
+    and are skipped by exponential search.  ``density`` controls the
+    initial fill factor (ALEX's default is ~0.7).
+    """
+
+    def __init__(self, keys: np.ndarray, payloads: np.ndarray,
+                 density: float = 0.7):
+        if not 0.1 < density <= 1.0:
+            raise ValueError("density must be in (0.1, 1.0]")
+        self.density = density
+        self.num_keys = len(keys)
+        capacity = max(int(np.ceil(self.num_keys / density)), 1)
+        self.slots = np.full(capacity, _EMPTY, dtype=np.uint64)
+        self.payloads = np.full(capacity, -1, dtype=np.int64)
+        self.model = LinearRegression.fit(
+            keys, np.arange(len(keys), dtype=np.float64) / density
+        )
+        self._place_all(keys, payloads)
+
+    def _place_all(self, keys: np.ndarray, payloads: np.ndarray) -> None:
+        """Model-based placement preserving key order across slots.
+
+        Slots must be strictly increasing (exponential search relies on
+        ordered occupied slots).  Forward pass pushes each key right of
+        its predecessor; backward cap pulls overflowing keys back so the
+        last key fits -- both passes keep slots as close to the model's
+        prediction as the ordering constraint allows.
+        """
+        m = len(keys)
+        if m == 0:
+            return
+        capacity = len(self.slots)
+        predicted = np.clip(
+            self.model.predict_batch(keys).astype(np.int64), 0, capacity - 1
+        )
+        ranks = np.arange(m, dtype=np.int64)
+        slots = np.maximum.accumulate(predicted - ranks) + ranks
+        slots = np.minimum(slots, capacity - m + ranks)
+        self.slots[slots] = keys
+        self.payloads[slots] = payloads
+
+    def _occupied(self) -> np.ndarray:
+        return self.slots != _EMPTY
+
+    def keys_in_order(self) -> np.ndarray:
+        """The stored keys in ascending order (gaps removed)."""
+        return self.slots[self._occupied()]
+
+    def payloads_in_order(self) -> np.ndarray:
+        return self.payloads[self._occupied()]
+
+    def lower_bound_entry(self, key: int) -> tuple[int, int, int]:
+        """Smallest stored key >= ``key``.
+
+        Returns ``(stored_key, payload, steps)``; ``stored_key == -1``
+        signals that every stored key is smaller.  Exponential search
+        from the model prediction, skipping gaps, as in ALEX.
+        """
+        capacity = len(self.slots)
+        pos = int(np.clip(self.model.predict(key), 0, capacity - 1))
+        steps = 1
+        occupied = self._occupied()
+        order = np.flatnonzero(occupied)
+        if len(order) == 0:
+            return -1, -1, steps
+        # Rank of the predicted slot among occupied slots, then gallop
+        # over the *occupied* sequence (gap-skipping exponential search).
+        rank = int(np.searchsorted(order, pos))
+        rank = min(rank, len(order) - 1)
+        stored = self.slots[order]
+        if stored[rank] < key:
+            step = 1
+            while rank + step < len(order) and stored[rank + step] < key:
+                step *= 2
+                steps += 1
+            hi = min(rank + step, len(order) - 1)
+            idx = int(np.searchsorted(stored[rank:hi + 1], key)) + rank
+            steps += max(int(np.ceil(np.log2(hi - rank + 2))), 1)
+            if idx >= len(order):
+                return -1, -1, steps
+        else:
+            step = 1
+            while rank - step >= 0 and stored[rank - step] >= key:
+                step *= 2
+                steps += 1
+            lo = max(rank - step, 0)
+            idx = int(np.searchsorted(stored[lo:rank + 1], key)) + lo
+            steps += max(int(np.ceil(np.log2(rank - lo + 2))), 1)
+        return int(stored[idx]), int(self.payloads[order[idx]]), steps
+
+    def insert(self, key: int, payload: int) -> bool:
+        """Insert preserving slot order, shifting toward the nearest
+        gap; returns False when the leaf is full and must expand.
+
+        Existing keys are upserted in place (ALEX is a key->payload
+        map).
+        """
+        occupied = np.flatnonzero(self._occupied())
+        stored = self.slots[occupied]
+        rank = int(np.searchsorted(stored, key))
+        if rank < len(stored) and int(stored[rank]) == key:
+            self.payloads[occupied[rank]] = payload  # upsert
+            return True
+        if len(occupied) == len(self.slots):
+            return False
+        gaps = np.flatnonzero(self.slots == _EMPTY)
+        if rank == len(stored):
+            # New maximum: append into the first gap right of the last
+            # occupied slot, or shift the tail left when none exists.
+            last = int(occupied[-1]) if len(occupied) else -1
+            right_gaps = gaps[gaps > last]
+            if len(right_gaps):
+                g = int(right_gaps[0])
+                self.slots[g] = key
+                self.payloads[g] = payload
+            else:
+                g = int(gaps[-1])  # rightmost gap (left of `last`)
+                self.slots[g:last] = self.slots[g + 1 : last + 1]
+                self.payloads[g:last] = self.payloads[g + 1 : last + 1]
+                self.slots[last] = key
+                self.payloads[last] = payload
+            self.num_keys += 1
+            return True
+        # The new key must precede stored[rank] at slot `target`.
+        target = int(occupied[rank])
+        right_gaps = gaps[gaps > target]
+        left_gaps = gaps[gaps < target]
+        if len(right_gaps) and (
+            not len(left_gaps)
+            or right_gaps[0] - target <= target - left_gaps[-1]
+        ):
+            g = int(right_gaps[0])
+            self.slots[target + 1 : g + 1] = self.slots[target:g]
+            self.payloads[target + 1 : g + 1] = self.payloads[target:g]
+            self.slots[target] = key
+            self.payloads[target] = payload
+        else:
+            g = int(left_gaps[-1])
+            self.slots[g : target - 1] = self.slots[g + 1 : target]
+            self.payloads[g : target - 1] = self.payloads[g + 1 : target]
+            self.slots[target - 1] = key
+            self.payloads[target - 1] = payload
+        self.num_keys += 1
+        return True
+
+    def expand(self) -> None:
+        """Double capacity and retrain the routing model (ALEX's node
+        expansion)."""
+        keys = self.keys_in_order()
+        payloads = self.payloads_in_order()
+        capacity = max(len(self.slots) * 2, 2)
+        self.slots = np.full(capacity, _EMPTY, dtype=np.uint64)
+        self.payloads = np.full(capacity, -1, dtype=np.int64)
+        self.model = LinearRegression.fit(
+            keys, np.arange(len(keys), dtype=np.float64) * (capacity / max(len(keys), 1))
+        )
+        self._place_all(keys, payloads)
+
+    def size_in_bytes(self) -> int:
+        """Gapped slots store key + payload (16 B each) plus the model."""
+        return len(self.slots) * 16 + self.model.size_in_bytes()
+
+
+@dataclass
+class _InnerNode:
+    """Linear model routing to ``len(children)`` children."""
+
+    model: LinearRegression
+    children: list[Any]
+
+    def route(self, key: int) -> int:
+        idx = int(self.model.predict(key))
+        return min(max(idx, 0), len(self.children) - 1)
+
+    def size_in_bytes(self) -> int:
+        return len(self.children) * 8 + self.model.size_in_bytes()
+
+
+class ALEXIndex(OrderedIndex):
+    """ALEX baseline of Table 5 (bulk-loaded, insert-capable)."""
+
+    name = "alex"
+
+    def __init__(self, keys: np.ndarray, sparsity: int = 1,
+                 max_leaf_keys: int = 256, fanout: int = 16,
+                 density: float = 0.7, split_error_bits: float | None = 4.0,
+                 min_leaf_keys: int = 32):
+        super().__init__(keys)
+        if sparsity < 1:
+            raise ValueError("sparsity must be >= 1")
+        if max_leaf_keys < 2:
+            raise ValueError("max_leaf_keys must be >= 2")
+        self.sparsity = sparsity
+        self.max_leaf_keys = max_leaf_keys
+        self.min_leaf_keys = min(min_leaf_keys, max_leaf_keys)
+        self.fanout = fanout
+        self.density = density
+        #: Cost-model split knob: a subtree becomes an inner node when
+        #: its keys would make a leaf whose expected exponential-search
+        #: gallop exceeds this many doublings (i.e. expected error
+        #: above ``2**split_error_bits`` slots).  ``None`` disables the
+        #: cost model and splits purely on ``max_leaf_keys``, the
+        #: pre-cost-model behaviour kept for ablations.
+        self.split_error_bits = split_error_bits
+        positions = np.arange(0, self.n, sparsity, dtype=np.int64)
+        sampled = self.keys[positions]
+        # ALEX keys must be unique (it is a key->payload map); keep the
+        # first occurrence, which preserves lower-bound payload semantics.
+        sampled, uniq_idx = np.unique(sampled, return_index=True)
+        positions = positions[uniq_idx]
+        self.num_inner = 0
+        self.num_leaves = 0
+        self.height = 0
+        self._last_pos = int(positions[-1])
+        self.root = self._bulk_load(sampled, positions.astype(np.int64), 1)
+        self._leaves_chain = self._collect_leaves(self.root)
+        self._leaf_rank = {id(l): i for i, l in enumerate(self._leaves_chain)}
+        # Smallest key per leaf, for exact insert routing (the inner
+        # models route lookups approximately; inserting into the wrong
+        # leaf would break the global key order).
+        self._leaf_min_keys = np.asarray(
+            [int(l.keys_in_order()[0]) for l in self._leaves_chain],
+            dtype=np.uint64,
+        )
+
+    def _should_be_leaf(self, keys: np.ndarray) -> bool:
+        """ALEX's split decision: stop when a leaf is cheap enough.
+
+        The original uses a cost model of expected exponential-search
+        iterations (and shift costs for inserts); we implement the
+        lookup half: fit the would-be leaf's linear model and split
+        when the expected gallop from its mean error exceeds
+        ``split_error_bits`` doublings.  The hard ``max_leaf_keys`` cap
+        and the ``min_leaf_keys`` floor bound the recursion.
+        """
+        if len(keys) <= self.min_leaf_keys:
+            return True
+        if len(keys) > self.max_leaf_keys:
+            return False
+        if self.split_error_bits is None:
+            return True
+        targets = np.arange(len(keys), dtype=np.float64)
+        model = LinearRegression.fit(keys, targets)
+        mean_err = float(np.mean(np.abs(model.predict_batch(keys) - targets)))
+        return np.log2(mean_err + 1.0) <= self.split_error_bits
+
+    def _bulk_load(self, keys: np.ndarray, payloads: np.ndarray,
+                   level: int) -> Any:
+        self.height = max(self.height, level)
+        if self._should_be_leaf(keys):
+            self.num_leaves += 1
+            return GappedLeaf(keys, payloads, density=self.density)
+        model = LinearRegression.fit(
+            keys, np.arange(len(keys), dtype=np.float64) * (self.fanout / len(keys))
+        )
+        routes = np.clip(
+            model.predict_batch(keys).astype(np.int64), 0, self.fanout - 1
+        )
+        # Routing must be monotone for contiguous children; LR on sorted
+        # targets is monotone, but guard against flat models.
+        routes = np.maximum.accumulate(routes)
+        if routes[0] == routes[-1]:
+            # The model cannot separate these keys (degenerate cluster):
+            # force a leaf rather than recurse forever.
+            self.num_leaves += 1
+            return GappedLeaf(keys, payloads, density=self.density)
+        children = []
+        for child in range(self.fanout):
+            mask = routes == child
+            if not mask.any():
+                # Empty child: tiny leaf holding nothing is replaced by
+                # the nearest non-empty sibling at route time; represent
+                # as a shared empty marker via a 0-key leaf sentinel.
+                children.append(None)
+                continue
+            children.append(self._bulk_load(keys[mask], payloads[mask], level + 1))
+        # Replace empty children by their left (or right) neighbour so
+        # routing never dead-ends.
+        last = None
+        for i, c in enumerate(children):
+            if c is None:
+                children[i] = last
+            else:
+                last = children[i]
+        first = next(c for c in children if c is not None)
+        children = [first if c is None else c for c in children]
+        self.num_inner += 1
+        return _InnerNode(model=model, children=children)
+
+    def _collect_leaves(self, node: Any) -> list[GappedLeaf]:
+        if isinstance(node, GappedLeaf):
+            return [node]
+        leaves = []
+        seen = set()
+        for child in node.children:
+            if id(child) in seen:
+                continue
+            seen.add(id(child))
+            leaves.extend(self._collect_leaves(child))
+        return leaves
+
+    def _find_leaf(self, key: int) -> tuple[GappedLeaf, int, int]:
+        """Descend to the leaf for ``key``; returns (leaf, index, steps)."""
+        node = self.root
+        steps = 0
+        while isinstance(node, _InnerNode):
+            node = node.children[node.route(key)]
+            steps += 1
+        return node, self._leaf_rank[id(node)], steps
+
+    def search_bounds(self, key: int) -> SearchBounds:
+        key = int(key)
+        leaf, leaf_idx, steps = self._find_leaf(key)
+        stored_key, payload, search_steps = leaf.lower_bound_entry(key)
+        steps += search_steps
+        while stored_key < 0 and leaf_idx + 1 < len(self._leaves_chain):
+            # Every key in this leaf is smaller; move to the next leaf.
+            leaf_idx += 1
+            leaf = self._leaves_chain[leaf_idx]
+            stored_key, payload, s = leaf.lower_bound_entry(key)
+            steps += s
+        if stored_key < 0:
+            # Every sampled key is smaller: the answer lies in the tail
+            # gap after the last sampled key.
+            lo = self._last_pos
+            return SearchBounds(lo=lo, hi=self.n - 1, hint=self.n - 1,
+                                evaluation_steps=steps)
+        hi = payload
+        lo = max(hi - (self.sparsity - 1), 0)
+        return SearchBounds(lo=lo, hi=hi, hint=hi, evaluation_steps=steps)
+
+    def insert_key(self, key: int, payload: int = -1) -> None:
+        """Insert a new key (payloads default to -1 = "not in the data
+        array"); full leaves expand and retrain, as in ALEX."""
+        key = int(key)
+        idx = int(
+            np.searchsorted(self._leaf_min_keys, np.uint64(key), side="right")
+        ) - 1
+        if idx < 0:
+            idx = 0
+            self._leaf_min_keys[0] = key  # new global minimum
+        leaf = self._leaves_chain[idx]
+        if not leaf.insert(key, int(payload)):
+            leaf.expand()
+            inserted = leaf.insert(key, int(payload))
+            assert inserted, "expanded leaf must accept the insert"
+
+    def size_in_bytes(self) -> int:
+        inner = self._inner_bytes(self.root)
+        leaves = sum(l.size_in_bytes() for l in self._leaves_chain)
+        return inner + leaves
+
+    def _inner_bytes(self, node: Any) -> int:
+        if isinstance(node, GappedLeaf):
+            return 0
+        total = node.size_in_bytes()
+        seen = set()
+        for child in node.children:
+            if id(child) in seen:
+                continue
+            seen.add(id(child))
+            total += self._inner_bytes(child)
+        return total
+
+    def stats(self) -> dict[str, Any]:
+        base = super().stats()
+        base.update(
+            height=self.height,
+            inner_nodes=self.num_inner,
+            leaves=self.num_leaves,
+            sparsity=self.sparsity,
+        )
+        return base

@@ -1,0 +1,318 @@
+"""Adaptive Radix Tree (Leis et al., ICDE 2013 [21]).
+
+A trie over the 8 big-endian bytes of each 64-bit key with the four
+adaptive node types of the original paper (Node4, Node16, Node48,
+Node256) and pessimistic path compression (compressed prefixes stored
+in the inner node).  The paper uses SOSD's ART variant with lower-bound
+support and varies its size via sparsity, like the B-tree
+(Section 4.5).
+
+Bulk loading exploits that the input is sorted: children at each depth
+are found by grouping on the discriminating byte column, giving O(n)
+construction without any insert machinery (this index, like the paper's
+evaluation, is read-only).
+
+Duplicate keys are rejected with
+:class:`~repro.baselines.interfaces.UnsupportedDataError` -- a trie
+keyed by value cannot distinguish duplicates, which is how we reproduce
+"Hist-Tree and ART did not work on wiki" (Section 8.1).
+
+Lower-bound queries descend the trie; when the query byte diverges the
+search either takes the *minimum leaf* of the next-larger sibling or
+backtracks one level up, exactly like SOSD's implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from .interfaces import OrderedIndex, SearchBounds, UnsupportedDataError
+
+__all__ = ["ARTIndex"]
+
+# Size accounting (bytes) per node kind, following the ART paper's
+# layouts: 16-byte header (prefix data + counts) plus key and pointer
+# arrays of the respective capacities.
+_LEAF_BYTES = 16  # full key + value
+_NODE4_BYTES = 16 + 4 + 4 * 8
+_NODE16_BYTES = 16 + 16 + 16 * 8
+_NODE48_BYTES = 16 + 256 + 48 * 8
+_NODE256_BYTES = 16 + 256 * 8
+
+
+@dataclass
+class _Leaf:
+    key: int
+    value: int
+
+
+@dataclass
+class _Inner:
+    """Inner node; ``kind`` in {4, 16, 48, 256} for size accounting.
+
+    ``child_bytes`` holds the discriminating byte of each child in
+    ascending order, so ordered iteration (needed by lower-bound) is a
+    scan of this array regardless of the physical node layout being
+    modeled.
+    """
+
+    prefix: bytes  # compressed path (bytes between parent and this node)
+    child_bytes: np.ndarray
+    children: list[Any] = field(default_factory=list)
+    kind: int = 4
+
+
+def _node_kind(fanout: int) -> int:
+    if fanout <= 4:
+        return 4
+    if fanout <= 16:
+        return 16
+    if fanout <= 48:
+        return 48
+    return 256
+
+
+class ARTIndex(OrderedIndex):
+    """ART baseline of Table 5, built on every ``sparsity``-th key."""
+
+    name = "art"
+
+    def __init__(self, keys: np.ndarray, sparsity: int = 1):
+        super().__init__(keys)
+        if sparsity < 1:
+            raise ValueError("sparsity must be >= 1")
+        if len(keys) > 1 and bool(np.any(keys[1:] == keys[:-1])):
+            raise UnsupportedDataError(
+                "ART cannot represent duplicate keys; dataset has duplicates"
+            )
+        self.sparsity = sparsity
+        self._positions = np.arange(0, self.n, sparsity, dtype=np.int64)
+        sampled = self.keys[self._positions]
+        # Big-endian byte matrix: column d is the d-th most significant
+        # byte, so lexicographic byte order equals numeric order.
+        self._bytes = (
+            np.frombuffer(sampled.astype(">u8").tobytes(), dtype=np.uint8)
+            .reshape(len(sampled), 8)
+        )
+        self._node_counts = {4: 0, 16: 0, 48: 0, 256: 0}
+        self.num_leaves = len(sampled)
+        self.height = 0
+        self.root = self._build(0, len(sampled), 0, 1)
+
+    # ------------------------------------------------------------------
+    # Bulk loading
+    # ------------------------------------------------------------------
+
+    def _build(self, start: int, end: int, depth: int, level: int) -> Any:
+        self.height = max(self.height, level)
+        if end - start == 1:
+            rank = start
+            return _Leaf(
+                key=int(self.keys[self._positions[rank]]),
+                value=int(self._positions[rank]),
+            )
+        # Path compression: consume byte columns on which all keys in
+        # [start, end) agree (sorted input: compare first vs last row).
+        prefix_start = depth
+        while depth < 8 and self._bytes[start, depth] == self._bytes[end - 1, depth]:
+            depth += 1
+        if depth >= 8:  # pragma: no cover - duplicates are rejected above
+            raise UnsupportedDataError("duplicate key reached trie bottom")
+        prefix = bytes(self._bytes[start, prefix_start:depth])
+        column = self._bytes[start:end, depth]
+        child_bytes, first_idx = np.unique(column, return_index=True)
+        boundaries = np.concatenate((first_idx, [end - start])) + start
+        children = [
+            self._build(int(boundaries[i]), int(boundaries[i + 1]), depth + 1,
+                        level + 1)
+            for i in range(len(child_bytes))
+        ]
+        kind = _node_kind(len(child_bytes))
+        self._node_counts[kind] += 1
+        return _Inner(
+            prefix=prefix,
+            child_bytes=child_bytes.astype(np.int16),
+            children=children,
+            kind=kind,
+        )
+
+    # ------------------------------------------------------------------
+    # Lower-bound search
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _minimum(node: Any) -> _Leaf:
+        """Leftmost leaf beneath ``node``."""
+        while isinstance(node, _Inner):
+            node = node.children[0]
+        return node
+
+    def _lower_bound_leaf(self, node: Any, key_bytes: bytes, depth: int,
+                          steps: list[int]) -> _Leaf | None:
+        """Smallest leaf with key >= query beneath ``node``, or None."""
+        steps[0] += 1
+        if isinstance(node, _Leaf):
+            return node if node.key >= self._query_value else None
+        # Compare the compressed prefix against the query bytes.
+        p = node.prefix
+        if p:
+            segment = key_bytes[depth : depth + len(p)]
+            if p > segment:
+                return self._minimum(node)
+            if p < segment:
+                return None
+            depth += len(p)
+        b = key_bytes[depth]
+        idx = int(np.searchsorted(node.child_bytes, b, side="left"))
+        if idx < len(node.child_bytes) and int(node.child_bytes[idx]) == b:
+            found = self._lower_bound_leaf(
+                node.children[idx], key_bytes, depth + 1, steps
+            )
+            if found is not None:
+                return found
+            idx += 1
+        if idx < len(node.children):
+            return self._minimum(node.children[idx])
+        return None
+
+    def search_bounds(self, key: int) -> SearchBounds:
+        key = int(key)
+        self._query_value = key
+        key_bytes = key.to_bytes(8, "big")
+        steps = [0]
+        leaf = self._lower_bound_leaf(self.root, key_bytes, 0, steps)
+        if leaf is None:
+            # Every indexed key is smaller; with sparsity the answer may
+            # still be in the tail gap after the last sampled key.
+            lo = int(self._positions[-1])
+            return SearchBounds(
+                lo=lo, hi=self.n - 1, hint=lo, evaluation_steps=steps[0]
+            )
+        pos = leaf.value
+        # The found leaf is the first *sampled* key >= query; the true
+        # lower bound lies in the gap since the previous sampled key.
+        lo = max(pos - (self.sparsity - 1), 0)
+        return SearchBounds(lo=lo, hi=pos, hint=pos, evaluation_steps=steps[0])
+
+    # ------------------------------------------------------------------
+    # Inserts (the adaptive part of the Adaptive Radix Tree)
+    # ------------------------------------------------------------------
+
+    def insert(self, key: int, value: int = -1) -> None:
+        """Insert ``key`` with ``value`` (upsert for present keys).
+
+        Implements the original paper's insert paths: leaf split with a
+        new Node4, path-compression split on prefix mismatch, and
+        adaptive node growth 4 -> 16 -> 48 -> 256 when a node's child
+        table fills its current capacity class.
+
+        Note: inserted keys extend the *trie*; the positional
+        :meth:`search_bounds` contract remains tied to the original
+        array, so inserts are for set-membership / successor use via
+        :meth:`lower_bound_key` (mirrors the dynamic-PGM API).
+        """
+        key = int(key)
+        key_bytes = key.to_bytes(8, "big")
+        self.root = self._insert(self.root, key_bytes, key, int(value), 0)
+
+    def _insert(self, node: Any, kb: bytes, key: int, value: int,
+                depth: int) -> Any:
+        if isinstance(node, _Leaf):
+            if node.key == key:
+                node.value = value  # upsert
+                return node
+            ex = node.key.to_bytes(8, "big")
+            p = depth
+            while ex[p] == kb[p]:
+                p += 1
+            new_leaf = _Leaf(key=key, value=value)
+            self.num_leaves += 1
+            pair = sorted(((kb[p], new_leaf), (ex[p], node)))
+            self._node_counts[4] += 1
+            return _Inner(
+                prefix=kb[depth:p],
+                child_bytes=np.asarray([pair[0][0], pair[1][0]],
+                                       dtype=np.int16),
+                children=[pair[0][1], pair[1][1]],
+                kind=4,
+            )
+        # Inner node: check the compressed prefix byte by byte.
+        prefix = node.prefix
+        limit = min(len(prefix), len(kb) - depth)
+        i = 0
+        while i < limit and prefix[i] == kb[depth + i]:
+            i += 1
+        if i < len(prefix):
+            # Prefix mismatch: split the compressed path.
+            new_leaf = _Leaf(key=key, value=value)
+            self.num_leaves += 1
+            old_branch = _Inner(
+                prefix=prefix[i + 1 :],
+                child_bytes=node.child_bytes,
+                children=node.children,
+                kind=node.kind,
+            )
+            pair = sorted(((kb[depth + i], new_leaf),
+                           (prefix[i], old_branch)))
+            self._node_counts[4] += 1
+            return _Inner(
+                prefix=prefix[:i],
+                child_bytes=np.asarray([pair[0][0], pair[1][0]],
+                                       dtype=np.int16),
+                children=[pair[0][1], pair[1][1]],
+                kind=4,
+            )
+        depth += len(prefix)
+        b = kb[depth]
+        idx = int(np.searchsorted(node.child_bytes, b, side="left"))
+        if idx < len(node.child_bytes) and int(node.child_bytes[idx]) == b:
+            node.children[idx] = self._insert(
+                node.children[idx], kb, key, value, depth + 1
+            )
+            return node
+        # New child byte: insert in order, growing the node kind when
+        # its capacity class is exceeded.
+        node.child_bytes = np.insert(node.child_bytes, idx, b)
+        node.children.insert(idx, _Leaf(key=key, value=value))
+        self.num_leaves += 1
+        new_kind = _node_kind(len(node.children))
+        if new_kind != node.kind:
+            self._node_counts[node.kind] -= 1
+            self._node_counts[new_kind] += 1
+            node.kind = new_kind
+        return node
+
+    def lower_bound_key(self, key: int) -> tuple[int, int] | None:
+        """Smallest stored key >= ``key`` with its value, or None.
+
+        Successor search over the *trie contents* (including inserted
+        keys), independent of the positional array contract.
+        """
+        self._query_value = int(key)
+        key_bytes = int(key).to_bytes(8, "big")
+        steps = [0]
+        leaf = self._lower_bound_leaf(self.root, key_bytes, 0, steps)
+        if leaf is None:
+            return None
+        return leaf.key, leaf.value
+
+    def size_in_bytes(self) -> int:
+        inner = sum(
+            {4: _NODE4_BYTES, 16: _NODE16_BYTES, 48: _NODE48_BYTES,
+             256: _NODE256_BYTES}[kind] * count
+            for kind, count in self._node_counts.items()
+        )
+        return inner + self.num_leaves * _LEAF_BYTES
+
+    def stats(self) -> dict[str, Any]:
+        base = super().stats()
+        base.update(
+            height=self.height,
+            leaves=self.num_leaves,
+            node_counts=dict(self._node_counts),
+            sparsity=self.sparsity,
+        )
+        return base

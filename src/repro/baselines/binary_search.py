@@ -1,0 +1,36 @@
+"""Binary search over the sorted array -- the index-free baseline.
+
+The paper's weakest baseline (Table 5): ``std::lower_bound`` over the
+sorted array with no auxiliary structure at all.  Every index must beat
+this to justify its memory; notably, *no* RMI configuration manages to
+on the fb dataset (Section 6.1), and B-trees barely do (Section 8.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.search import binary_search
+from .interfaces import OrderedIndex, SearchBounds
+
+__all__ = ["BinarySearchIndex"]
+
+
+class BinarySearchIndex(OrderedIndex):
+    """No-op index: the search interval is always the whole array."""
+
+    name = "binary-search"
+
+    def search_bounds(self, key: int) -> SearchBounds:
+        return SearchBounds(lo=0, hi=self.n - 1, hint=0, evaluation_steps=0)
+
+    def lower_bound(self, key: int) -> int:
+        return binary_search(self.keys, int(key), 0, self.n - 1).position
+
+    def lower_bound_batch(self, queries: np.ndarray) -> np.ndarray:
+        return np.searchsorted(
+            self.keys, np.asarray(queries, dtype=np.uint64), side="left"
+        ).astype(np.int64)
+
+    def size_in_bytes(self) -> int:
+        return 0

@@ -1,0 +1,244 @@
+"""Dynamic PGM-index (Ferragina & Vinciguerra [14], Section 3.1).
+
+The paper's Table 1 lists PGM-index as supporting updates; the static
+variant used in the comparison (Section 4.5) does not.  This module
+supplies the *dynamic* variant the PGM paper describes: the classic
+logarithmic method (LSM-style) over static PGM runs.
+
+Structure: a small unsorted insert buffer plus a sequence of *runs*,
+each a sorted key array indexed by a static :class:`~repro.baselines.pgm.PGMIndex`.
+Run ``i`` holds up to ``base_size * 2**i`` entries; newer entries live
+in lower runs.  Deletions insert tombstones that shadow older inserts
+and are purged when a merge reaches the oldest run.
+
+Operations:
+
+* ``insert(key)`` / ``delete(key)`` -- amortized O(log n) work through
+  cascaded merges, exactly the dynamic-PGM recipe.
+* ``lower_bound(key)`` -- smallest *live* key >= the query, resolved
+  across runs with newest-wins semantics; each run is probed through
+  its PGM (so lookups exercise the learned structure, not plain binary
+  search).
+* ``contains(key)`` -- membership with the same semantics.
+
+This is a set-of-keys index (like the rest of the repository); payloads
+would ride along the key arrays unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from .pgm import PGMIndex
+
+__all__ = ["DynamicPGMIndex"]
+
+_INSERT = np.int8(1)
+_TOMBSTONE = np.int8(0)
+
+
+@dataclass
+class _Run:
+    """One sorted run: keys, operation flags, and a PGM over the keys."""
+
+    keys: np.ndarray  # sorted uint64, unique within the run
+    ops: np.ndarray  # int8: 1 = insert, 0 = tombstone
+    pgm: PGMIndex | None  # None for single-key runs (PGM needs >= 1 key)
+
+    @classmethod
+    def build(cls, keys: np.ndarray, ops: np.ndarray, eps: int) -> "_Run":
+        pgm = PGMIndex(keys, eps=eps) if len(keys) else None
+        return cls(keys=keys, ops=ops, pgm=pgm)
+
+    def lower_bound_pos(self, key: int) -> int:
+        """Position of the smallest run key >= ``key`` (via the PGM)."""
+        if self.pgm is None:
+            return 0
+        return self.pgm.lower_bound(key)
+
+    def status_of(self, key: int) -> np.int8 | None:
+        """Op flag of ``key`` in this run, or None when absent."""
+        pos = self.lower_bound_pos(key)
+        if pos < len(self.keys) and int(self.keys[pos]) == key:
+            return self.ops[pos]
+        return None
+
+
+class DynamicPGMIndex:
+    """Updatable PGM-index via the logarithmic method."""
+
+    def __init__(self, keys: Iterable[int] = (), eps: int = 32,
+                 base_size: int = 128):
+        if eps < 1:
+            raise ValueError("eps must be >= 1")
+        if base_size < 2:
+            raise ValueError("base_size must be >= 2")
+        self.eps = eps
+        self.base_size = base_size
+        self._buffer_keys: list[int] = []
+        self._buffer_ops: list[np.int8] = []
+        #: Runs ordered newest (index 0) to oldest.
+        self._runs: list[_Run] = []
+        initial = np.unique(np.asarray(list(keys), dtype=np.uint64))
+        if len(initial):
+            self._runs.append(
+                _Run.build(initial, np.full(len(initial), _INSERT), eps)
+            )
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def insert(self, key: int) -> None:
+        """Insert ``key`` (idempotent for present keys)."""
+        self._push(int(key), _INSERT)
+
+    def delete(self, key: int) -> None:
+        """Delete ``key`` (a no-op if absent, via tombstone shadowing)."""
+        self._push(int(key), _TOMBSTONE)
+
+    def _push(self, key: int, op: np.int8) -> None:
+        # Same-key updates within the buffer: newest wins immediately.
+        try:
+            pos = self._buffer_keys.index(key)
+            self._buffer_ops[pos] = op
+        except ValueError:
+            self._buffer_keys.append(key)
+            self._buffer_ops.append(op)
+        if len(self._buffer_keys) >= self.base_size:
+            self._flush_buffer()
+
+    def _flush_buffer(self) -> None:
+        order = np.argsort(np.asarray(self._buffer_keys, dtype=np.uint64),
+                           kind="stable")
+        keys = np.asarray(self._buffer_keys, dtype=np.uint64)[order]
+        ops = np.asarray(self._buffer_ops, dtype=np.int8)[order]
+        self._buffer_keys.clear()
+        self._buffer_ops.clear()
+        self._merge_in(keys, ops)
+
+    def _merge_in(self, keys: np.ndarray, ops: np.ndarray) -> None:
+        """Cascade the new run through levels of doubling capacity.
+
+        Level ``i`` holds at most ``base_size * 2**i`` entries.  The
+        carried run merges with each occupied level on its way up until
+        it fits an empty one; when no older data remains below, its
+        tombstones are purged (nothing left to shadow).
+        """
+        empty = lambda: _Run.build(  # noqa: E731 - tiny local factory
+            np.array([], dtype=np.uint64), np.array([], dtype=np.int8),
+            self.eps,
+        )
+        level = 0
+        while True:
+            capacity = self.base_size * (2**level)
+            if level >= len(self._runs):
+                self._runs.append(empty())
+            run = self._runs[level]
+            if len(run.keys):
+                # Merge: the carried run is newer than this level.
+                keys, ops = self._merge_runs(keys, ops, run.keys, run.ops)
+                self._runs[level] = empty()
+            if all(len(r.keys) == 0 for r in self._runs[level + 1 :]):
+                live = ops == _INSERT
+                keys, ops = keys[live], ops[live]
+            if len(keys) <= capacity:
+                self._runs[level] = _Run.build(keys, ops, self.eps)
+                return
+            level += 1
+
+    @staticmethod
+    def _merge_runs(
+        new_keys: np.ndarray, new_ops: np.ndarray,
+        old_keys: np.ndarray, old_ops: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Merge two sorted runs; on duplicate keys the new run wins."""
+        keys = np.concatenate([new_keys, old_keys])
+        ops = np.concatenate([new_ops, old_ops])
+        # Stable sort keeps new-run entries first among equal keys.
+        order = np.argsort(keys, kind="stable")
+        keys, ops = keys[order], ops[order]
+        first = np.ones(len(keys), dtype=bool)
+        first[1:] = keys[1:] != keys[:-1]
+        return keys[first], ops[first]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def _status(self, key: int) -> np.int8 | None:
+        """Newest op recorded for ``key`` anywhere, or None."""
+        try:
+            pos = self._buffer_keys.index(key)
+            return self._buffer_ops[pos]
+        except ValueError:
+            pass
+        for run in self._runs:  # newest first
+            status = run.status_of(key)
+            if status is not None:
+                return status
+        return None
+
+    def contains(self, key: int) -> bool:
+        """Whether ``key`` is currently live in the set."""
+        return self._status(int(key)) == _INSERT
+
+    def lower_bound(self, key: int) -> int | None:
+        """Smallest live key >= ``key``, or None when none exists."""
+        key = int(key)
+        candidates: list[int] = [
+            k for k in self._buffer_keys if k >= key
+        ]
+        cursors = []
+        for run in self._runs:
+            pos = run.lower_bound_pos(key)
+            if pos < len(run.keys):
+                cursors.append([run, pos])
+        while True:
+            heads = [int(run.keys[pos]) for run, pos in cursors]
+            pool = heads + [k for k in candidates]
+            if not pool:
+                return None
+            smallest = min(pool)
+            if self._status(smallest) == _INSERT:
+                return smallest
+            # Dead key: advance every cursor past it and drop it from
+            # the buffer candidates.
+            candidates = [k for k in candidates if k != smallest]
+            next_cursors = []
+            for run, pos in cursors:
+                while pos < len(run.keys) and int(run.keys[pos]) <= smallest:
+                    pos += 1
+                if pos < len(run.keys):
+                    next_cursors.append([run, pos])
+            cursors = next_cursors
+
+    def __len__(self) -> int:
+        """Number of live keys (O(n): walks all runs)."""
+        live: dict[int, bool] = {}
+        for run in reversed(self._runs):  # oldest first; newer overwrite
+            for k, op in zip(run.keys.tolist(), run.ops.tolist()):
+                live[k] = op == 1
+        for k, op in zip(self._buffer_keys, self._buffer_ops):
+            live[k] = op == _INSERT
+        return sum(live.values())
+
+    def size_in_bytes(self) -> int:
+        """PGM structures plus 9 bytes per stored run entry."""
+        total = len(self._buffer_keys) * 9
+        for run in self._runs:
+            total += len(run.keys) * 9
+            if run.pgm is not None:
+                total += run.pgm.size_in_bytes()
+        return total
+
+    def stats(self) -> dict:
+        return {
+            "name": "dynamic-pgm",
+            "runs": [len(r.keys) for r in self._runs],
+            "buffer": len(self._buffer_keys),
+            "bytes": self.size_in_bytes(),
+        }

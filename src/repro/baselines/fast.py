@@ -1,0 +1,168 @@
+"""FAST: architecture-sensitive tree search (Kim et al., SIGMOD 2010 [17]).
+
+Not part of the paper's Table 5, but one of the baselines SOSD [18]
+measured RMIs against ("RMI and RadixSpline were able to outperform
+traditional indexes including ART, FAST, and B-trees", Section 3.2), so
+we provide it as an extension baseline.
+
+FAST stores a complete binary search tree in an implicit breadth-first
+(Eytzinger) layout, blocked for SIMD lanes, cache lines, and pages;
+traversal is pure arithmetic on array indexes with no pointers.  We
+implement the layout and the pointer-free traversal; the blocking shows
+up in the evaluation-step accounting (one dependent access per
+cache-line block of levels rather than per level), which is what the
+analytic cost model consumes.
+
+Like the paper treats B-tree/ART, index size is varied via *sparsity*.
+Duplicate keys are fine (the tree stores sampled keys; equal keys
+simply compare equal).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from .interfaces import OrderedIndex, SearchBounds
+
+__all__ = ["FASTIndex"]
+
+#: Levels per cache-line block: a 64-byte line holds 8 keys = 3 levels
+#: of a binary tree (1 + 2 + 4 nodes), the blocking unit of FAST.
+LEVELS_PER_LINE = 3
+
+_SENTINEL = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+class FASTIndex(OrderedIndex):
+    """Implicit breadth-first binary search tree over sampled keys."""
+
+    name = "fast"
+
+    def __init__(self, keys: np.ndarray, sparsity: int = 1):
+        super().__init__(keys)
+        if sparsity < 1:
+            raise ValueError("sparsity must be >= 1")
+        self.sparsity = sparsity
+        positions = np.arange(0, self.n, sparsity, dtype=np.int64)
+        sampled = self.keys[positions]
+
+        # Pad to a complete tree with +inf sentinels so the implicit
+        # index arithmetic never needs bounds checks on real hardware.
+        self.num_sampled = len(sampled)
+        self.height = max(int(np.ceil(np.log2(self.num_sampled + 1))), 1)
+        size = (1 << self.height) - 1
+        padded_keys = np.full(size, _SENTINEL, dtype=np.uint64)
+        padded_vals = np.full(size, -1, dtype=np.int64)
+        order = self._eytzinger_order(size)
+        # In-order positions 0..size-1 map to sorted entries; sampled
+        # entries occupy the first num_sampled in-order slots.
+        in_order = np.argsort(order, kind="stable")
+        take = in_order[:self.num_sampled]
+        padded_keys[take] = sampled
+        padded_vals[take] = positions
+        self._tree_keys = padded_keys
+        self._tree_vals = padded_vals
+        self._positions = positions
+
+    @staticmethod
+    def _eytzinger_order(size: int) -> np.ndarray:
+        """In-order rank of every breadth-first slot.
+
+        ``order[bfs_index] = in_order_rank``; computed iteratively so
+        building stays O(size).
+        """
+        order = np.empty(size, dtype=np.int64)
+        rank = 0
+        # Iterative in-order traversal of the implicit tree.
+        stack: list[tuple[int, bool]] = [(0, False)]
+        while stack:
+            node, visited = stack.pop()
+            if node >= size:
+                continue
+            if visited:
+                order[node] = rank
+                rank += 1
+                stack.append((2 * node + 2, False))
+            else:
+                stack.append((node, True))
+                stack.append((2 * node + 1, False))
+        return order
+
+    def search_bounds(self, key: int) -> SearchBounds:
+        key = np.uint64(key)
+        size = len(self._tree_keys)
+        i = 0
+        best = -1  # BFS slot of the smallest sampled key >= query
+        depth = 0
+        while i < size:
+            depth += 1
+            if self._tree_keys[i] >= key:
+                best = i
+                i = 2 * i + 1
+            else:
+                i = 2 * i + 2
+        # One dependent access per cache-line block of levels (FAST's
+        # SIMD/cache blocking), at least one.
+        steps = max((depth + LEVELS_PER_LINE - 1) // LEVELS_PER_LINE, 1)
+        if best < 0 or self._tree_keys[best] == _SENTINEL and \
+                self._tree_vals[best] < 0:
+            # Every sampled key is smaller: tail gap.
+            lo = int(self._positions[-1])
+            return SearchBounds(lo=lo, hi=self.n - 1, hint=lo,
+                                evaluation_steps=steps)
+        pos = int(self._tree_vals[best])
+        lo = max(pos - (self.sparsity - 1), 0)
+        return SearchBounds(lo=lo, hi=pos, hint=pos, evaluation_steps=steps)
+
+    def lower_bound_batch(self, queries: np.ndarray) -> np.ndarray:
+        """Vectorized traversal: all queries descend in lock-step."""
+        q = np.asarray(queries, dtype=np.uint64)
+        size = len(self._tree_keys)
+        idx = np.zeros(len(q), dtype=np.int64)
+        best = np.full(len(q), -1, dtype=np.int64)
+        active = np.ones(len(q), dtype=bool)
+        while active.any():
+            node_keys = self._tree_keys[np.clip(idx, 0, size - 1)]
+            ge = active & (node_keys >= q)
+            best = np.where(ge, idx, best)
+            idx = np.where(ge, 2 * idx + 1, 2 * idx + 2)
+            active = active & (idx < size)
+        found = best >= 0
+        valid = found & (self._tree_vals[np.clip(best, 0, size - 1)] >= 0)
+        pos = np.where(valid, self._tree_vals[np.clip(best, 0, size - 1)], 0)
+        out = np.empty(len(q), dtype=np.int64)
+        # Misses (query above all sampled keys): search the tail gap.
+        tail = ~valid
+        if tail.any():
+            lo = int(self._positions[-1])
+            out[tail] = lo + np.searchsorted(
+                self.keys[lo:], q[tail], side="left"
+            )
+        if valid.any():
+            hi = pos[valid]
+            lo = np.maximum(hi - (self.sparsity - 1), 0)
+            from ..core.search import batch_binary_search
+
+            res = batch_binary_search(self.keys, q[valid], lo, hi)
+            # Repair duplicate runs crossing the gap edge.
+            bad = (res == lo) & (lo > 0) & (
+                self.keys[np.maximum(lo - 1, 0)] >= q[valid]
+            )
+            if bad.any():
+                fixed = np.searchsorted(self.keys, q[valid][bad], side="left")
+                res[bad] = fixed
+            out[valid] = res
+        return out
+
+    def size_in_bytes(self) -> int:
+        """16 bytes per (padded) tree slot, like the original's layout."""
+        return len(self._tree_keys) * 16
+
+    def stats(self) -> dict[str, Any]:
+        base = super().stats()
+        base.update(height=self.height, sampled=self.num_sampled,
+                    padded_slots=len(self._tree_keys),
+                    sparsity=self.sparsity)
+        return base

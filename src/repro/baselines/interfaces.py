@@ -1,0 +1,140 @@
+"""Common interface of all evaluated indexes (Table 5 of the paper).
+
+Every index -- learned or traditional -- answers *lower-bound queries*
+over a sorted in-memory array (Section 4.4): given a key, return the
+position of the smallest element greater than or equal to it.
+
+Two-phase contract, matching the paper's Figure 13 decomposition of a
+lookup into *evaluation* (model evaluation or tree traversal) and
+*search* (error correction / scanning a data page):
+
+* :meth:`OrderedIndex.search_bounds` performs the evaluation phase and
+  returns a :class:`SearchBounds`: the interval of the sorted array the
+  key must be in, plus a position hint where available.
+* :meth:`OrderedIndex.lower_bound` completes the lookup with binary
+  search inside those bounds (the paper: "During a lookup, each index
+  yields a search range ... We use binary search to find keys in that
+  search range", Section 8.1).
+
+Implementations additionally report their memory footprint
+(:meth:`size_in_bytes`) excluding the data array itself, and structural
+statistics for reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..core.search import binary_search
+
+__all__ = ["SearchBounds", "OrderedIndex", "UnsupportedDataError"]
+
+
+class UnsupportedDataError(ValueError):
+    """Raised when an index cannot represent a dataset.
+
+    Mirrors the paper's observation that "both Hist-Tree and ART did
+    not work on wiki" (Section 8.1): tries keyed by value cannot hold
+    duplicate keys while answering positional lower-bound queries.
+    """
+
+
+@dataclass(frozen=True)
+class SearchBounds:
+    """Result of an index's evaluation phase.
+
+    ``lo``/``hi`` delimit the inclusive candidate interval in the
+    sorted array; ``hint`` is the index's position estimate inside the
+    interval (equal to ``lo`` when the index has no notion of an
+    estimate).  ``evaluation_steps`` counts the structural steps taken
+    (model evaluations or nodes visited), feeding Figure 13.
+    """
+
+    lo: int
+    hi: int
+    hint: int
+    evaluation_steps: int = 1
+
+    @property
+    def width(self) -> int:
+        return max(self.hi - self.lo + 1, 0)
+
+
+class OrderedIndex:
+    """Abstract base class of all baseline indexes."""
+
+    #: Short name used in figures/tables, e.g. ``"b-tree"``.
+    name: str = "?"
+
+    def __init__(self, keys: np.ndarray) -> None:
+        keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        if len(keys) == 0:
+            raise ValueError(f"cannot build {type(self).__name__} on no keys")
+        if np.any(keys[1:] < keys[:-1]):
+            raise ValueError("keys must be sorted in non-decreasing order")
+        self.keys = keys
+        self.n = len(keys)
+
+    # -- evaluation phase ------------------------------------------------
+
+    def search_bounds(self, key: int) -> SearchBounds:
+        """Narrow the candidate interval for ``key`` (evaluation phase)."""
+        raise NotImplementedError
+
+    # -- full lookup -----------------------------------------------------
+
+    def lower_bound(self, key: int) -> int:
+        """Position of the smallest indexed key ``>= key``.
+
+        Completes :meth:`search_bounds` with binary search, then repairs
+        the rare interval-escape cases (absent keys, duplicate runs) so
+        the result always equals ``np.searchsorted(keys, key, "left")``.
+        """
+        b = self.search_bounds(int(key))
+        lo = max(b.lo, 0)
+        hi = min(b.hi, self.n - 1)
+        result = binary_search(self.keys, key, lo, hi)
+        pos = result.position
+        if pos == lo and lo > 0 and self.keys[lo - 1] >= key:
+            pos = binary_search(self.keys, key, 0, lo - 1).position
+        elif pos == hi + 1 and hi + 1 < self.n:
+            pos = binary_search(self.keys, key, hi + 1, self.n - 1).position
+        return pos
+
+    def range_query(self, low: int, high: int) -> tuple[int, int]:
+        """Keys in ``[low, high)`` as ``(start position, count)``.
+
+        The database operation indexes exist for: a lower-bound lookup
+        for each boundary, the scan between them coming from the data
+        array itself.
+        """
+        if high < low:
+            raise ValueError("range_query requires low <= high")
+        start = self.lower_bound(low)
+        end = self.lower_bound(high)
+        return start, end - start
+
+    def lower_bound_batch(self, queries: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`lower_bound`; default loops, subclasses
+        override with genuinely vectorized paths where possible."""
+        return np.fromiter(
+            (self.lower_bound(int(q)) for q in np.asarray(queries)),
+            dtype=np.int64,
+            count=len(queries),
+        )
+
+    # -- accounting ------------------------------------------------------
+
+    def size_in_bytes(self) -> int:
+        """Index memory footprint, excluding the sorted data array."""
+        raise NotImplementedError
+
+    def stats(self) -> dict[str, Any]:
+        """Structural statistics (heights, node/segment counts, ...)."""
+        return {"name": self.name, "n": self.n, "bytes": self.size_in_bytes()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} over {self.n} keys, {self.size_in_bytes()} B>"

@@ -1,0 +1,56 @@
+"""Adapter presenting an RMI through the common index interface.
+
+Lets the comparison experiments (Figures 12-14) treat the RMI exactly
+like every baseline: the evaluation phase yields a
+:class:`~repro.baselines.interfaces.SearchBounds` (the error-bound
+interval around the prediction) and the shared binary-search completion
+performs the error correction -- matching the paper's Section 8 setup
+where "we use binary search to find keys in that search range" for all
+indexes.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..core.builder import RMIConfig
+from ..core.rmi import RMI
+from .interfaces import OrderedIndex, SearchBounds
+
+__all__ = ["RMIAsIndex"]
+
+
+class RMIAsIndex(OrderedIndex):
+    """The paper's fixed comparison RMI (LS→LR, LAbs) as an OrderedIndex."""
+
+    name = "rmi"
+
+    def __init__(self, keys: np.ndarray, layer2_size: int = 1024,
+                 config: RMIConfig | None = None):
+        super().__init__(keys)
+        cfg = (config or RMIConfig()).with_layer2_size(layer2_size)
+        self.config = cfg
+        self.rmi: RMI = cfg.build(self.keys)
+
+    def search_bounds(self, key: int) -> SearchBounds:
+        model_id, pred = self.rmi.predict(int(key))
+        lo, hi = self.rmi.bounds.interval(pred, model_id)
+        return SearchBounds(
+            lo=max(lo, 0),
+            hi=min(hi, self.n - 1),
+            hint=pred,
+            evaluation_steps=len(self.rmi.layer_sizes),
+        )
+
+    def lower_bound_batch(self, queries: np.ndarray) -> np.ndarray:
+        return self.rmi.lookup_batch(np.asarray(queries, dtype=np.uint64))
+
+    def size_in_bytes(self) -> int:
+        return self.rmi.size_in_bytes()
+
+    def stats(self) -> dict[str, Any]:
+        base = super().stats()
+        base.update(config=self.config.describe())
+        return base

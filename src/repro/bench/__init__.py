@@ -1,0 +1,17 @@
+"""Per-figure experiment drivers and the experiment registry."""
+
+from . import figures
+from .registry import EXPERIMENTS, Experiment, experiment_ids, run_experiment
+from .report import FigureResult, format_bytes, format_ns, render_table
+
+__all__ = [
+    "figures",
+    "EXPERIMENTS",
+    "Experiment",
+    "experiment_ids",
+    "run_experiment",
+    "FigureResult",
+    "render_table",
+    "format_bytes",
+    "format_ns",
+]

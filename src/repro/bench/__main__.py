@@ -1,0 +1,86 @@
+"""CLI: reproduce one or all figures of the paper.
+
+Usage::
+
+    python -m repro.bench list
+    python -m repro.bench fig04 [--n 200000] [--seed 7]
+    python -m repro.bench all [--n 50000]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from .registry import EXPERIMENTS, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Reproduce figures of 'A Critical Analysis of "
+        "Recursive Model Indexes' (VLDB 2022)",
+    )
+    parser.add_argument(
+        "figure",
+        help="figure id (e.g. fig04), 'all', or 'list'",
+    )
+    parser.add_argument("--n", type=int, default=None,
+                        help="dataset size (keys per dataset)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="dataset / workload seed")
+    parser.add_argument("--csv", metavar="DIR", default=None,
+                        help="additionally write <figure>.csv files here")
+    parser.add_argument("--json", metavar="DIR", default=None,
+                        help="additionally write <figure>.json files here")
+    parser.add_argument("--svg", metavar="DIR", default=None,
+                        help="additionally render <figure>.svg plots here")
+    args = parser.parse_args(argv)
+
+    if args.figure == "list":
+        for exp in EXPERIMENTS.values():
+            print(f"{exp.figure_id}  {exp.paper_reference:25s} {exp.summary}")
+        return 0
+
+    if args.figure == "claims":
+        from .claims import check_claims, render_outcomes
+
+        outcomes = check_claims(n=args.n or 50_000, seed=args.seed or 42)
+        print(render_outcomes(outcomes))
+        return 1 if any(o.status in ("FAIL", "ERROR") for o in outcomes) else 0
+
+    kwargs = {}
+    if args.n is not None:
+        kwargs["n"] = args.n
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+
+    targets = list(EXPERIMENTS) if args.figure == "all" else [args.figure]
+    for figure_id in targets:
+        t0 = time.perf_counter()
+        result = run_experiment(figure_id, **kwargs)
+        elapsed = time.perf_counter() - t0
+        print(result.render())
+        for directory, suffix, method in (
+            (args.csv, "csv", result.to_csv),
+            (args.json, "json", result.to_json),
+        ):
+            if directory:
+                out_dir = Path(directory)
+                out_dir.mkdir(parents=True, exist_ok=True)
+                method(out_dir / f"{figure_id}.{suffix}")
+        if args.svg:
+            from .svgplot import plot_figure
+
+            out_dir = Path(args.svg)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            if plot_figure(result, out_dir / f"{figure_id}.svg") is None:
+                print(f"(no plot spec for {figure_id}; table only)")
+        print(f"[{figure_id} completed in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

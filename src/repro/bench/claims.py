@@ -1,0 +1,309 @@
+"""Machine-checkable registry of the paper's claims.
+
+Every load-bearing sentence of the paper's evaluation, encoded as a
+predicate over the figure drivers' outputs.  ``check_claims`` runs the
+required experiments once (memoized) and reports pass/fail per claim --
+the reproduction's executable abstract:
+
+    python -m repro.bench claims --n 100000
+
+Claims marked ``scale_sensitive`` involve effects the DESIGN.md scale
+substitution can shift at very small ``n`` (they are verified at the
+default benchmark scale); they are still checked, but a failure below
+``min_n`` is reported as SKIPPED rather than FAILED.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .report import FigureResult, render_table
+
+__all__ = ["Claim", "CLAIMS", "check_claims"]
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One verifiable statement from the paper."""
+
+    claim_id: str
+    section: str
+    statement: str
+    figures: tuple[str, ...]
+    check: Callable[[dict[str, FigureResult]], bool]
+    min_n: int = 0  # below this n, a failure is reported as SKIPPED
+
+
+def _best(result: FigureResult, value: str, **filters) -> float:
+    values = [float(r[value]) for r in result.series(**filters)]
+    if not values:
+        raise KeyError(f"no rows for {filters}")
+    return min(values)
+
+
+def _roots():
+    return ("lr", "ls", "cs", "rx")
+
+
+# --------------------------------------------------------------------------
+# Claim predicates
+# --------------------------------------------------------------------------
+
+
+def _osmc_emptier_than_books(res):
+    r = res["fig04"]
+    segments = max(x["segments"] for x in r.rows)
+    return all(
+        r.series(dataset="osmc", root=root, segments=segments)[0]["empty_pct"]
+        > r.series(dataset="books", root=root, segments=segments)[0]["empty_pct"]
+        for root in _roots()
+    )
+
+
+def _fb_one_segment(res):
+    r = res["fig05"]
+    return all(
+        row["largest_frac"] > 0.9
+        for row in r.rows
+        if row["dataset"] == "fb"
+    )
+
+
+def _leaf_lr_beats_ls(res):
+    r = res["fig06"]
+    for ds in ("books", "osmc", "wiki"):
+        for root in ("ls", "cs"):
+            for seg in {x["segments"] for x in r.rows}:
+                lr = r.series(dataset=ds, combo=f"{root}->lr", segments=seg)
+                ls = r.series(dataset=ds, combo=f"{root}->ls", segments=seg)
+                if lr and ls and lr[0]["median_err"] > ls[0]["median_err"] * 1.05:
+                    return False
+    return True
+
+
+def _smooth_datasets_accurate(res):
+    r = res["fig06"]
+    top = max(x["segments"] for x in r.rows)
+    n = None
+    for row in r.rows:
+        n = max(n or 0, row["segments"] * 8)  # sweep max ~ n/8
+    for ds in ("books", "wiki"):
+        err = r.series(dataset=ds, combo="ls->lr", segments=top)[0][
+            "median_err"
+        ]
+        if err > max(n * 0.001, 4):
+            return False
+    return True
+
+
+def _local_bounds_beat_global(res):
+    r = res["fig07"]
+    for ds in ("books", "wiki"):
+        smallest_seg = min(x["segments"] for x in r.rows)
+        lind = r.series(dataset=ds, combo="ls->lr", bounds="lind",
+                        segments=smallest_seg)[0]
+        gabs = min(
+            r.series(dataset=ds, combo="ls->lr", bounds="gabs"),
+            key=lambda x: abs(x["index_bytes"] - lind["index_bytes"]),
+        )
+        if lind["median_interval"] > gabs["median_interval"] * 1.5:
+            return False
+    return True
+
+
+def _fb_rmi_never_beats_binary(res):
+    r = res["fig08"]
+    base = r.series(dataset="fb", combo="binary-search")[0]["est_ns"]
+    return all(
+        row["est_ns"] >= base * 0.85
+        for row in r.rows
+        if row["dataset"] == "fb" and row["combo"] != "binary-search"
+    )
+
+
+def _books_rmi_beats_binary(res):
+    r = res["fig08"]
+    base = r.series(dataset="books", combo="binary-search")[0]["est_ns"]
+    return all(
+        row["est_ns"] < base
+        for row in r.series(dataset="books", combo="ls->lr")
+    )
+
+
+def _bin_best_on_osmc(res):
+    r = res["fig10"]
+    for seg in {x["segments"] for x in r.rows}:
+        rows = {x["search"]: x["est_ns"]
+                for x in r.series(dataset="osmc", combo="ls->lr",
+                                  segments=seg)}
+        if "bin" in rows and "mexp" in rows and rows["bin"] > rows["mexp"] * 1.2:
+            return False
+    return True
+
+
+def _mexp_wins_eventually_on_books(res):
+    r = res["fig10"]
+    top = max(x["segments"] for x in r.rows)
+    rows = {x["search"]: x["est_ns"]
+            for x in r.series(dataset="books", combo="ls->lr", segments=top)}
+    return rows["mexp"] <= rows["bin"] * 1.1
+
+
+def _bounds_cost_build_time(res):
+    r = res["fig11"]
+    nb = r.series(panel="bounds", variant="nb")[0]["bounds_s"]
+    return all(
+        r.series(panel="bounds", variant=v)[0]["bounds_s"] > nb
+        for v in ("lind", "labs", "gind", "gabs")
+    )
+
+
+def _rmi_best_on_smooth(res):
+    r = res["fig12"]
+    for ds in ("books", "wiki"):
+        rmi = _best(r, "est_ns", dataset=ds, index="rmi")
+        others = [
+            _best(r, "est_ns", dataset=ds, index=i)
+            for i in ("pgm-index", "radix-spline", "alex", "b-tree")
+        ]
+        if rmi > min(others) * 1.05:  # qualitative claim; 5% tolerance
+            return False
+    return True
+
+
+def _pgm_most_robust(res):
+    r = res["fig12"]
+    learned = ("rmi", "pgm-index", "radix-spline", "alex")
+    worst_case = {
+        i: max(_best(r, "est_ns", dataset=ds, index=i)
+               for ds in ("books", "fb", "osmc", "wiki"))
+        for i in learned
+    }
+    return min(worst_case, key=worst_case.get) == "pgm-index"
+
+
+def _tries_reject_wiki(res):
+    r = res["fig12"]
+    wiki = {row["index"] for row in r.series(dataset="wiki")}
+    return "art" not in wiki and "hist-tree" not in wiki
+
+
+def _btree_fastest_build(res):
+    r = res["fig14"]
+    for ds in ("books", "osmc"):
+        btree = _best(r, "build_s", dataset=ds, index="b-tree")
+        for learned in ("rmi", "pgm-index", "radix-spline"):
+            if btree >= _best(r, "build_s", dataset=ds, index=learned):
+                return False
+    return True
+
+
+def _capped_indexes_flat_variance(res):
+    r = res["ext_variance"]
+    return all(
+        row["p99_over_p50"] <= 1.5
+        for row in r.rows
+        if row["index"] in ("pgm-index", "radix-spline")
+    )
+
+
+CLAIMS: tuple[Claim, ...] = (
+    Claim("empty-segments", "§5.1 / Fig 4",
+          "osmc's clustering leaves more segments empty than books, for "
+          "every root model type", ("fig04",), _osmc_emptier_than_books),
+    Claim("fb-one-segment", "§5.1 / Fig 5",
+          "on fb, almost all keys reside in a single segment, regardless "
+          "of segment count and root model", ("fig05",), _fb_one_segment),
+    Claim("leaf-lr-beats-ls", "§5.2 / Fig 6",
+          "LR always achieves lower errors than LS on the second layer",
+          ("fig06",), _leaf_lr_beats_ls),
+    Claim("smooth-accurate", "§5.2 / Fig 6",
+          "books and wiki reach very low median errors at large layer "
+          "sizes", ("fig06",), _smooth_datasets_accurate),
+    Claim("local-bounds-win", "§5.3 / Fig 7",
+          "at similar index size, local bounds lead to smaller error "
+          "intervals than global bounds", ("fig07",), _local_bounds_beat_global),
+    Claim("fb-binary-search", "§6.1 / Fig 8",
+          "none of the RMIs meaningfully beats binary search on fb",
+          ("fig08",), _fb_rmi_never_beats_binary, min_n=20_000),
+    Claim("books-beats-binary", "§6.1 / Fig 8",
+          "every LS→LR configuration beats binary search on books",
+          ("fig08",), _books_rmi_beats_binary),
+    Claim("bin-best-osmc", "§6.3 / Fig 10",
+          "Bin/MBin always achieve the fastest lookups on osmc",
+          ("fig10",), _bin_best_on_osmc),
+    Claim("mexp-overtakes", "§6.3 / Fig 10",
+          "MExp is faster once the prediction error is sufficiently "
+          "small (books, large sizes)", ("fig10",), _mexp_wins_eventually_on_books,
+          min_n=20_000),
+    Claim("bounds-build-cost", "§7 / Fig 11",
+          "computing bounds requires evaluating the RMI on every key; "
+          "NB skips that pass", ("fig11",), _bounds_cost_build_time),
+    Claim("rmi-best-smooth", "§8.1 / Fig 12 / §9.2",
+          "RMI offers the best lookup performance on smooth CDFs "
+          "(books, wiki)", ("fig12",), _rmi_best_on_smooth, min_n=50_000),
+    Claim("pgm-most-robust", "§8.1 / §9.2",
+          "PGM-index is the most robust against data distributions",
+          ("fig12",), _pgm_most_robust, min_n=20_000),
+    Claim("tries-reject-wiki", "§8.1",
+          "Hist-Tree and ART did not work on wiki (duplicates)",
+          ("fig12",), _tries_reject_wiki),
+    Claim("btree-fastest-build", "§8.2 / Fig 14",
+          "B-tree provides the fastest build times; learned indexes "
+          "trained on all keys are slower", ("fig14",), _btree_fastest_build),
+    Claim("capped-variance", "footnote 2",
+          "error-capped indexes have near-constant per-lookup cost",
+          ("ext_variance",), _capped_indexes_flat_variance),
+)
+
+
+@dataclass
+class ClaimOutcome:
+    claim: Claim
+    status: str  # "PASS" | "FAIL" | "SKIP" | "ERROR"
+    detail: str = ""
+
+
+def check_claims(n: int = 50_000, seed: int = 42,
+                 claims: "tuple[Claim, ...] | None" = None
+                 ) -> list[ClaimOutcome]:
+    """Run all claims at scale ``n``; figures are computed once each."""
+    from .registry import run_experiment
+
+    claims = claims or CLAIMS
+    cache: dict[str, FigureResult] = {}
+    outcomes: list[ClaimOutcome] = []
+    for claim in claims:
+        try:
+            for fid in claim.figures:
+                if fid not in cache:
+                    cache[fid] = run_experiment(fid, n=n, seed=seed)
+            passed = claim.check(cache)
+        except Exception as exc:  # pragma: no cover - defensive
+            outcomes.append(ClaimOutcome(claim, "ERROR", repr(exc)))
+            continue
+        if passed:
+            outcomes.append(ClaimOutcome(claim, "PASS"))
+        elif n < claim.min_n:
+            outcomes.append(ClaimOutcome(
+                claim, "SKIP", f"scale-sensitive; needs n >= {claim.min_n}"
+            ))
+        else:
+            outcomes.append(ClaimOutcome(claim, "FAIL"))
+    return outcomes
+
+
+def render_outcomes(outcomes: list[ClaimOutcome]) -> str:
+    rows = [{
+        "status": o.status,
+        "claim": o.claim.claim_id,
+        "paper": o.claim.section,
+        "statement": o.claim.statement[:60]
+        + ("..." if len(o.claim.statement) > 60 else ""),
+    } for o in outcomes]
+    summary = (f"{sum(o.status == 'PASS' for o in outcomes)} passed, "
+               f"{sum(o.status == 'FAIL' for o in outcomes)} failed, "
+               f"{sum(o.status == 'SKIP' for o in outcomes)} skipped")
+    return render_table(["status", "claim", "paper", "statement"], rows) + \
+        "\n" + summary

@@ -1,0 +1,399 @@
+"""Extension experiments beyond the paper's figures.
+
+Three studies the paper explicitly defers or calls for:
+
+* ``ext_multilayer`` -- RMIs with more than two layers ("We plan to
+  explore RMIs with more than two layers as future work", Section 4.2).
+* ``ext_robust`` -- outlier-robust RMIs on fb ("a more robust solution
+  potentially involving outlier detection should be sought",
+  Section 6.1), comparing the plain RMI, the trimmed-LR workaround of
+  prior work, and our gap-based :class:`~repro.core.robust.RobustRMI`.
+* ``ext_distributions`` -- RMI accuracy on classic statistical
+  distributions, backing Section 4.3's remark that "learned indexes are
+  known to adapt well to artificial data sampled from statistical
+  distributions" (and motivating the paper's real-world datasets).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..baselines import BinarySearchIndex
+from ..core.analysis import prediction_errors
+from ..core.rmi import RMI
+from ..core.robust import RobustRMI
+from ..cost.model import CostModel
+from ..data import distributions, sosd
+from ..workload import make_workload, run_workload
+from .figures import DEFAULT_N, DEFAULT_SEED
+from .report import FigureResult
+
+__all__ = [
+    "ext_multilayer",
+    "ext_robust",
+    "ext_distributions",
+    "ext_variance",
+    "ext_baselines",
+    "ext_updates",
+]
+
+
+def ext_multilayer(
+    n: int = DEFAULT_N,
+    seed: int = DEFAULT_SEED,
+    num_lookups: int = 2_000,
+    datasets: Sequence[str] = ("books", "osmc"),
+) -> FigureResult:
+    """Two- vs three-layer RMIs at matched leaf counts.
+
+    The comparison holds the last-layer size fixed and inserts a middle
+    layer, measuring what the extra layer buys (better segmentation of
+    hard CDFs) and costs (one more model evaluation per lookup, longer
+    builds).
+    """
+    result = FigureResult(
+        "ext_multilayer",
+        "Two-layer vs three-layer RMIs (future work of Section 4.2)",
+        ["dataset", "layers", "config", "leaf_models", "index_bytes",
+         "median_err", "est_ns", "build_s", "checksum_ok"],
+    )
+    cm = CostModel()
+    leaf_models = max(n // 100, 64)
+    mid = max(int(np.sqrt(leaf_models)), 2)
+    for name in datasets:
+        keys = sosd.generate(name, n=n, seed=seed)
+        wl = make_workload(keys, num_lookups=num_lookups, seed=seed)
+        variants = [
+            ("2", RMI(keys, layer_sizes=[leaf_models],
+                      model_types=("ls", "lr"))),
+            ("3", RMI(keys, layer_sizes=[mid, leaf_models],
+                      model_types=("ls", "ls", "lr"))),
+            ("3-cubic", RMI(keys, layer_sizes=[mid, leaf_models],
+                            model_types=("cs", "cs", "lr"))),
+        ]
+        for label, rmi in variants:
+            res = run_workload(rmi, wl, runs=1, cost_model=cm)
+            result.add(
+                dataset=name,
+                layers=label,
+                config=rmi.describe(),
+                leaf_models=leaf_models,
+                index_bytes=rmi.size_in_bytes(),
+                median_err=float(np.median(prediction_errors(rmi))),
+                est_ns=round(res.estimated_ns_per_lookup, 1),
+                build_s=round(rmi.build_stats.total_seconds, 6),
+                checksum_ok=res.checksum_ok,
+            )
+    result.note("a third layer re-segments each segment, paying one "
+                "extra evaluation per lookup; it pays off only when the "
+                "two-layer segmentation is the bottleneck")
+    return result
+
+
+def ext_robust(
+    n: int = DEFAULT_N,
+    seed: int = DEFAULT_SEED,
+    num_lookups: int = 2_000,
+) -> FigureResult:
+    """Outlier handling on fb: plain vs trimmed-LR vs gap-based robust.
+
+    The trimmed-LR root reproduces prior work's workaround (and its
+    failure mode when the trim fraction undershoots the outlier count);
+    :class:`RobustRMI` implements the detection-based approach the
+    paper calls for.
+    """
+    result = FigureResult(
+        "ext_robust",
+        "Outlier-robust RMIs on fb (sought by Section 6.1)",
+        ["variant", "index_bytes", "median_err", "est_ns", "checksum_ok"],
+    )
+    cm = CostModel()
+    keys = sosd.fb(n=n, seed=seed)
+    wl = make_workload(keys, num_lookups=num_lookups, seed=seed)
+    layer2 = max(n // 100, 64)
+
+    base = run_workload(BinarySearchIndex(keys), wl, runs=1, cost_model=cm)
+    result.add(variant="binary-search", index_bytes=0, median_err=0.0,
+               est_ns=round(base.estimated_ns_per_lookup, 1),
+               checksum_ok=base.checksum_ok)
+
+    plain = RMI(keys, layer_sizes=[layer2])
+    res = run_workload(plain, wl, runs=1, cost_model=cm)
+    result.add(variant="rmi (plain LS→LR)",
+               index_bytes=plain.size_in_bytes(),
+               median_err=float(np.median(prediction_errors(plain))),
+               est_ns=round(res.estimated_ns_per_lookup, 1),
+               checksum_ok=res.checksum_ok)
+
+    robust = RobustRMI(keys, layer_sizes=[layer2])
+    res = run_workload(robust.body,
+                       make_workload(keys[robust.split.lo:robust.split.hi],
+                                     num_lookups=num_lookups, seed=seed),
+                       runs=1, cost_model=cm)
+    got = robust.lookup_batch(wl.queries)
+    ok = bool(np.array_equal(got, wl.expected_positions))
+    result.add(variant=f"robust rmi ({robust.split.num_outliers} outliers "
+                       "side-stepped)",
+               index_bytes=robust.size_in_bytes(),
+               median_err=float(np.median(prediction_errors(robust.body))),
+               est_ns=round(res.estimated_ns_per_lookup, 1),
+               checksum_ok=ok)
+    result.note("gap-based outlier detection restores RMI performance on "
+                "fb without a hard-coded trim fraction")
+    return result
+
+
+def ext_updates(
+    n: int = DEFAULT_N,
+    seed: int = DEFAULT_SEED,
+    insert_fraction: float = 0.1,
+) -> FigureResult:
+    """Table 1's update column, measured.
+
+    Starts every updatable structure on 90 % of a books-like key set,
+    inserts the remaining 10 % one by one, and verifies successor
+    queries afterwards.  The RMI row quantifies the alternative the
+    paper names: full retraining.  Wall times are Python (relative
+    comparison only).
+    """
+    import time
+
+    from ..baselines import ALEXIndex, ARTIndex, DynamicPGMIndex
+    from ..baselines.btree import BulkLoadedBPlusTree
+
+    result = FigureResult(
+        "ext_updates",
+        "Insert support across structures (Table 1)",
+        ["structure", "mechanism", "inserts", "us_per_insert",
+         "correct_after"],
+    )
+    keys = sosd.books(n=n, seed=seed)
+    num_inserts = max(int(n * insert_fraction), 1)
+    base = np.delete(keys, np.arange(0, n, int(1 / insert_fraction)))
+    inserts = np.setdiff1d(keys, base)[:num_inserts]
+    reference = set(int(k) for k in base) | set(int(k) for k in inserts)
+    probes = sorted(reference)[:: max(len(reference) // 50, 1)]
+
+    def successor_oracle(q: int) -> int | None:
+        idx = np.searchsorted(np.asarray(sorted(reference), dtype=np.uint64),
+                              np.uint64(q), side="left")
+        ordered = sorted(reference)
+        return ordered[idx] if idx < len(ordered) else None
+
+    # --- ALEX: gapped arrays absorb inserts --------------------------
+    alex = ALEXIndex(base)
+    t0 = time.perf_counter()
+    for k in inserts:
+        alex.insert_key(int(k))
+    alex_s = time.perf_counter() - t0
+    stored = np.concatenate([l.keys_in_order() for l in alex._leaves_chain])
+    ok = bool(np.all(np.diff(stored.astype(np.int64)) > 0)) and len(
+        stored
+    ) == len(reference)
+    result.add(structure="alex", mechanism="gapped arrays + expand",
+               inserts=len(inserts),
+               us_per_insert=round(alex_s / len(inserts) * 1e6, 1),
+               correct_after=ok)
+
+    # --- dynamic PGM: logarithmic method ------------------------------
+    dpgm = DynamicPGMIndex(base, eps=32, base_size=256)
+    t0 = time.perf_counter()
+    for k in inserts:
+        dpgm.insert(int(k))
+    dpgm_s = time.perf_counter() - t0
+    ok = all(dpgm.lower_bound(int(q)) == successor_oracle(int(q))
+             for q in probes)
+    result.add(structure="dynamic-pgm", mechanism="LSM over PGM runs",
+               inserts=len(inserts),
+               us_per_insert=round(dpgm_s / len(inserts) * 1e6, 1),
+               correct_after=ok)
+
+    # --- B+-tree: split propagation -----------------------------------
+    tree = BulkLoadedBPlusTree(base, base.astype(np.int64), fanout=64)
+    t0 = time.perf_counter()
+    for k in inserts:
+        tree.insert(int(k), int(k))
+    tree_s = time.perf_counter() - t0
+    ok = tree.num_entries == len(reference)
+    result.add(structure="b-tree", mechanism="node splits",
+               inserts=len(inserts),
+               us_per_insert=round(tree_s / len(inserts) * 1e6, 1),
+               correct_after=ok)
+
+    # --- ART: adaptive node growth -------------------------------------
+    art = ARTIndex(base)
+    t0 = time.perf_counter()
+    for k in inserts:
+        art.insert(int(k))
+    art_s = time.perf_counter() - t0
+    ok = all(
+        (art.lower_bound_key(int(q)) or (None,))[0] == successor_oracle(int(q))
+        for q in probes
+    )
+    result.add(structure="art", mechanism="leaf/prefix splits + growth",
+               inserts=len(inserts),
+               us_per_insert=round(art_s / len(inserts) * 1e6, 1),
+               correct_after=ok)
+
+    # --- RMI: the paper's contrast -- full rebuild ---------------------
+    t0 = time.perf_counter()
+    rebuilt = RMI(np.asarray(sorted(reference), dtype=np.uint64),
+                  layer_sizes=[max(n // 100, 64)])
+    rmi_s = time.perf_counter() - t0
+    result.add(structure="rmi", mechanism="full retrain (no insert path)",
+               inserts=len(inserts),
+               us_per_insert=round(rmi_s / len(inserts) * 1e6, 1),
+               correct_after=rebuilt.lookup(int(inserts[0])) >= 0)
+    result.note("RMIs must be rebuilt on change (Table 1); amortized per "
+                "insert the rebuild can still be competitive for batched "
+                "updates -- but not for online ones")
+    return result
+
+
+def ext_baselines(
+    n: int = DEFAULT_N,
+    seed: int = DEFAULT_SEED,
+    num_lookups: int = 2_000,
+    datasets: Sequence[str] = ("books", "osmc"),
+) -> FigureResult:
+    """Extension baselines vs the Table 5 set.
+
+    FAST (compared by SOSD, Section 3.2), FITing-tree (unavailable to
+    the paper, Section 3.1), and compressed PGM (mentioned in
+    Section 3.1) against the paper's fixed-RMI and plain PGM anchors.
+    """
+    from ..baselines import (
+        CompressedPGMIndex,
+        FASTIndex,
+        FITingTree,
+        PGMIndex,
+        RMIAsIndex,
+    )
+
+    result = FigureResult(
+        "ext_baselines",
+        "Extension baselines: FAST, FITing-tree, compressed PGM",
+        ["dataset", "index", "index_bytes", "est_ns", "checksum_ok"],
+    )
+    cm = CostModel()
+    layer2 = max(n // 100, 64)
+    for name in datasets:
+        keys = sosd.generate(name, n=n, seed=seed)
+        wl = make_workload(keys, num_lookups=num_lookups, seed=seed)
+        candidates = [
+            RMIAsIndex(keys, layer2_size=layer2),
+            PGMIndex(keys, eps=64),
+            CompressedPGMIndex(keys, eps=64),
+            FITingTree(keys, error=64),
+            FASTIndex(keys, sparsity=4),
+        ]
+        for index in candidates:
+            res = run_workload(index, wl, runs=1, cost_model=cm)
+            result.add(
+                dataset=name,
+                index=index.name,
+                index_bytes=index.size_in_bytes(),
+                est_ns=round(res.estimated_ns_per_lookup, 1),
+                checksum_ok=res.checksum_ok,
+            )
+    result.note("compressed PGM trades a wider window for ~1/3 smaller "
+                "segments; FITing-tree behaves like an eps-capped "
+                "learned index (consistent with its description)")
+    return result
+
+
+def ext_variance(
+    n: int = DEFAULT_N,
+    seed: int = DEFAULT_SEED,
+    num_lookups: int = 1_000,
+    datasets: Sequence[str] = ("books", "osmc"),
+) -> FigureResult:
+    """Per-lookup cost variance: RMI vs error-capped learned indexes.
+
+    Footnote 2 of the paper: "the estimation error of RMIs might vary
+    greatly between segments inducing a noticeable variance in lookup
+    times.  We tried to accurately measure the variance in lookup times
+    for RMIs but due to caching effects were not able to."  Our
+    structural counters side-step the caching problem entirely: we
+    report the distribution of per-lookup comparison counts, which *is*
+    the data-dependent part of the lookup.  PGM-index and RadixSpline
+    cap the maximum error, so their comparison counts are uniform; the
+    RMI's spread follows its per-segment error spread.
+    """
+    from ..baselines import PGMIndex, RadixSpline
+
+    result = FigureResult(
+        "ext_variance",
+        "Per-lookup comparison-count variance (paper footnote 2)",
+        ["dataset", "index", "p50_cmp", "p99_cmp", "max_cmp",
+         "p99_over_p50"],
+    )
+    for name in datasets:
+        keys = sosd.generate(name, n=n, seed=seed)
+        wl = make_workload(keys, num_lookups=num_lookups, seed=seed)
+        layer2 = max(n // 100, 64)
+        candidates = [
+            ("rmi", RMI(keys, layer_sizes=[layer2])),
+            ("pgm-index", PGMIndex(keys, eps=64)),
+            ("radix-spline", RadixSpline(keys, max_error=64, radix_bits=10)),
+        ]
+        for index_name, index in candidates:
+            comparisons = []
+            for q in wl.queries:
+                if isinstance(index, RMI):
+                    comparisons.append(index.lookup_traced(int(q)).comparisons)
+                else:
+                    b = index.search_bounds(int(q))
+                    comparisons.append(
+                        int(np.ceil(np.log2(max(b.hi - b.lo + 1, 1) + 1)))
+                    )
+            arr = np.asarray(comparisons, dtype=np.float64)
+            p50 = float(np.percentile(arr, 50))
+            p99 = float(np.percentile(arr, 99))
+            result.add(
+                dataset=name,
+                index=index_name,
+                p50_cmp=p50,
+                p99_cmp=p99,
+                max_cmp=float(arr.max()),
+                p99_over_p50=round(p99 / max(p50, 1e-9), 2),
+            )
+    result.note("error-capped indexes (PGM, RadixSpline) have near-"
+                "constant per-lookup cost; the RMI's tail follows its "
+                "per-segment error spread")
+    return result
+
+
+def ext_distributions(
+    n: int = DEFAULT_N,
+    seed: int = DEFAULT_SEED,
+    num_lookups: int = 2_000,
+) -> FigureResult:
+    """RMI accuracy on statistical vs real-world-like data (§4.3)."""
+    result = FigureResult(
+        "ext_distributions",
+        "RMIs on statistical distributions vs SOSD-like data",
+        ["source", "dataset", "median_err", "est_ns", "checksum_ok"],
+    )
+    cm = CostModel()
+    layer2 = max(n // 100, 64)
+    cases = [("statistical", name, distributions.generate(name, n=n, seed=seed))
+             for name in ("uniform", "normal", "lognormal", "sequential")]
+    cases += [("real-world", name, sosd.generate(name, n=n, seed=seed))
+              for name in sosd.dataset_names()]
+    for source, name, keys in cases:
+        rmi = RMI(keys, layer_sizes=[layer2])
+        wl = make_workload(keys, num_lookups=num_lookups, seed=seed)
+        res = run_workload(rmi, wl, runs=1, cost_model=cm)
+        result.add(
+            source=source,
+            dataset=name,
+            median_err=float(np.median(prediction_errors(rmi))),
+            est_ns=round(res.estimated_ns_per_lookup, 1),
+            checksum_ok=res.checksum_ok,
+        )
+    result.note("statistical distributions are uniformly easy -- the "
+                "reason the paper evaluates on real-world data (§4.3)")
+    return result

@@ -1,0 +1,707 @@
+"""Experiment drivers: one function per figure of the paper.
+
+Every public ``figNN_*`` function regenerates the data series behind
+the corresponding figure of the paper's evaluation (Figures 2-14) and
+returns a :class:`~repro.bench.report.FigureResult` with one row per
+plotted point.  Scale is configurable; defaults run in seconds on a
+laptop while preserving every relative relationship the paper reports
+(see DESIGN.md for the scale substitution).
+
+Timing figures (8-14) report both the analytic cost-model estimate in
+nanoseconds (``est_ns`` -- the paper-machine projection the figures'
+shapes are judged by) and, where cheap, measured Python wall time
+(``wall_ns`` -- honest but interpreter-dominated).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..baselines import (
+    ALEXIndex,
+    ARTIndex,
+    BinarySearchIndex,
+    BTreeIndex,
+    HistTree,
+    PGMIndex,
+    RadixSpline,
+    RMIAsIndex,
+    UnsupportedDataError,
+)
+from ..core.analysis import (
+    interval_stats,
+    prediction_errors,
+    root_approximation,
+    segment_keys,
+    segmentation_stats,
+)
+from ..core.builder import RMIConfig
+from ..core.rmi import RMI
+from ..cost.model import CostModel
+from ..data import cdf as cdf_utils
+from ..data import sosd
+from ..workload import make_workload, measure_build, run_workload
+from .report import FigureResult
+
+__all__ = [
+    "DEFAULT_N",
+    "fig02_datasets",
+    "fig03_root_approximations",
+    "fig04_empty_segments",
+    "fig05_largest_segment",
+    "fig06_prediction_error",
+    "fig07_error_bounds",
+    "fig08_lookup_models",
+    "fig09_lookup_bounds",
+    "fig10_search_algorithms",
+    "fig11_build_time",
+    "fig12_index_comparison",
+    "fig13_eval_vs_search",
+    "fig14_build_comparison",
+]
+
+DEFAULT_N = 100_000
+DEFAULT_SEED = 42
+
+ROOTS = ("lr", "ls", "cs", "rx")
+LEAVES = ("lr", "ls")
+
+
+def _datasets(
+    n: int, seed: int, names: Sequence[str] | None = None
+) -> dict[str, np.ndarray]:
+    names = names or sosd.dataset_names()
+    return {name: sosd.generate(name, n=n, seed=seed) for name in names}
+
+
+def _segment_sweep(n: int) -> list[int]:
+    """Second-layer sizes: powers of two up to ~n/8, at least 2^4.
+
+    The paper sweeps 2^8..2^24 on 200M keys (up to ~8% of n); the same
+    relative range at reduced n.
+    """
+    high = max(int(np.log2(max(n // 8, 32))), 5)
+    low = max(high - 10, 4)
+    return [2**e for e in range(low, high + 1)]
+
+
+# ---------------------------------------------------------------------------
+# Figure 2 -- dataset CDFs
+# ---------------------------------------------------------------------------
+
+
+def fig02_datasets(n: int = DEFAULT_N, seed: int = DEFAULT_SEED) -> FigureResult:
+    """Dataset overview: the structural properties of Figure 2."""
+    result = FigureResult(
+        "fig02",
+        "CDFs of the four SOSD-like datasets (structural summary)",
+        ["dataset", "n", "min_key", "max_key", "duplicates", "noise",
+         "outlier_span"],
+    )
+    for name, keys in _datasets(n, seed).items():
+        summary = cdf_utils.summarize(keys)
+        # Ratio between the full key span and the span of the lower 99%
+        # of keys: large only for fb, whose 21 outliers dominate the span.
+        p99 = float(keys[int(len(keys) * 0.99) - 1])
+        span = float(summary.max_key - summary.min_key)
+        outlier_span = span / max(p99 - float(summary.min_key), 1.0)
+        result.add(
+            dataset=name,
+            n=summary.n,
+            min_key=summary.min_key,
+            max_key=summary.max_key,
+            duplicates=summary.duplicates,
+            noise=round(summary.noise, 3),
+            outlier_span=round(outlier_span, 1),
+        )
+    result.note("fb's outlier_span >> 1 reflects its 21 extreme outliers; "
+                "wiki is the only dataset with duplicates (paper Section 4.3)")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 3 -- root-model CDF approximations
+# ---------------------------------------------------------------------------
+
+
+def fig03_root_approximations(
+    n: int = DEFAULT_N, seed: int = DEFAULT_SEED, samples: int = 256
+) -> FigureResult:
+    """How each root model type approximates each dataset's CDF.
+
+    The figure is a plot; its quantitative content is (a) how much of
+    the position range each approximation covers and (b) how far it
+    deviates from the true CDF.  LR not covering the full range (books,
+    wiki) and RX covering only a fraction are the properties Sections
+    5.1 discusses.
+    """
+    result = FigureResult(
+        "fig03",
+        "CDF approximation by root models",
+        ["dataset", "root", "coverage_lo", "coverage_hi", "coverage_frac",
+         "median_abs_err", "max_abs_err"],
+    )
+    for name, keys in _datasets(n, seed).items():
+        positions = np.arange(len(keys), dtype=np.float64)
+        for root in ROOTS:
+            xs, preds = root_approximation(keys, root, samples=samples)
+            truth = np.searchsorted(keys, xs, side="left").astype(np.float64)
+            err = np.abs(preds - truth)
+            lo, hi = float(preds.min()), float(preds.max())
+            result.add(
+                dataset=name,
+                root=root,
+                coverage_lo=round(lo, 1),
+                coverage_hi=round(hi, 1),
+                coverage_frac=round((hi - lo) / max(len(keys) - 1, 1), 3),
+                median_abs_err=round(float(np.median(err)), 1),
+                max_abs_err=round(float(err.max()), 1),
+            )
+        del positions
+    result.note("coverage_frac < 1 for LR/RX reproduces Figure 3's partial "
+                "range coverage; fb collapses for all roots")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figures 4 & 5 -- segmentation statistics
+# ---------------------------------------------------------------------------
+
+
+def _segmentation_figure(
+    figure_id: str,
+    title: str,
+    value: Callable[..., object],
+    columns: list[str],
+    n: int,
+    seed: int,
+    segment_counts: Sequence[int] | None,
+) -> FigureResult:
+    result = FigureResult(figure_id, title, columns)
+    counts = list(segment_counts or _segment_sweep(n))
+    for name, keys in _datasets(n, seed).items():
+        for root in ROOTS:
+            for m in counts:
+                assignment = segment_keys(keys, root, m)
+                stats = segmentation_stats(assignment, m)
+                result.add(dataset=name, root=root, segments=m, **value(stats))
+    return result
+
+
+def fig04_empty_segments(
+    n: int = DEFAULT_N,
+    seed: int = DEFAULT_SEED,
+    segment_counts: Sequence[int] | None = None,
+) -> FigureResult:
+    """Percentage of empty segments per root model (Figure 4)."""
+    result = _segmentation_figure(
+        "fig04",
+        "Percentage of empty segments when segmenting with root models",
+        lambda s: {"empty_pct": round(100.0 * s.empty_fraction, 2)},
+        ["dataset", "root", "segments", "empty_pct"],
+        n,
+        seed,
+        segment_counts,
+    )
+    result.note("RX leaves the most segments empty; osmc is high for all "
+                "roots due to clustering (paper Section 5.1)")
+    return result
+
+
+def fig05_largest_segment(
+    n: int = DEFAULT_N,
+    seed: int = DEFAULT_SEED,
+    segment_counts: Sequence[int] | None = None,
+) -> FigureResult:
+    """Number of keys in the largest segment (Figure 5)."""
+    result = _segmentation_figure(
+        "fig05",
+        "Keys in the largest segment when segmenting with root models",
+        lambda s: {
+            "largest": s.largest_segment,
+            "largest_frac": round(s.largest_fraction, 4),
+        },
+        ["dataset", "root", "segments", "largest", "largest_frac"],
+        n,
+        seed,
+        segment_counts,
+    )
+    result.note("LR's largest segment stays near-constant (clamping); on fb "
+                "almost all keys share one segment (paper Section 5.1)")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 6 -- prediction error of model combinations
+# ---------------------------------------------------------------------------
+
+
+def fig06_prediction_error(
+    n: int = DEFAULT_N,
+    seed: int = DEFAULT_SEED,
+    segment_counts: Sequence[int] | None = None,
+    roots: Sequence[str] = ROOTS,
+    leaves: Sequence[str] = LEAVES,
+) -> FigureResult:
+    """Median absolute prediction error per model combination (Figure 6)."""
+    result = FigureResult(
+        "fig06",
+        "Median absolute error of first-layer/second-layer combinations",
+        ["dataset", "combo", "segments", "median_err", "mean_err"],
+    )
+    counts = list(segment_counts or _segment_sweep(n))
+    for name, keys in _datasets(n, seed).items():
+        for root in roots:
+            for leaf in leaves:
+                for m in counts:
+                    rmi = RMI(keys, layer_sizes=[m], model_types=(root, leaf),
+                              bound_type="nb")
+                    err = prediction_errors(rmi)
+                    result.add(
+                        dataset=name,
+                        combo=f"{root}->{leaf}",
+                        segments=m,
+                        median_err=float(np.median(err)),
+                        mean_err=round(float(err.mean()), 1),
+                    )
+    result.note("LR on the second layer always beats LS (it minimizes MSE); "
+                "fb errors stay high at all sizes (paper Section 5.2)")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 7 -- error-interval sizes per bound type
+# ---------------------------------------------------------------------------
+
+FIG7_COMBOS = (("ls", "lr"), ("cs", "ls"))
+BOUNDS_ALL = ("lind", "labs", "gind", "gabs")
+
+
+def fig07_error_bounds(
+    n: int = DEFAULT_N,
+    seed: int = DEFAULT_SEED,
+    segment_counts: Sequence[int] | None = None,
+    combos: Sequence[tuple[str, str]] = FIG7_COMBOS,
+) -> FigureResult:
+    """Median error-interval size per bound type (Figure 7).
+
+    Rows report index size so the paper's like-for-like comparison
+    ("at similar index size, global bounds allow roughly twice the
+    segments") can be read off directly.
+    """
+    result = FigureResult(
+        "fig07",
+        "Median error interval size for different error bounds",
+        ["dataset", "combo", "bounds", "segments", "index_bytes",
+         "median_interval"],
+    )
+    counts = list(segment_counts or _segment_sweep(n))
+    datasets = _datasets(n, seed, names=["books", "osmc", "wiki"])
+    for name, keys in datasets.items():
+        for root, leaf in combos:
+            for bounds in BOUNDS_ALL:
+                for m in counts:
+                    rmi = RMI(keys, layer_sizes=[m], model_types=(root, leaf),
+                              bound_type=bounds)
+                    stats = interval_stats(rmi)
+                    result.add(
+                        dataset=name,
+                        combo=f"{root}->{leaf}",
+                        bounds=bounds,
+                        segments=m,
+                        index_bytes=rmi.size_in_bytes(),
+                        median_interval=stats.median,
+                    )
+    result.note("fb omitted like the paper (interval size constant there); "
+                "local bounds yield smaller intervals at matched size")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figures 8-10 -- lookup time analyses
+# ---------------------------------------------------------------------------
+
+
+def _rmi_lookup_row(
+    keys: np.ndarray,
+    config: RMIConfig,
+    num_lookups: int,
+    seed: int,
+    cost_model: CostModel,
+) -> dict[str, object]:
+    rmi = config.build(keys)
+    wl = make_workload(keys, num_lookups=num_lookups, seed=seed)
+    res = run_workload(rmi, wl, runs=1, cost_model=cost_model)
+    return {
+        "index_bytes": rmi.size_in_bytes(),
+        "est_ns": round(res.estimated_ns_per_lookup, 1),
+        "eval_ns": round(res.estimated_eval_ns, 1),
+        "search_ns": round(res.estimated_search_ns, 1),
+        "wall_ns": round(res.wall_ns_per_lookup, 0),
+        "checksum_ok": res.checksum_ok,
+    }
+
+
+def fig08_lookup_models(
+    n: int = DEFAULT_N,
+    seed: int = DEFAULT_SEED,
+    segment_counts: Sequence[int] | None = None,
+    num_lookups: int = 5_000,
+    roots: Sequence[str] = ROOTS,
+    leaves: Sequence[str] = LEAVES,
+) -> FigureResult:
+    """Lookup time per model combination, LAbs + binary search (Figure 8)."""
+    result = FigureResult(
+        "fig08",
+        "Lookup time for model-type combinations (LAbs bounds, Bin search)",
+        ["dataset", "combo", "segments", "index_bytes", "est_ns", "wall_ns",
+         "checksum_ok"],
+    )
+    cm = CostModel()
+    counts = list(segment_counts or _segment_sweep(n))
+    for name, keys in _datasets(n, seed).items():
+        # The paper's dashed line: binary search over the sorted array.
+        bs = run_workload(
+            BinarySearchIndex(keys),
+            make_workload(keys, num_lookups=num_lookups, seed=seed),
+            runs=1, cost_model=cm,
+        )
+        result.add(dataset=name, combo="binary-search", segments=0,
+                   index_bytes=0,
+                   est_ns=round(bs.estimated_ns_per_lookup, 1),
+                   wall_ns=round(bs.wall_ns_per_lookup, 0),
+                   checksum_ok=bs.checksum_ok)
+        for root in roots:
+            for leaf in leaves:
+                for m in counts:
+                    config = RMIConfig(model_types=(root, leaf),
+                                       layer_sizes=(m,), bound_type="labs",
+                                       search="bin")
+                    row = _rmi_lookup_row(keys, config, num_lookups, seed, cm)
+                    row.pop("eval_ns")
+                    row.pop("search_ns")
+                    result.add(dataset=name, combo=f"{root}->{leaf}",
+                               segments=m, **row)
+    result.note("no RMI beats binary search on fb (paper Section 6.1); "
+                "second-layer LR beats LS throughout")
+    return result
+
+
+FIG9_COMBOS = (("ls", "lr"), ("cs", "ls"))
+
+
+def fig09_lookup_bounds(
+    n: int = DEFAULT_N,
+    seed: int = DEFAULT_SEED,
+    segment_counts: Sequence[int] | None = None,
+    num_lookups: int = 5_000,
+    combos: Sequence[tuple[str, str]] = FIG9_COMBOS,
+) -> FigureResult:
+    """Lookup time per error-bound type, binary search (Figure 9)."""
+    result = FigureResult(
+        "fig09",
+        "Lookup time for different error bounds (binary search)",
+        ["dataset", "combo", "bounds", "segments", "index_bytes", "est_ns",
+         "wall_ns", "checksum_ok"],
+    )
+    cm = CostModel()
+    counts = list(segment_counts or _segment_sweep(n))
+    for name, keys in _datasets(n, seed, names=["books", "osmc", "wiki"]).items():
+        for root, leaf in combos:
+            for bounds in BOUNDS_ALL:
+                for m in counts:
+                    config = RMIConfig(model_types=(root, leaf),
+                                       layer_sizes=(m,), bound_type=bounds,
+                                       search="bin")
+                    row = _rmi_lookup_row(keys, config, num_lookups, seed, cm)
+                    row.pop("eval_ns")
+                    row.pop("search_ns")
+                    result.add(dataset=name, combo=f"{root}->{leaf}",
+                               bounds=bounds, segments=m, **row)
+    result.note("local bounds beat global bounds; binary search compresses "
+                "large interval differences (paper Section 6.2)")
+    return result
+
+
+#: Search-algorithm pairing of the paper's Figure 10: binary variants
+#: use LInd bounds, model-biased linear/exponential use no bounds.
+FIG10_SEARCHES = (
+    ("bin", "lind"),
+    ("mbin", "lind"),
+    ("mlin", "nb"),
+    ("mexp", "nb"),
+)
+
+
+def fig10_search_algorithms(
+    n: int = DEFAULT_N,
+    seed: int = DEFAULT_SEED,
+    segment_counts: Sequence[int] | None = None,
+    num_lookups: int = 2_000,
+    combos: Sequence[tuple[str, str]] = FIG9_COMBOS,
+    include_plain: bool = False,
+) -> FigureResult:
+    """Lookup time per search algorithm (Figure 10).
+
+    ``include_plain`` adds the non-model-biased linear/exponential
+    searches the paper dropped after finding them always worse.
+    """
+    searches = list(FIG10_SEARCHES)
+    if include_plain:
+        searches += [("lin", "lind"), ("exp", "lind")]
+    result = FigureResult(
+        "fig10",
+        "Lookup time for different search algorithms",
+        ["dataset", "combo", "search", "bounds", "segments", "index_bytes",
+         "est_ns", "mean_comparisons", "checksum_ok"],
+    )
+    cm = CostModel()
+    counts = list(segment_counts or _segment_sweep(n))
+    for name, keys in _datasets(n, seed, names=["books", "osmc", "wiki"]).items():
+        for root, leaf in combos:
+            for search, bounds in searches:
+                for m in counts:
+                    config = RMIConfig(model_types=(root, leaf),
+                                       layer_sizes=(m,), bound_type=bounds,
+                                       search=search)
+                    rmi = config.build(keys)
+                    wl = make_workload(keys, num_lookups=num_lookups, seed=seed)
+                    res = run_workload(rmi, wl, runs=1, cost_model=cm)
+                    result.add(
+                        dataset=name,
+                        combo=f"{root}->{leaf}",
+                        search=search,
+                        bounds=bounds,
+                        segments=m,
+                        index_bytes=rmi.size_in_bytes(),
+                        est_ns=round(res.estimated_ns_per_lookup, 1),
+                        mean_comparisons=round(res.counters.mean_comparisons, 1),
+                        checksum_ok=res.checksum_ok,
+                    )
+    result.note("MExp overtakes Bin once predictions are accurate (books, "
+                "wiki, larger sizes); Bin stays best on osmc (Section 6.3)")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 11 -- build time decomposition
+# ---------------------------------------------------------------------------
+
+
+def fig11_build_time(
+    n: int = DEFAULT_N,
+    seed: int = DEFAULT_SEED,
+    segment_counts: Sequence[int] | None = None,
+    dataset: str = "books",
+    runs: int = 1,
+) -> FigureResult:
+    """Build-time analysis on books (Figure 11a-c) plus the copy ablation.
+
+    ``panel`` column: ``root`` varies the root type (leaf LR, NB);
+    ``leaf`` varies the leaf type (root LS, NB); ``bounds`` varies the
+    bound type (LS→LR); ``ablation`` compares the reference copying
+    trainer with the paper's no-copy optimization (Section 4.1/7).
+    """
+    result = FigureResult(
+        "fig11",
+        f"Build times on {dataset} by root type, leaf type, bounds, and "
+        "copy ablation",
+        ["panel", "variant", "segments", "index_bytes", "build_s",
+         "train_root_s", "segment_s", "train_leaves_s", "bounds_s"],
+    )
+    keys = sosd.generate(dataset, n=n, seed=seed)
+    counts = list(segment_counts or _segment_sweep(n))
+
+    def record(panel: str, variant: str, config: RMIConfig) -> None:
+        for m in counts:
+            cfg = config.with_layer2_size(m)
+            rmi, build_s = measure_build(lambda: cfg.build(keys), runs=runs)
+            st = rmi.build_stats
+            result.add(
+                panel=panel, variant=variant, segments=m,
+                index_bytes=rmi.size_in_bytes(),
+                build_s=round(build_s, 6),
+                train_root_s=round(st.train_root_seconds, 6),
+                segment_s=round(st.segment_seconds, 6),
+                train_leaves_s=round(st.train_leaves_seconds, 6),
+                bounds_s=round(st.bounds_seconds, 6),
+            )
+
+    for root in ROOTS:  # Figure 11a
+        record("root", root, RMIConfig(model_types=(root, "lr"),
+                                       layer_sizes=(counts[0],),
+                                       bound_type="nb"))
+    for leaf in LEAVES:  # Figure 11b
+        record("leaf", leaf, RMIConfig(model_types=("ls", leaf),
+                                       layer_sizes=(counts[0],),
+                                       bound_type="nb"))
+    for bounds in ("nb", *BOUNDS_ALL):  # Figure 11c
+        record("bounds", bounds, RMIConfig(model_types=("ls", "lr"),
+                                           layer_sizes=(counts[0],),
+                                           bound_type=bounds))
+    # Section 4.1 / 7 ablation: copying vs no-copy training.
+    for variant, copy in (("no-copy", False), ("copy", True)):
+        record("ablation", variant,
+               RMIConfig(model_types=("ls", "lr"), layer_sizes=(counts[0],),
+                         bound_type="labs", copy_keys=copy))
+    result.note("LR roots train slowest (they touch all keys); bounds add "
+                "a full evaluation pass; no-copy beats copy (Section 7)")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figures 12-14 -- comparison against other indexes
+# ---------------------------------------------------------------------------
+
+
+def _comparison_sweeps(n: int) -> dict[str, list[Callable[[np.ndarray], object]]]:
+    """Size-parameter sweeps per index (Table 5's hyperparameters)."""
+    rmi_sizes = _segment_sweep(n)
+    errors = [2**e for e in range(3, 11)]  # 8 .. 1024
+    sparsities = [64, 16, 4, 1]
+    rbits = max(min(int(np.log2(max(n, 256))) - 4, 16), 6)
+    return {
+        "rmi": [
+            (lambda keys, m=m: RMIAsIndex(keys, layer2_size=m))
+            for m in rmi_sizes
+        ],
+        "pgm-index": [
+            (lambda keys, e=e: PGMIndex(keys, eps=e)) for e in errors
+        ],
+        "radix-spline": [
+            (lambda keys, e=e: RadixSpline(keys, max_error=e, radix_bits=rbits))
+            for e in errors
+        ],
+        "alex": [
+            (lambda keys, s=s: ALEXIndex(keys, sparsity=s)) for s in sparsities
+        ],
+        "b-tree": [
+            (lambda keys, s=s: BTreeIndex(keys, sparsity=s)) for s in sparsities
+        ],
+        "art": [
+            (lambda keys, s=s: ARTIndex(keys, sparsity=s)) for s in sparsities
+        ],
+        "hist-tree": [
+            (lambda keys, e=e: HistTree(keys, num_bins=64, max_error=e))
+            for e in errors
+        ],
+        "binary-search": [lambda keys: BinarySearchIndex(keys)],
+    }
+
+
+def fig12_index_comparison(
+    n: int = DEFAULT_N,
+    seed: int = DEFAULT_SEED,
+    num_lookups: int = 2_000,
+    datasets: Sequence[str] | None = None,
+) -> FigureResult:
+    """Lookup time vs index size for all Table 5 indexes (Figure 12)."""
+    result = FigureResult(
+        "fig12",
+        "Lookup performance with respect to index size, all indexes",
+        ["dataset", "index", "variant", "index_bytes", "est_ns", "eval_ns",
+         "search_ns", "wall_ns", "checksum_ok"],
+    )
+    cm = CostModel()
+    sweeps = _comparison_sweeps(n)
+    for name, keys in _datasets(n, seed, names=datasets).items():
+        wl = make_workload(keys, num_lookups=num_lookups, seed=seed)
+        for index_name, factories in sweeps.items():
+            for variant, factory in enumerate(factories):
+                try:
+                    index = factory(keys)
+                except UnsupportedDataError:
+                    result.note(f"{index_name} did not work on {name} "
+                                "(duplicates), as in the paper")
+                    break
+                res = run_workload(index, wl, runs=1, cost_model=cm)
+                result.add(
+                    dataset=name,
+                    index=index_name,
+                    variant=variant,
+                    index_bytes=res.index_bytes,
+                    est_ns=round(res.estimated_ns_per_lookup, 1),
+                    eval_ns=round(res.estimated_eval_ns, 1),
+                    search_ns=round(res.estimated_search_ns, 1),
+                    wall_ns=round(res.wall_ns_per_lookup, 0),
+                    checksum_ok=res.checksum_ok,
+                )
+    return result
+
+
+def fig13_eval_vs_search(
+    n: int = DEFAULT_N,
+    seed: int = DEFAULT_SEED,
+    num_lookups: int = 2_000,
+    datasets: Sequence[str] = ("books", "osmc"),
+) -> FigureResult:
+    """Evaluation vs search share for each index's best config (Figure 13)."""
+    comparison = fig12_index_comparison(
+        n=n, seed=seed, num_lookups=num_lookups, datasets=list(datasets)
+    )
+    result = FigureResult(
+        "fig13",
+        "Share of evaluation and search in the best lookup time",
+        ["dataset", "index", "index_bytes", "est_ns", "eval_ns", "search_ns",
+         "eval_share"],
+    )
+    for name in datasets:
+        indexes = {r["index"] for r in comparison.series(dataset=name)}
+        for index_name in sorted(indexes):
+            rows = comparison.series(dataset=name, index=index_name)
+            best = min(rows, key=lambda r: r["est_ns"])
+            total = max(best["est_ns"], 1e-9)
+            result.add(
+                dataset=name,
+                index=index_name,
+                index_bytes=best["index_bytes"],
+                est_ns=best["est_ns"],
+                eval_ns=best["eval_ns"],
+                search_ns=best["search_ns"],
+                eval_share=round(best["eval_ns"] / total, 3),
+            )
+    result.note("RMI buys cheap evaluation with unbounded search; PGM/"
+                "RadixSpline pay evaluation for capped search (Section 8.1)")
+    return result
+
+
+def fig14_build_comparison(
+    n: int = DEFAULT_N,
+    seed: int = DEFAULT_SEED,
+    datasets: Sequence[str] | None = None,
+    runs: int = 1,
+) -> FigureResult:
+    """Build time vs index size for all Table 5 indexes (Figure 14)."""
+    result = FigureResult(
+        "fig14",
+        "Build time with respect to index size, all indexes",
+        ["dataset", "index", "variant", "index_bytes", "build_s",
+         "keys_per_s"],
+    )
+    sweeps = _comparison_sweeps(n)
+    sweeps.pop("binary-search")  # nothing to build
+    for name, keys in _datasets(n, seed, names=datasets).items():
+        for index_name, factories in sweeps.items():
+            for variant, factory in enumerate(factories):
+                try:
+                    index, build_s = measure_build(
+                        lambda: factory(keys), runs=runs
+                    )
+                except UnsupportedDataError:
+                    result.note(f"{index_name} did not work on {name} "
+                                "(duplicates), as in the paper")
+                    break
+                result.add(
+                    dataset=name,
+                    index=index_name,
+                    variant=variant,
+                    index_bytes=index.size_in_bytes(),
+                    build_s=round(build_s, 6),
+                    keys_per_s=round(len(keys) / max(build_s, 1e-9), 0),
+                )
+    result.note("B-tree/ART build fastest (subset + no training); learned "
+                "indexes train on all keys (Section 8.2). Wall times are "
+                "Python; compare shapes, not absolutes.")
+    return result

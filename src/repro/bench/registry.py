@@ -1,0 +1,104 @@
+"""Experiment registry: figure id -> driver, with CLI metadata.
+
+Maps every reproduced figure to its driver in
+:mod:`repro.bench.figures`; ``python -m repro.bench <figure>`` runs a
+driver and prints its table (see :mod:`repro.bench.__main__`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from . import extensions, figures
+from .report import FigureResult
+
+__all__ = ["Experiment", "EXPERIMENTS", "run_experiment", "experiment_ids"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible figure of the paper."""
+
+    figure_id: str
+    paper_reference: str
+    summary: str
+    driver: Callable[..., FigureResult]
+
+
+EXPERIMENTS: dict[str, Experiment] = {
+    e.figure_id: e
+    for e in [
+        Experiment("fig02", "Figure 2 / Section 4.3",
+                   "dataset CDF structural summaries",
+                   figures.fig02_datasets),
+        Experiment("fig03", "Figure 3 / Section 5.1",
+                   "root-model CDF approximations",
+                   figures.fig03_root_approximations),
+        Experiment("fig04", "Figure 4 / Section 5.1",
+                   "percentage of empty segments",
+                   figures.fig04_empty_segments),
+        Experiment("fig05", "Figure 5 / Section 5.1",
+                   "keys in the largest segment",
+                   figures.fig05_largest_segment),
+        Experiment("fig06", "Figure 6 / Section 5.2",
+                   "median absolute prediction error of model combos",
+                   figures.fig06_prediction_error),
+        Experiment("fig07", "Figure 7 / Section 5.3",
+                   "median error-interval size per bound type",
+                   figures.fig07_error_bounds),
+        Experiment("fig08", "Figure 8 / Section 6.1",
+                   "lookup time per model combination",
+                   figures.fig08_lookup_models),
+        Experiment("fig09", "Figure 9 / Section 6.2",
+                   "lookup time per error-bound type",
+                   figures.fig09_lookup_bounds),
+        Experiment("fig10", "Figure 10 / Section 6.3",
+                   "lookup time per search algorithm",
+                   figures.fig10_search_algorithms),
+        Experiment("fig11", "Figure 11 / Section 7",
+                   "build-time decomposition and copy ablation",
+                   figures.fig11_build_time),
+        Experiment("fig12", "Figure 12 / Section 8.1",
+                   "lookup time vs size, all indexes",
+                   figures.fig12_index_comparison),
+        Experiment("fig13", "Figure 13 / Section 8.1",
+                   "evaluation vs search share of lookups",
+                   figures.fig13_eval_vs_search),
+        Experiment("fig14", "Figure 14 / Section 8.2",
+                   "build time vs size, all indexes",
+                   figures.fig14_build_comparison),
+        Experiment("ext_multilayer", "future work of Section 4.2",
+                   "two-layer vs three-layer RMIs",
+                   extensions.ext_multilayer),
+        Experiment("ext_robust", "sought by Section 6.1",
+                   "outlier-robust RMIs on fb",
+                   extensions.ext_robust),
+        Experiment("ext_distributions", "Section 4.3 remark",
+                   "RMIs on statistical vs real-world data",
+                   extensions.ext_distributions),
+        Experiment("ext_variance", "footnote 2",
+                   "per-lookup cost variance, RMI vs capped indexes",
+                   extensions.ext_variance),
+        Experiment("ext_baselines", "Sections 3.1/3.2",
+                   "FAST, FITing-tree, compressed PGM vs Table 5 anchors",
+                   extensions.ext_baselines),
+        Experiment("ext_updates", "Table 1",
+                   "insert support across structures, measured",
+                   extensions.ext_updates),
+    ]
+}
+
+
+def experiment_ids() -> list[str]:
+    return list(EXPERIMENTS)
+
+
+def run_experiment(figure_id: str, **kwargs) -> FigureResult:
+    """Run one experiment by id (e.g. ``"fig04"``)."""
+    try:
+        exp = EXPERIMENTS[figure_id]
+    except KeyError:
+        known = ", ".join(EXPERIMENTS)
+        raise ValueError(f"unknown experiment {figure_id!r}; known: {known}")
+    return exp.driver(**kwargs)

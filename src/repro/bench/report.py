@@ -1,0 +1,127 @@
+"""Plain-text rendering of figure-reproduction results.
+
+The paper's evaluation is a set of figures; our drivers regenerate each
+figure's underlying series as rows of numbers.  This module renders
+those rows as aligned text tables so results are readable in a
+terminal and diffable in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable
+
+__all__ = ["FigureResult", "render_table", "format_bytes", "format_ns"]
+
+
+@dataclass
+class FigureResult:
+    """One reproduced figure: metadata plus its data rows."""
+
+    figure_id: str  # e.g. "fig04"
+    title: str
+    columns: list[str]
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, **row: Any) -> None:
+        self.rows.append(row)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def series(self, **filters: Any) -> list[dict[str, Any]]:
+        """Rows matching all given column=value filters."""
+        return [
+            r for r in self.rows
+            if all(r.get(k) == v for k, v in filters.items())
+        ]
+
+    def column(self, name: str, **filters: Any) -> list[Any]:
+        """Values of one column for the filtered rows."""
+        return [r[name] for r in self.series(**filters)]
+
+    def render(self) -> str:
+        lines = [f"== {self.figure_id}: {self.title} =="]
+        lines.append(render_table(self.columns, self.rows))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_csv(self, path: "str | os.PathLike | None" = None) -> str:
+        """Rows as CSV text (plot-tool friendly); optionally written
+        to ``path``."""
+        buf = io.StringIO()
+        writer = csv.DictWriter(buf, fieldnames=self.columns,
+                                extrasaction="ignore")
+        writer.writeheader()
+        writer.writerows(self.rows)
+        text = buf.getvalue()
+        if path is not None:
+            Path(path).write_text(text)
+        return text
+
+    def to_json(self, path: "str | os.PathLike | None" = None) -> str:
+        """Full result (metadata + rows + notes) as JSON."""
+        payload = {
+            "figure_id": self.figure_id,
+            "title": self.title,
+            "columns": self.columns,
+            "rows": self.rows,
+            "notes": self.notes,
+        }
+        text = json.dumps(payload, indent=2, default=str)
+        if path is not None:
+            Path(path).write_text(text)
+        return text
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(columns: list[str], rows: Iterable[dict[str, Any]]) -> str:
+    """Render dict rows as an aligned, pipe-separated text table."""
+    rendered = [[_fmt(row.get(c, "")) for c in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered)) if rendered else len(col)
+        for i, col in enumerate(columns)
+    ]
+    header = " | ".join(c.ljust(w) for c, w in zip(columns, widths))
+    rule = "-+-".join("-" * w for w in widths)
+    body = [
+        " | ".join(cell.rjust(w) for cell, w in zip(r, widths))
+        for r in rendered
+    ]
+    return "\n".join([header, rule, *body])
+
+
+def format_bytes(num: float) -> str:
+    """Human-readable size, e.g. ``3.2 MiB``."""
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(num) < 1024 or unit == "GiB":
+            return f"{num:.1f} {unit}" if unit != "B" else f"{num:.0f} B"
+        num /= 1024
+    return f"{num:.1f} GiB"  # pragma: no cover
+
+
+def format_ns(ns: float) -> str:
+    """Human-readable duration from nanoseconds."""
+    if ns < 1_000:
+        return f"{ns:.0f} ns"
+    if ns < 1_000_000:
+        return f"{ns / 1000:.1f} us"
+    return f"{ns / 1e6:.1f} ms"

@@ -1,0 +1,278 @@
+"""Zero-dependency SVG line plots for figure results.
+
+The paper's evaluation is communicated through line plots; this module
+turns a :class:`~repro.bench.report.FigureResult` into an SVG image so
+the reproduction regenerates *figures*, not just tables -- without
+pulling in matplotlib (the repository is dependency-light by design).
+
+Two layers:
+
+* :class:`LinePlot` -- a minimal chart: linear/log axes, multiple named
+  series, ticks, legend, title.  Emits a self-contained SVG string.
+* :func:`figure_to_svg` -- groups a ``FigureResult``'s rows into series
+  by a key column and plots ``x`` vs ``y``.
+* :data:`PLOT_SPECS` -- per-figure plotting recipes (axes, grouping,
+  log scales) used by ``python -m repro.bench --svg DIR``.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Sequence
+
+from .report import FigureResult
+
+__all__ = ["LinePlot", "figure_to_svg", "PLOT_SPECS", "plot_figure"]
+
+#: Categorical palette (colorblind-safe Okabe-Ito).
+_COLORS = [
+    "#0072B2", "#E69F00", "#009E73", "#D55E00",
+    "#CC79A7", "#56B4E9", "#F0E442", "#000000",
+]
+
+
+@dataclass
+class _Series:
+    name: str
+    xs: list[float]
+    ys: list[float]
+
+
+@dataclass
+class LinePlot:
+    """A minimal multi-series line chart rendered to SVG."""
+
+    title: str = ""
+    x_label: str = ""
+    y_label: str = ""
+    log_x: bool = False
+    log_y: bool = False
+    width: int = 640
+    height: int = 420
+    series: list[_Series] = field(default_factory=list)
+
+    _MARGIN_L = 70
+    _MARGIN_R = 150
+    _MARGIN_T = 40
+    _MARGIN_B = 55
+
+    def add_series(self, name: str, xs: Sequence[float],
+                   ys: Sequence[float]) -> None:
+        pairs = [
+            (float(x), float(y))
+            for x, y in zip(xs, ys)
+            if _plottable(x, self.log_x) and _plottable(y, self.log_y)
+        ]
+        pairs.sort()
+        if pairs:
+            self.series.append(_Series(
+                name, [p[0] for p in pairs], [p[1] for p in pairs]
+            ))
+
+    # -- scaling -----------------------------------------------------------
+
+    def _domain(self, axis: str) -> tuple[float, float]:
+        values = [
+            v
+            for s in self.series
+            for v in (s.xs if axis == "x" else s.ys)
+        ]
+        lo, hi = min(values), max(values)
+        if lo == hi:
+            pad = abs(lo) * 0.1 or 1.0
+            lo, hi = lo - pad, hi + pad
+        return lo, hi
+
+    def _scale(self, value: float, axis: str) -> float:
+        lo, hi = self._domain(axis)
+        log = self.log_x if axis == "x" else self.log_y
+        if log:
+            value, lo, hi = math.log10(value), math.log10(lo), math.log10(hi)
+        frac = (value - lo) / (hi - lo)
+        if axis == "x":
+            span = self.width - self._MARGIN_L - self._MARGIN_R
+            return self._MARGIN_L + frac * span
+        span = self.height - self._MARGIN_T - self._MARGIN_B
+        return self.height - self._MARGIN_B - frac * span
+
+    def _ticks(self, axis: str, count: int = 5) -> list[float]:
+        lo, hi = self._domain(axis)
+        log = self.log_x if axis == "x" else self.log_y
+        if log:
+            lo_e = math.floor(math.log10(lo))
+            hi_e = math.ceil(math.log10(hi))
+            step = max((hi_e - lo_e) // count, 1)
+            return [10.0**e for e in range(lo_e, hi_e + 1, step)]
+        step = (hi - lo) / count
+        return [lo + i * step for i in range(count + 1)]
+
+    # -- rendering ----------------------------------------------------------
+
+    def render(self) -> str:
+        if not self.series:
+            raise ValueError("cannot render a plot with no series")
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" font-family="sans-serif" '
+            f'font-size="12">',
+            f'<rect width="{self.width}" height="{self.height}" '
+            'fill="white"/>',
+            f'<text x="{self.width / 2}" y="22" text-anchor="middle" '
+            f'font-size="15">{_esc(self.title)}</text>',
+        ]
+        # Axes box.
+        x0, y0 = self._MARGIN_L, self.height - self._MARGIN_B
+        x1, y1 = self.width - self._MARGIN_R, self._MARGIN_T
+        parts.append(
+            f'<rect x="{x0}" y="{y1}" width="{x1 - x0}" height="{y0 - y1}" '
+            'fill="none" stroke="#999"/>'
+        )
+        # Ticks + grid.
+        for tick in self._ticks("x"):
+            px = self._scale(tick, "x")
+            parts.append(f'<line x1="{px:.1f}" y1="{y0}" x2="{px:.1f}" '
+                         f'y2="{y1}" stroke="#eee"/>')
+            parts.append(f'<text x="{px:.1f}" y="{y0 + 18}" '
+                         f'text-anchor="middle">{_fmt_tick(tick)}</text>')
+        for tick in self._ticks("y"):
+            py = self._scale(tick, "y")
+            parts.append(f'<line x1="{x0}" y1="{py:.1f}" x2="{x1}" '
+                         f'y2="{py:.1f}" stroke="#eee"/>')
+            parts.append(f'<text x="{x0 - 6}" y="{py + 4:.1f}" '
+                         f'text-anchor="end">{_fmt_tick(tick)}</text>')
+        # Axis labels.
+        parts.append(
+            f'<text x="{(x0 + x1) / 2}" y="{self.height - 12}" '
+            f'text-anchor="middle">{_esc(self.x_label)}</text>'
+        )
+        parts.append(
+            f'<text x="18" y="{(y0 + y1) / 2}" text-anchor="middle" '
+            f'transform="rotate(-90 18 {(y0 + y1) / 2})">'
+            f'{_esc(self.y_label)}</text>'
+        )
+        # Series polylines + legend.
+        for i, s in enumerate(self.series):
+            color = _COLORS[i % len(_COLORS)]
+            points = " ".join(
+                f"{self._scale(x, 'x'):.1f},{self._scale(y, 'y'):.1f}"
+                for x, y in zip(s.xs, s.ys)
+            )
+            parts.append(f'<polyline points="{points}" fill="none" '
+                         f'stroke="{color}" stroke-width="2"/>')
+            for x, y in zip(s.xs, s.ys):
+                parts.append(
+                    f'<circle cx="{self._scale(x, "x"):.1f}" '
+                    f'cy="{self._scale(y, "y"):.1f}" r="2.6" '
+                    f'fill="{color}"/>'
+                )
+            ly = self._MARGIN_T + 16 * i
+            lx = self.width - self._MARGIN_R + 10
+            parts.append(f'<line x1="{lx}" y1="{ly}" x2="{lx + 18}" '
+                         f'y2="{ly}" stroke="{color}" stroke-width="2"/>')
+            parts.append(f'<text x="{lx + 23}" y="{ly + 4}">'
+                         f'{_esc(s.name)}</text>')
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def write(self, path: "str | os.PathLike") -> None:
+        Path(path).write_text(self.render())
+
+
+def _plottable(value: Any, log: bool) -> bool:
+    try:
+        v = float(value)
+    except (TypeError, ValueError):
+        return False
+    if math.isnan(v) or math.isinf(v):
+        return False
+    return v > 0 if log else True
+
+
+def _esc(text: str) -> str:
+    return (str(text).replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))
+
+
+def _fmt_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 10_000 or abs(value) < 0.01:
+        exp = int(math.floor(math.log10(abs(value))))
+        mant = value / 10**exp
+        if abs(mant - 1.0) < 1e-9:
+            return f"1e{exp}"
+        return f"{mant:.1f}e{exp}"
+    if abs(value) >= 100:
+        return f"{value:,.0f}"
+    return f"{value:g}"
+
+
+def figure_to_svg(
+    result: FigureResult,
+    x: str,
+    y: str,
+    series_by: "str | Sequence[str]",
+    log_x: bool = False,
+    log_y: bool = False,
+    path: "str | os.PathLike | None" = None,
+) -> str:
+    """Plot a FigureResult: ``x`` vs ``y``, one line per ``series_by``
+    value (or tuple of values)."""
+    if isinstance(series_by, str):
+        series_by = [series_by]
+    plot = LinePlot(
+        title=f"{result.figure_id}: {result.title}",
+        x_label=x,
+        y_label=y,
+        log_x=log_x,
+        log_y=log_y,
+    )
+    groups: dict[str, list[dict]] = {}
+    for row in result.rows:
+        key = " / ".join(str(row.get(c, "")) for c in series_by)
+        groups.setdefault(key, []).append(row)
+    for name, rows in groups.items():
+        plot.add_series(name, [r.get(x) for r in rows],
+                        [r.get(y) for r in rows])
+    svg = plot.render()
+    if path is not None:
+        Path(path).write_text(svg)
+    return svg
+
+
+#: Per-figure plotting recipes for the CLI's ``--svg`` flag.
+PLOT_SPECS: dict[str, dict] = {
+    "fig04": dict(x="segments", y="empty_pct",
+                  series_by=["dataset", "root"], log_x=True),
+    "fig05": dict(x="segments", y="largest",
+                  series_by=["dataset", "root"], log_x=True, log_y=True),
+    "fig06": dict(x="segments", y="median_err",
+                  series_by=["dataset", "combo"], log_x=True, log_y=True),
+    "fig07": dict(x="index_bytes", y="median_interval",
+                  series_by=["dataset", "combo", "bounds"], log_x=True,
+                  log_y=True),
+    "fig08": dict(x="index_bytes", y="est_ns",
+                  series_by=["dataset", "combo"], log_x=True),
+    "fig09": dict(x="index_bytes", y="est_ns",
+                  series_by=["dataset", "combo", "bounds"], log_x=True),
+    "fig10": dict(x="index_bytes", y="est_ns",
+                  series_by=["dataset", "combo", "search"], log_x=True),
+    "fig11": dict(x="segments", y="build_s",
+                  series_by=["panel", "variant"], log_x=True),
+    "fig12": dict(x="index_bytes", y="est_ns",
+                  series_by=["dataset", "index"], log_x=True, log_y=True),
+    "fig14": dict(x="index_bytes", y="build_s",
+                  series_by=["dataset", "index"], log_x=True, log_y=True),
+}
+
+
+def plot_figure(result: FigureResult,
+                path: "str | os.PathLike") -> "str | None":
+    """Plot a figure using its registered spec; None when no spec."""
+    spec = PLOT_SPECS.get(result.figure_id)
+    if spec is None:
+        return None
+    return figure_to_svg(result, path=path, **spec)

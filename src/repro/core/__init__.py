@@ -1,0 +1,137 @@
+"""Core RMI implementation: the paper's primary subject.
+
+Public surface:
+
+* :class:`~repro.core.rmi.RMI` -- the recursive model index.
+* Model types (Table 2), error bounds (Table 3), search algorithms
+  (Table 4) with their registries.
+* Structural analyses of Section 5 (:mod:`repro.core.analysis`).
+* A CDFShop-style configuration optimizer (:mod:`repro.core.optimizer`).
+"""
+
+from .advisor import Recommendation, WorkloadRequirements, recommend_index
+from .analysis import (
+    IntervalStats,
+    PredictionErrorStats,
+    SegmentationStats,
+    interval_sizes,
+    interval_stats,
+    prediction_errors,
+    root_approximation,
+    segment_keys,
+    segmentation_stats,
+)
+from .builder import (
+    DEFAULT_CONFIG,
+    LAYER2_SIZE_SWEEP,
+    LEAF_MODEL_TYPES,
+    ROOT_MODEL_TYPES,
+    RMIConfig,
+    build_rmi,
+    guideline_config,
+)
+from .bounds import (
+    BOUND_TYPES,
+    ErrorBounds,
+    GlobalAbsoluteBounds,
+    GlobalIndividualBounds,
+    LocalAbsoluteBounds,
+    LocalIndividualBounds,
+    NoBounds,
+    compute_bounds,
+    resolve_bound_type,
+)
+from .models import (
+    MODEL_TYPES,
+    ConstantModel,
+    CubicSpline,
+    LinearRegression,
+    LinearSpline,
+    Model,
+    Radix,
+    resolve_model_type,
+)
+from .models_more import LogLinear, LogNormalCdf, NormalCdf
+from .neural import NeuralNet
+from .optimizer import OptimizerResult, grid_search, pareto_front
+from .rmi import RMI, BuildStats, LookupTrace, build_rmi_layers
+from .robust import OutlierSplit, RobustRMI, detect_outliers
+from .serialize import load_rmi, save_rmi
+from .validate import ValidationReport, validate_rmi
+from .search import (
+    SEARCH_ALGORITHMS,
+    SearchResult,
+    binary_search,
+    exponential_search,
+    linear_search,
+    model_biased_binary_search,
+    model_biased_exponential_search,
+    model_biased_linear_search,
+    resolve_search_algorithm,
+)
+
+__all__ = [
+    "recommend_index",
+    "WorkloadRequirements",
+    "Recommendation",
+    "LogLinear",
+    "NormalCdf",
+    "LogNormalCdf",
+    "save_rmi",
+    "load_rmi",
+    "validate_rmi",
+    "ValidationReport",
+    "NeuralNet",
+    "RobustRMI",
+    "OutlierSplit",
+    "detect_outliers",
+    "RMIConfig",
+    "DEFAULT_CONFIG",
+    "build_rmi",
+    "guideline_config",
+    "ROOT_MODEL_TYPES",
+    "LEAF_MODEL_TYPES",
+    "LAYER2_SIZE_SWEEP",
+    "SegmentationStats",
+    "segment_keys",
+    "segmentation_stats",
+    "root_approximation",
+    "PredictionErrorStats",
+    "prediction_errors",
+    "IntervalStats",
+    "interval_sizes",
+    "interval_stats",
+    "OptimizerResult",
+    "grid_search",
+    "pareto_front",
+    "RMI",
+    "BuildStats",
+    "LookupTrace",
+    "build_rmi_layers",
+    "Model",
+    "ConstantModel",
+    "LinearRegression",
+    "LinearSpline",
+    "CubicSpline",
+    "Radix",
+    "MODEL_TYPES",
+    "resolve_model_type",
+    "ErrorBounds",
+    "LocalIndividualBounds",
+    "LocalAbsoluteBounds",
+    "GlobalIndividualBounds",
+    "GlobalAbsoluteBounds",
+    "NoBounds",
+    "BOUND_TYPES",
+    "compute_bounds",
+    "resolve_bound_type",
+    "SearchResult",
+    "binary_search",
+    "model_biased_binary_search",
+    "model_biased_linear_search",
+    "model_biased_exponential_search",
+    "linear_search",
+    "exponential_search",
+    "SEARCH_ALGORITHMS",
+    "resolve_search_algorithm",
+]

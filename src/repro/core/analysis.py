@@ -1,0 +1,195 @@
+"""Structural analyses of RMIs (Section 5 of the paper).
+
+Three families of machine-independent measurements drive the paper's
+predictive-accuracy analysis:
+
+* **Segmentation** (Section 5.1): how a root model divides the keys
+  into segments -- the share of *empty segments* (Figure 4) and the
+  size of the *largest segment* (Figure 5).
+* **Prediction** (Section 5.2): per-key absolute error of the full RMI;
+  the paper reports the *median* absolute error (Figure 6) because the
+  mean is skewed by large LR-clamping segments.
+* **Error bounds** (Section 5.3): the per-key size of the search
+  interval each bound strategy induces (Figure 7).
+
+All functions work on plain arrays or a trained :class:`~repro.core.rmi.RMI`
+and return dataclasses that figure drivers render into the paper's
+series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .models import Model, resolve_model_type
+from .rmi import RMI, _assignments
+
+__all__ = [
+    "SegmentationStats",
+    "segment_keys",
+    "segmentation_stats",
+    "root_approximation",
+    "PredictionErrorStats",
+    "prediction_errors",
+    "interval_sizes",
+    "IntervalStats",
+    "interval_stats",
+]
+
+
+# ---------------------------------------------------------------------------
+# Segmentation (Section 5.1)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SegmentationStats:
+    """Summary of a root model's key-to-segment partition."""
+
+    num_segments: int
+    num_keys: int
+    empty_segments: int
+    largest_segment: int
+    mean_nonempty: float
+
+    @property
+    def empty_fraction(self) -> float:
+        """Share of segments containing no key (Figure 4's y-axis)."""
+        return self.empty_segments / self.num_segments if self.num_segments else 0.0
+
+    @property
+    def largest_fraction(self) -> float:
+        """Largest segment as a fraction of all keys."""
+        return self.largest_segment / self.num_keys if self.num_keys else 0.0
+
+
+def segment_keys(
+    keys: np.ndarray,
+    root: "str | type[Model]",
+    num_segments: int,
+    train_on_model_index: bool = True,
+) -> np.ndarray:
+    """Assign every key to a segment using a freshly trained root model.
+
+    Reproduces exactly what two-layer RMI training does before fitting
+    the second layer: train the root on the scaled CDF and map each
+    key's estimate to a segment index (Equation 3).
+    """
+    keys = np.ascontiguousarray(keys, dtype=np.uint64)
+    n = len(keys)
+    model_type = resolve_model_type(root)
+    positions = np.arange(n, dtype=np.float64)
+    if train_on_model_index:
+        targets = positions * (num_segments / n)
+    else:
+        targets = positions
+    model = model_type.fit(keys, targets)
+    preds = model.predict_batch(keys)
+    return _assignments(preds, num_segments, n, train_on_model_index)
+
+
+def segmentation_stats(assignments: np.ndarray, num_segments: int) -> SegmentationStats:
+    """Compute Figure 4/5 statistics from a key-to-segment assignment."""
+    counts = np.bincount(assignments, minlength=num_segments)
+    nonempty = counts[counts > 0]
+    return SegmentationStats(
+        num_segments=num_segments,
+        num_keys=int(len(assignments)),
+        empty_segments=int(num_segments - len(nonempty)),
+        largest_segment=int(counts.max()) if num_segments else 0,
+        mean_nonempty=float(nonempty.mean()) if len(nonempty) else 0.0,
+    )
+
+
+def root_approximation(
+    keys: np.ndarray, root: "str | type[Model]", samples: int = 512
+) -> tuple[np.ndarray, np.ndarray]:
+    """Root model's CDF approximation on sampled keys (Figure 3).
+
+    Returns ``(sampled keys, predicted positions)`` with predictions in
+    position space (0..n-1), clamped like the lookup path clamps.
+    """
+    keys = np.ascontiguousarray(keys, dtype=np.uint64)
+    n = len(keys)
+    model = resolve_model_type(root).fit(keys, np.arange(n, dtype=np.float64))
+    idx = np.unique(np.linspace(0, n - 1, min(samples, n)).astype(np.int64))
+    xs = keys[idx]
+    preds = np.clip(model.predict_batch(xs), 0, n - 1)
+    return xs, preds
+
+
+# ---------------------------------------------------------------------------
+# Prediction errors (Section 5.2)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PredictionErrorStats:
+    """Distribution of per-key absolute prediction errors of an RMI."""
+
+    median: float
+    mean: float
+    p99: float
+    max: float
+
+    @classmethod
+    def from_errors(cls, abs_errors: np.ndarray) -> "PredictionErrorStats":
+        if len(abs_errors) == 0:
+            return cls(0.0, 0.0, 0.0, 0.0)
+        return cls(
+            median=float(np.median(abs_errors)),
+            mean=float(np.mean(abs_errors)),
+            p99=float(np.percentile(abs_errors, 99)),
+            max=float(np.max(abs_errors)),
+        )
+
+
+def prediction_errors(rmi: RMI) -> np.ndarray:
+    """Per-key absolute prediction error of a trained RMI.
+
+    Uses the training-time leaf routing, matching how the paper (and
+    the reference implementation) measures accuracy.
+    """
+    preds = rmi._predict_positions(rmi.keys, rmi.leaf_model_ids)
+    return np.abs(preds - np.arange(rmi.n, dtype=np.int64))
+
+
+# ---------------------------------------------------------------------------
+# Error-interval sizes (Section 5.3)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IntervalStats:
+    """Distribution of per-key error-interval sizes (Figure 7)."""
+
+    median: float
+    mean: float
+    max: float
+    bounds_bytes: int
+
+
+def interval_sizes(rmi: RMI) -> np.ndarray:
+    """Per-key search-interval size the RMI's bounds induce.
+
+    The interval is clamped to the array like the lookup path clamps it,
+    so the numbers equal the keys actually compared by ``bin`` search.
+    """
+    preds = rmi._predict_positions(rmi.keys, rmi.leaf_model_ids)
+    lo, hi = rmi.bounds.intervals(preds, rmi.leaf_model_ids)
+    lo = np.clip(lo, 0, rmi.n - 1)
+    hi = np.clip(hi, 0, rmi.n - 1)
+    return (hi - lo + 1).astype(np.int64)
+
+
+def interval_stats(rmi: RMI) -> IntervalStats:
+    """Summarize :func:`interval_sizes` for figure drivers."""
+    sizes = interval_sizes(rmi)
+    return IntervalStats(
+        median=float(np.median(sizes)),
+        mean=float(np.mean(sizes)),
+        max=float(np.max(sizes)),
+        bounds_bytes=rmi.bounds.size_in_bytes(),
+    )

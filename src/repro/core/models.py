@@ -1,0 +1,479 @@
+"""Model types used inside recursive model indexes.
+
+This module implements the four model families evaluated in the paper
+(Table 2):
+
+===== ===================== ===========================================
+Abrv. Method                Formula
+===== ===================== ===========================================
+LR    Linear regression     ``f(x) = a*x + b`` (least squares)
+LS    Linear spline         ``f(x) = a*x + b`` (through the endpoints)
+CS    Cubic spline          ``f(x) = a*x^3 + b*x^2 + c*x + d``
+RX    Radix                 ``f(x) = (x << a) >> b``
+===== ===================== ===========================================
+
+All models map a 64-bit unsigned integer key to a (floating point)
+position estimate.  Every model fitted on keys with monotonically
+non-decreasing targets is itself monotonically non-decreasing, a property
+the optimized RMI training algorithm (Section 4.1 of the paper) relies on:
+monotonic models never produce overlapping segments, so key ranges can be
+represented by ``(lo, hi)`` index pairs instead of copied arrays.
+
+Models are fitted via :meth:`Model.fit` on ``(keys, targets)`` pairs where
+``targets`` is typically either the position of the key in the sorted
+array (classic RMI training) or the pre-scaled next-layer model index
+(the paper's optimized inner-layer training, Section 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar, Type
+
+import numpy as np
+
+__all__ = [
+    "Model",
+    "ConstantModel",
+    "LinearRegression",
+    "LinearSpline",
+    "CubicSpline",
+    "Radix",
+    "AutoModel",
+    "MODEL_TYPES",
+    "resolve_model_type",
+]
+
+#: Number of bits in the key type.  The paper (and SOSD) use 64-bit
+#: unsigned integer keys throughout.
+KEY_BITS = 64
+
+
+def _as_float(keys: np.ndarray) -> np.ndarray:
+    """Convert a key array to float64 for arithmetic model evaluation."""
+    return np.asarray(keys, dtype=np.float64)
+
+
+class Model:
+    """Abstract base class of all RMI component models.
+
+    Subclasses implement :meth:`fit` (training), :meth:`predict_batch`
+    (vectorized evaluation) and :meth:`size_in_bytes` (the contribution of
+    one model instance to the index size, following the accounting of
+    Table 2: one IEEE double per stored coefficient).
+    """
+
+    #: Short lowercase identifier, e.g. ``"lr"`` (set by subclasses).
+    abbreviation: ClassVar[str] = "?"
+
+    #: Relative cost of evaluating the model once; consumed by the
+    #: analytic cost model (``repro.cost``).  Unit: multiply-adds.
+    eval_cost_units: ClassVar[float] = 1.0
+
+    @classmethod
+    def fit(cls, keys: np.ndarray, targets: np.ndarray) -> "Model":
+        """Train a model on ``keys`` (sorted ``uint64``) and ``targets``.
+
+        ``keys`` and ``targets`` must have equal length.  Fitting an empty
+        segment returns a model that predicts 0 everywhere, mirroring the
+        reference implementation's behaviour for empty second-layer
+        models.
+        """
+        raise NotImplementedError
+
+    def predict(self, key: int) -> float:
+        """Evaluate the model on a single key."""
+        return float(self.predict_batch(np.asarray([key], dtype=np.uint64))[0])
+
+    def predict_batch(self, keys: np.ndarray) -> np.ndarray:
+        """Evaluate the model on an array of keys, returning float64."""
+        raise NotImplementedError
+
+    def size_in_bytes(self) -> int:
+        """Size of this model's parameters in bytes."""
+        raise NotImplementedError
+
+    def is_monotonic(self) -> bool:
+        """Whether the fitted model is monotonically non-decreasing."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ConstantModel(Model):
+    """Degenerate model predicting a constant.
+
+    Used for empty segments (no keys assigned to a second-layer model)
+    and as the zero-key / one-key fallback of the spline models.
+    """
+
+    value: float = 0.0
+
+    abbreviation: ClassVar[str] = "const"
+    eval_cost_units: ClassVar[float] = 0.5
+
+    @classmethod
+    def fit(cls, keys: np.ndarray, targets: np.ndarray) -> "ConstantModel":
+        if len(targets) == 0:
+            return cls(0.0)
+        return cls(float(np.mean(targets)))
+
+    def predict_batch(self, keys: np.ndarray) -> np.ndarray:
+        return np.full(len(keys), self.value, dtype=np.float64)
+
+    def size_in_bytes(self) -> int:
+        return 8
+
+    def is_monotonic(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class LinearRegression(Model):
+    """Least-squares linear model ``f(x) = slope * x + intercept``.
+
+    Unlike the spline models, LR considers *all* keys during training
+    (it minimizes the mean squared error), which the paper identifies as
+    the reason for its higher training cost (Section 7, Figure 11a).
+
+    ``trim`` optionally ignores the lowest and highest ``trim`` fraction
+    of keys during fitting.  The paper (Section 6.1) attributes the good
+    fb numbers of prior work to exactly such a variant (trim = 0.0001,
+    i.e. 0.01 %); we expose it to reproduce that discussion.
+    """
+
+    slope: float = 0.0
+    intercept: float = 0.0
+
+    abbreviation: ClassVar[str] = "lr"
+    eval_cost_units: ClassVar[float] = 1.0
+
+    @classmethod
+    def fit(
+        cls,
+        keys: np.ndarray,
+        targets: np.ndarray,
+        trim: float = 0.0,
+    ) -> "LinearRegression":
+        n = len(keys)
+        if n == 0:
+            return cls(0.0, 0.0)
+        if trim > 0.0 and n > 2:
+            cut = int(n * trim)
+            if cut > 0 and n - 2 * cut >= 2:
+                keys = keys[cut : n - cut]
+                targets = targets[cut : n - cut]
+                n = len(keys)
+        if n == 1:
+            return cls(0.0, float(targets[0]))
+        x = _as_float(keys)
+        y = np.asarray(targets, dtype=np.float64)
+        # Center x for numerical stability: 64-bit keys squared overflow
+        # the exactly-representable range of float64 by a wide margin.
+        mx = x.mean()
+        my = y.mean()
+        dx = x - mx
+        denom = float(np.dot(dx, dx))
+        if denom == 0.0:
+            # All keys identical (duplicates collapse): constant model.
+            return cls(0.0, my)
+        slope = float(np.dot(dx, y - my) / denom)
+        intercept = my - slope * mx
+        return cls(slope, intercept)
+
+    def predict_batch(self, keys: np.ndarray) -> np.ndarray:
+        return self.slope * _as_float(keys) + self.intercept
+
+    def size_in_bytes(self) -> int:
+        return 16  # two doubles
+
+    def is_monotonic(self) -> bool:
+        return self.slope >= 0.0
+
+
+@dataclass(frozen=True)
+class LinearSpline(Model):
+    """Linear spline segment through the leftmost and rightmost points.
+
+    Training touches only two data points, which makes LS dramatically
+    cheaper to train than LR (Section 7) at a usually small accuracy
+    penalty; evaluation cost is identical to LR.
+    """
+
+    slope: float = 0.0
+    intercept: float = 0.0
+
+    abbreviation: ClassVar[str] = "ls"
+    eval_cost_units: ClassVar[float] = 1.0
+
+    @classmethod
+    def fit(cls, keys: np.ndarray, targets: np.ndarray) -> "LinearSpline":
+        n = len(keys)
+        if n == 0:
+            return cls(0.0, 0.0)
+        x0 = float(keys[0])
+        y0 = float(targets[0])
+        if n == 1 or float(keys[-1]) == x0:
+            return cls(0.0, y0)
+        x1 = float(keys[-1])
+        y1 = float(targets[-1])
+        slope = (y1 - y0) / (x1 - x0)
+        return cls(slope, y0 - slope * x0)
+
+    def predict_batch(self, keys: np.ndarray) -> np.ndarray:
+        return self.slope * _as_float(keys) + self.intercept
+
+    def size_in_bytes(self) -> int:
+        return 16
+
+    def is_monotonic(self) -> bool:
+        return self.slope >= 0.0
+
+
+@dataclass(frozen=True)
+class CubicSpline(Model):
+    """Monotone cubic Hermite segment through the endpoints.
+
+    Follows the reference implementation: a cubic is fit through the
+    leftmost and rightmost data points with endpoint tangents estimated
+    from the adjacent points; tangents are limited (Fritsch–Carlson) so
+    that the segment remains monotone.  Keys are normalized to ``[0, 1]``
+    before fitting to keep the cubic numerically sane on 64-bit keys.
+
+    The reference implementation additionally trains a linear spline and
+    falls back to it when the cubic has a higher maximum error (paper,
+    footnote 1); that logic lives in :meth:`fit_with_fallback`.
+    """
+
+    # f(t) = a3*t^3 + a2*t^2 + a1*t + a0 on normalized t = (x-x0)/(x1-x0)
+    a3: float = 0.0
+    a2: float = 0.0
+    a1: float = 0.0
+    a0: float = 0.0
+    x_offset: float = 0.0
+    x_scale: float = 0.0  # 1 / (x1 - x0); zero means degenerate/constant
+
+    abbreviation: ClassVar[str] = "cs"
+    eval_cost_units: ClassVar[float] = 2.0
+
+    @classmethod
+    def fit(cls, keys: np.ndarray, targets: np.ndarray) -> "CubicSpline":
+        n = len(keys)
+        if n == 0:
+            return cls()
+        x0 = float(keys[0])
+        y0 = float(targets[0])
+        if n == 1 or float(keys[-1]) == x0:
+            return cls(a0=y0, x_offset=x0, x_scale=0.0)
+        x1 = float(keys[-1])
+        y1 = float(targets[-1])
+        scale = 1.0 / (x1 - x0)
+        dy = y1 - y0
+        # Endpoint tangents from the immediately adjacent interior points,
+        # expressed in normalized coordinates (dt per unit t).
+        m0 = cls._endpoint_slope(keys, targets, 0, x0, x1, scale)
+        m1 = cls._endpoint_slope(keys, targets, n - 1, x0, x1, scale)
+        # Fritsch-Carlson limiting keeps the Hermite segment monotone.
+        if dy == 0.0:
+            m0 = m1 = 0.0
+        else:
+            limit = 3.0 * dy
+            m0 = min(max(m0, 0.0), limit) if dy > 0 else max(min(m0, 0.0), limit)
+            m1 = min(max(m1, 0.0), limit) if dy > 0 else max(min(m1, 0.0), limit)
+        # Hermite basis on t in [0, 1]:
+        #   f(t) = y0*h00 + m0*h10 + y1*h01 + m1*h11
+        a3 = 2.0 * y0 + m0 - 2.0 * y1 + m1
+        a2 = -3.0 * y0 - 2.0 * m0 + 3.0 * y1 - m1
+        a1 = m0
+        a0 = y0
+        return cls(a3, a2, a1, a0, x_offset=x0, x_scale=scale)
+
+    @staticmethod
+    def _endpoint_slope(
+        keys: np.ndarray,
+        targets: np.ndarray,
+        at: int,
+        x0: float,
+        x1: float,
+        scale: float,
+    ) -> float:
+        """Tangent estimate at the first or last point, in t-space."""
+        n = len(keys)
+        neighbour = 1 if at == 0 else n - 2
+        xa = float(keys[at])
+        xb = float(keys[neighbour])
+        if xa == xb:
+            # Fall back to the secant of the whole segment.
+            return float(targets[-1]) - float(targets[0])
+        secant = (float(targets[neighbour]) - float(targets[at])) / (xb - xa)
+        return secant / scale  # d/dt = (d/dx) * (x1 - x0)
+
+    @classmethod
+    def fit_with_fallback(
+        cls, keys: np.ndarray, targets: np.ndarray
+    ) -> "Model":
+        """Fit a cubic and a linear spline; keep whichever errs less.
+
+        Mirrors the reference implementation (paper footnote 1).  The
+        comparison uses the maximum absolute error over the training
+        keys.
+        """
+        cubic = cls.fit(keys, targets)
+        linear = LinearSpline.fit(keys, targets)
+        if len(keys) == 0:
+            return cubic
+        y = np.asarray(targets, dtype=np.float64)
+        err_cubic = float(np.max(np.abs(cubic.predict_batch(keys) - y)))
+        err_linear = float(np.max(np.abs(linear.predict_batch(keys) - y)))
+        return cubic if err_cubic <= err_linear else linear
+
+    def predict_batch(self, keys: np.ndarray) -> np.ndarray:
+        t = (_as_float(keys) - self.x_offset) * self.x_scale
+        return ((self.a3 * t + self.a2) * t + self.a1) * t + self.a0
+
+    def size_in_bytes(self) -> int:
+        return 32  # four doubles (normalization params fold into them)
+
+    def is_monotonic(self) -> bool:
+        # By construction (Fritsch-Carlson limited Hermite) the segment is
+        # monotone between the endpoints; verify via the derivative's
+        # critical points as a safety net.
+        if self.x_scale == 0.0:
+            return True
+        # f'(t) = 3*a3*t^2 + 2*a2*t + a1 must not change sign on [0, 1].
+        ts = np.linspace(0.0, 1.0, 17)
+        d = (3.0 * self.a3 * ts + 2.0 * self.a2) * ts + self.a1
+        return bool(np.all(d >= -1e-9) or np.all(d <= 1e-9))
+
+
+@dataclass(frozen=True)
+class Radix(Model):
+    """Radix model ``f(x) = (x << a) >> b``.
+
+    Eliminates the common bit prefix of the training keys (left shift)
+    and maps the most significant remaining bits onto the target range
+    (right shift).  Training inspects only the smallest and largest key;
+    evaluation is two shifts, making RX the cheapest model to both train
+    and evaluate (Section 7, Figure 11a).
+
+    Note that RX only ever outputs the value of a bit prefix: its range
+    is ``[0, 2^bits)`` for ``bits = left-shift-adjusted`` significant
+    bits, which generally covers only a fraction of the target positions
+    and explains the high share of empty segments it produces
+    (Section 5.1, Figure 4).
+    """
+
+    left_shift: int = 0
+    right_shift: int = KEY_BITS
+
+    abbreviation: ClassVar[str] = "rx"
+    eval_cost_units: ClassVar[float] = 0.5
+
+    @classmethod
+    def fit(cls, keys: np.ndarray, targets: np.ndarray) -> "Radix":
+        n = len(keys)
+        if n == 0:
+            return cls(0, KEY_BITS)
+        max_target = float(np.max(targets)) if n else 0.0
+        if max_target < 1.0:
+            return cls(0, KEY_BITS)
+        lo = int(keys[0])
+        hi = int(keys[-1])
+        common = lo ^ hi
+        prefix_bits = KEY_BITS - common.bit_length() if common else KEY_BITS
+        significant = KEY_BITS - prefix_bits
+        # Output bits: the bit length of the largest integral target,
+        # like the reference implementation -- for a 2^k-model layer
+        # this is k bits, so the radix output never exceeds the layer
+        # (using k+1 bits would funnel every key with its top
+        # significant bit set into the clamped last model).
+        bits_needed = max(1, int(max_target).bit_length())
+        bits = min(significant, bits_needed)
+        if bits <= 0:
+            return cls(0, KEY_BITS)
+        return cls(prefix_bits, KEY_BITS - bits)
+
+    def predict_batch(self, keys: np.ndarray) -> np.ndarray:
+        x = np.asarray(keys, dtype=np.uint64)
+        if self.right_shift >= KEY_BITS:
+            return np.zeros(len(x), dtype=np.float64)
+        shifted = np.left_shift(x, np.uint64(self.left_shift))
+        out = np.right_shift(shifted, np.uint64(self.right_shift))
+        return out.astype(np.float64)
+
+    def predict(self, key: int) -> float:
+        if self.right_shift >= KEY_BITS:
+            return 0.0
+        mask = (1 << KEY_BITS) - 1
+        return float(((key << self.left_shift) & mask) >> self.right_shift)
+
+    def size_in_bytes(self) -> int:
+        return 16  # two shift amounts, stored as 8-byte words
+
+    def is_monotonic(self) -> bool:
+        return True
+
+
+class AutoModel(Model):
+    """Per-segment best-of selection over {LR, LS, CS}.
+
+    An extension in the spirit of CDFShop [23]: instead of fixing one
+    model type for a whole layer, each segment gets whichever candidate
+    has the smallest *maximum* training error -- the quantity that
+    drives LAbs-bounded search intervals.  ``fit`` returns the chosen
+    concrete model, so evaluation, serialization, and size accounting
+    are those of the winner; only training pays for the tournament.
+    """
+
+    abbreviation: ClassVar[str] = "auto"
+    #: Average of the candidates, used only by planning heuristics.
+    eval_cost_units: ClassVar[float] = 1.5
+
+    _CANDIDATES: ClassVar[tuple] = ()  # filled below (classes defined)
+
+    @classmethod
+    def fit(cls, keys: np.ndarray, targets: np.ndarray) -> "Model":
+        if len(keys) == 0:
+            return ConstantModel(0.0)
+        y = np.asarray(targets, dtype=np.float64)
+        best: Model | None = None
+        best_err = np.inf
+        for candidate in cls._CANDIDATES:
+            model = candidate.fit(keys, targets)
+            err = float(np.max(np.abs(model.predict_batch(keys) - y)))
+            if err < best_err:
+                best, best_err = model, err
+        assert best is not None
+        return best
+
+
+AutoModel._CANDIDATES = (LinearRegression, LinearSpline, CubicSpline)
+
+
+#: Registry of model type abbreviations (lowercase) to classes, matching
+#: the abbreviations of Table 2 in the paper (plus extensions registered
+#: by their modules: nn, logl, normal, lognorm).
+MODEL_TYPES: dict[str, Type[Model]] = {
+    "lr": LinearRegression,
+    "ls": LinearSpline,
+    "cs": CubicSpline,
+    "rx": Radix,
+    "const": ConstantModel,
+    "auto": AutoModel,
+}
+
+
+def resolve_model_type(spec: "str | Type[Model]") -> Type[Model]:
+    """Resolve a model type from an abbreviation string or a class.
+
+    Accepts ``"lr"``, ``"LS"``, a :class:`Model` subclass, etc.  Raises
+    ``ValueError`` for unknown abbreviations to fail fast on typos in
+    experiment configurations.
+    """
+    if isinstance(spec, type) and issubclass(spec, Model):
+        return spec
+    key = str(spec).strip().lower()
+    try:
+        return MODEL_TYPES[key]
+    except KeyError:
+        known = ", ".join(sorted(MODEL_TYPES))
+        raise ValueError(f"unknown model type {spec!r}; known types: {known}")

@@ -1,0 +1,156 @@
+"""Neural-network model type for RMIs.
+
+The original learned-index paper (Kraska et al. [20]) used small neural
+networks as RMI models; the paper under reproduction restricts itself
+to the four cheap model types of Table 2 and lists "more model types"
+as future work (Section 4.2).  This module supplies that extension: a
+single-hidden-layer ReLU network trained with full-batch Adam on a
+normalized (key -> position) mapping.
+
+Design notes:
+
+* Keys and targets are normalized to [0, 1]; weights operate in that
+  space, keeping training stable for 64-bit key magnitudes.
+* Training runs on an evenly spaced subsample (default <= 4096 points):
+  CDF approximation needs shape, not every key, and this keeps training
+  time comparable to the paper's build-time discussions.
+* ReLU networks are **not** monotonic in general.  The RMI trainer
+  detects non-monotonic assignments and falls back to its stable-sort
+  gather path automatically, so NN roots work unchanged -- but they
+  forfeit the paper's no-copy optimization, which is itself an
+  instructive trade-off (Section 4.1 requires monotonicity).
+* Deterministic: weight init is seeded from the data size.
+
+Evaluation cost: ``2 * hidden`` multiply-adds, reflected in
+``eval_cost_units`` so the analytic cost model prices NN evaluation
+honestly against the linear models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import ClassVar
+
+import numpy as np
+
+from .models import MODEL_TYPES, Model
+
+__all__ = ["NeuralNet"]
+
+
+@dataclass(frozen=True)
+class NeuralNet(Model):
+    """One-hidden-layer ReLU regressor ``f(x) = w2·relu(w1*x + b1) + b2``."""
+
+    w1: np.ndarray = field(default_factory=lambda: np.zeros(1))
+    b1: np.ndarray = field(default_factory=lambda: np.zeros(1))
+    w2: np.ndarray = field(default_factory=lambda: np.zeros(1))
+    b2: float = 0.0
+    x_offset: float = 0.0
+    x_scale: float = 0.0
+    y_offset: float = 0.0
+    y_scale: float = 1.0
+
+    abbreviation: ClassVar[str] = "nn"
+    #: Priced per hidden unit; set for the default width below.
+    eval_cost_units: ClassVar[float] = 16.0
+
+    #: Training hyperparameters (class-level; fit() reads them so that
+    #: experiments can subclass with different widths).
+    hidden: ClassVar[int] = 8
+    epochs: ClassVar[int] = 400
+    learning_rate: ClassVar[float] = 0.05
+    max_training_points: ClassVar[int] = 4096
+
+    @classmethod
+    def fit(cls, keys: np.ndarray, targets: np.ndarray) -> "NeuralNet":
+        n = len(keys)
+        if n == 0:
+            return cls()
+        x = np.asarray(keys, dtype=np.float64)
+        y = np.asarray(targets, dtype=np.float64)
+        if n > cls.max_training_points:
+            idx = np.linspace(0, n - 1, cls.max_training_points).astype(np.int64)
+            x, y = x[idx], y[idx]
+        x_off = float(x[0])
+        span = float(x[-1]) - x_off
+        if span <= 0:
+            return cls(y_offset=float(y.mean()), y_scale=1.0,
+                       x_offset=x_off, x_scale=0.0)
+        x_scale = 1.0 / span
+        y_off = float(y.min())
+        y_span = float(y.max()) - y_off
+        y_scale = y_span if y_span > 0 else 1.0
+        xn = (x - x_off) * x_scale
+        yn = (y - y_off) / y_scale
+
+        rng = np.random.default_rng(len(x))
+        h = cls.hidden
+        w1 = rng.normal(0.0, 2.0, h)
+        b1 = -rng.uniform(0.0, 1.0, h) * w1  # hinge positions in [0, 1]
+        w2 = rng.normal(0.0, 0.5, h)
+        b2 = 0.5
+
+        # Full-batch Adam on the mean squared error.
+        m = [np.zeros(h), np.zeros(h), np.zeros(h), 0.0]
+        v = [np.zeros(h), np.zeros(h), np.zeros(h), 0.0]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        lr = cls.learning_rate
+        for t in range(1, cls.epochs + 1):
+            pre = np.outer(xn, w1) + b1  # (n, h)
+            act = np.maximum(pre, 0.0)
+            out = act @ w2 + b2
+            err = out - yn  # (n,)
+            # Gradients.
+            g_w2 = act.T @ err / len(xn)
+            g_b2 = float(err.mean())
+            mask = (pre > 0).astype(np.float64)
+            back = np.outer(err, w2) * mask  # (n, h)
+            g_w1 = (back * xn[:, None]).mean(axis=0)
+            g_b1 = back.mean(axis=0)
+            for slot, grad in ((0, g_w1), (1, g_b1), (2, g_w2)):
+                m[slot] = beta1 * m[slot] + (1 - beta1) * grad
+                v[slot] = beta2 * v[slot] + (1 - beta2) * grad**2
+                mh = m[slot] / (1 - beta1**t)
+                vh = v[slot] / (1 - beta2**t)
+                step = lr * mh / (np.sqrt(vh) + eps)
+                if slot == 0:
+                    w1 = w1 - step
+                elif slot == 1:
+                    b1 = b1 - step
+                else:
+                    w2 = w2 - step
+            m[3] = beta1 * m[3] + (1 - beta1) * g_b2
+            v[3] = beta2 * v[3] + (1 - beta2) * g_b2**2
+            b2 = b2 - lr * (m[3] / (1 - beta1**t)) / (
+                np.sqrt(v[3] / (1 - beta2**t)) + eps
+            )
+        return cls(w1=w1, b1=b1, w2=w2, b2=float(b2),
+                   x_offset=x_off, x_scale=x_scale,
+                   y_offset=y_off, y_scale=y_scale)
+
+    def predict_batch(self, keys: np.ndarray) -> np.ndarray:
+        if self.x_scale == 0.0:
+            return np.full(len(keys), self.y_offset, dtype=np.float64)
+        xn = (np.asarray(keys, dtype=np.float64) - self.x_offset) * self.x_scale
+        act = np.maximum(np.outer(xn, self.w1) + self.b1, 0.0)
+        out = act @ self.w2 + self.b2
+        return out * self.y_scale + self.y_offset
+
+    def size_in_bytes(self) -> int:
+        """3 doubles per hidden unit plus bias and normalization."""
+        return 8 * (3 * len(self.w1) + 1 + 4)
+
+    def is_monotonic(self) -> bool:
+        """Checked empirically on a grid: ReLU nets are monotone only
+        when training happens to make them so."""
+        if self.x_scale == 0.0:
+            return True
+        xs = self.x_offset + np.linspace(0.0, 1.0, 257) / self.x_scale
+        preds = self.predict_batch(xs.astype(np.float64).astype(np.uint64))
+        return bool(np.all(np.diff(preds) >= -1e-9))
+
+
+# Make "nn" available wherever Table 2 abbreviations are accepted
+# (RMIConfig, segment_keys, the optimizer's grids, ...).
+MODEL_TYPES["nn"] = NeuralNet

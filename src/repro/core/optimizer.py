@@ -1,0 +1,109 @@
+"""CDFShop-style grid-search optimizer for RMI configurations.
+
+Marcus et al. [23] ship an automatic optimizer that grid-searches model
+types and second-layer sizes and reports Pareto-optimal configurations
+with respect to lookup time and index size.  The paper under
+reproduction deliberately analyses hyperparameters one at a time
+instead, but uses the optimizer's recommendations (e.g. LAbs as default
+bounds) as reference points -- so we provide the optimizer too.
+
+The lookup-cost proxy is machine-independent: the number of model
+evaluations (weighted by each model type's evaluation cost) plus the
+expected binary-search comparisons ``log2(median interval size + 1)``.
+The proxy ranks configurations the same way the paper's timing
+experiments do (accuracy dominates; see Sections 5.2 and 6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .analysis import interval_sizes
+from .builder import LEAF_MODEL_TYPES, ROOT_MODEL_TYPES, RMIConfig
+from .rmi import RMI
+
+__all__ = ["OptimizerResult", "grid_search", "pareto_front", "lookup_cost_proxy"]
+
+
+@dataclass(frozen=True)
+class OptimizerResult:
+    """One evaluated configuration with its size and cost proxy."""
+
+    config: RMIConfig
+    size_bytes: int
+    lookup_cost: float
+    median_interval: float
+    build_seconds: float
+
+    def dominates(self, other: "OptimizerResult") -> bool:
+        """Pareto dominance: no worse in both size and cost, better in one."""
+        return (
+            self.size_bytes <= other.size_bytes
+            and self.lookup_cost <= other.lookup_cost
+            and (
+                self.size_bytes < other.size_bytes
+                or self.lookup_cost < other.lookup_cost
+            )
+        )
+
+
+def lookup_cost_proxy(rmi: RMI) -> tuple[float, float]:
+    """Machine-independent lookup cost: ``(cost, median interval)``.
+
+    Cost = summed evaluation units along the model path + expected
+    binary-search comparisons over the median error interval.
+    """
+    eval_units = sum(
+        layer[0].eval_cost_units if layer else 0.0 for layer in rmi.layers
+    )
+    med = float(np.median(interval_sizes(rmi)))
+    comparisons = float(np.log2(med + 1.0))
+    return eval_units + comparisons, med
+
+
+def grid_search(
+    keys: np.ndarray,
+    layer2_sizes: Sequence[int],
+    root_types: Iterable[str] = ROOT_MODEL_TYPES,
+    leaf_types: Iterable[str] = LEAF_MODEL_TYPES,
+    bound_type: str = "labs",
+) -> list[OptimizerResult]:
+    """Evaluate the full (root, leaf, size) grid on ``keys``.
+
+    Returns every evaluated configuration; feed the result through
+    :func:`pareto_front` for the CDFShop-style recommendation set.
+    """
+    results = []
+    for root in root_types:
+        for leaf in leaf_types:
+            for size in layer2_sizes:
+                config = RMIConfig(
+                    model_types=(root, leaf),
+                    layer_sizes=(int(size),),
+                    bound_type=bound_type,
+                )
+                rmi = config.build(keys)
+                cost, med = lookup_cost_proxy(rmi)
+                results.append(
+                    OptimizerResult(
+                        config=config,
+                        size_bytes=rmi.size_in_bytes(),
+                        lookup_cost=cost,
+                        median_interval=med,
+                        build_seconds=rmi.build_stats.total_seconds,
+                    )
+                )
+    return results
+
+
+def pareto_front(results: Sequence[OptimizerResult]) -> list[OptimizerResult]:
+    """Pareto-optimal subset w.r.t. (size, lookup cost), sorted by size."""
+    front = [
+        r
+        for r in results
+        if not any(other.dominates(r) for other in results if other is not r)
+    ]
+    return sorted(front, key=lambda r: (r.size_bytes, r.lookup_cost))

@@ -1,0 +1,481 @@
+"""Recursive model indexes (RMIs).
+
+Implements the index described in Section 2 of the paper: a fixed-depth
+hierarchy of models approximating the cumulative distribution function
+(CDF) of a sorted key array.  A lookup proceeds in two steps:
+
+1. **Prediction** -- the root model is evaluated on the key; its output
+   selects a model of the next layer (Equation 3), and so on, until the
+   last layer produces a position estimate (Equation 4).
+2. **Error correction** -- the estimate is refined to the true lower
+   bound by searching the sorted array, optionally restricted to an
+   interval derived from stored error bounds (Section 2.2).
+
+Both training variants discussed in the paper are implemented:
+
+* the *reference* algorithm (Listing 1) which materializes per-model key
+  arrays (``copy_keys=True``), and
+* the paper's *optimized* algorithm (Section 4.1) which exploits that
+  all supported models are monotonic -- key ranges are represented as
+  ``(start, end)`` offsets into the sorted array and inner layers are
+  trained directly on pre-scaled next-layer model indexes
+  (``copy_keys=False``, ``train_on_model_index=True``).  The paper
+  credits this optimization with a 2x build-time improvement.
+
+The two-layer configuration studied throughout the paper's evaluation is
+the default; arbitrary layer counts are supported (the paper's future
+work).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .bounds import ErrorBounds, NoBounds, compute_bounds, resolve_bound_type
+from .models import ConstantModel, CubicSpline, Model, resolve_model_type
+from .search import batch_binary_search, resolve_search_algorithm
+
+__all__ = ["RMI", "BuildStats", "LookupTrace", "build_rmi_layers"]
+
+
+@dataclass
+class BuildStats:
+    """Timings and work counters of one RMI build.
+
+    The four steps match the paper's Section 7 decomposition: (1) train
+    the root model, (2) create segments based on the root model, (3)
+    train the second-layer models, and (4) compute error bounds.  For
+    RMIs with more than two layers, steps (1)-(3) aggregate over layers.
+    """
+
+    train_root_seconds: float = 0.0
+    segment_seconds: float = 0.0
+    train_leaves_seconds: float = 0.0
+    bounds_seconds: float = 0.0
+    keys_copied: int = 0  # keys physically copied (reference algorithm only)
+    keys_touched: int = 0  # model-evaluation count during the build
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.train_root_seconds
+            + self.segment_seconds
+            + self.train_leaves_seconds
+            + self.bounds_seconds
+        )
+
+
+@dataclass(frozen=True)
+class LookupTrace:
+    """Per-lookup instrumentation used by the analytic cost model."""
+
+    position: int
+    model_evaluations: int
+    comparisons: int
+    interval_size: int
+    prediction: int
+
+
+def _fit_model(model_type: type[Model], keys: np.ndarray, targets: np.ndarray,
+               cs_fallback: bool) -> Model:
+    """Fit one model, handling empty segments and the CS→LS fallback."""
+    if len(keys) == 0:
+        return ConstantModel(0.0)
+    if model_type is CubicSpline and cs_fallback:
+        return CubicSpline.fit_with_fallback(keys, targets)
+    return model_type.fit(keys, targets)
+
+
+def _assignments(predictions: np.ndarray, fanout: int, n: int,
+                 scaled: bool) -> np.ndarray:
+    """Map raw model outputs to next-layer model indexes (Equation 3).
+
+    When ``scaled`` is true the model was trained to emit indexes
+    directly; otherwise its position estimate is scaled by
+    ``fanout / n`` first.
+    """
+    if scaled:
+        est = predictions
+    else:
+        est = predictions * (fanout / max(n, 1))
+    # Clamp in float space: casting a float beyond int64 range first
+    # would wrap to the wrong end of the layer.
+    est = np.clip(np.nan_to_num(est), 0.0, float(fanout - 1))
+    return np.floor(est).astype(np.int64)
+
+
+class RMI:
+    """A recursive model index over a sorted ``uint64`` key array.
+
+    Parameters mirror the paper's hyperparameters (Section 2.4):
+
+    ``layer_sizes``
+        Sizes of layers 1..k-1 (the root layer always has size 1), e.g.
+        ``[2**10]`` for the two-layer RMIs studied in the paper.
+    ``model_types``
+        One model type per layer, root first, e.g. ``("ls", "lr")``.
+    ``bound_type``
+        Error-bound strategy of Table 3 (``"labs"`` is the reference
+        implementation's default and the paper's recommendation).
+    ``search``
+        Error-correction algorithm of Table 4.
+    ``copy_keys``
+        Use the reference training algorithm that materializes per-model
+        key arrays instead of the paper's no-copy optimization.
+    ``train_on_model_index``
+        Train inner layers directly on scaled next-layer model indexes
+        (Section 4.1), saving a multiply+divide per lookup.
+    ``cs_fallback``
+        Replace a cubic-spline model by a linear spline when the linear
+        spline has the lower maximum training error (footnote 1).
+    """
+
+    def __init__(
+        self,
+        keys: np.ndarray,
+        layer_sizes: Sequence[int] = (1024,),
+        model_types: Sequence[str | type[Model]] = ("ls", "lr"),
+        bound_type: "str | type[ErrorBounds]" = "labs",
+        search: str = "bin",
+        copy_keys: bool = False,
+        train_on_model_index: bool = True,
+        cs_fallback: bool = True,
+    ) -> None:
+        keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        if len(keys) == 0:
+            raise ValueError("cannot build an RMI over an empty key array")
+        if np.any(keys[1:] < keys[:-1]):
+            raise ValueError("keys must be sorted in non-decreasing order")
+        if len(model_types) != len(layer_sizes) + 1:
+            raise ValueError(
+                "need one model type per layer: "
+                f"{len(layer_sizes) + 1} layers but {len(model_types)} types"
+            )
+        if any(s < 1 for s in layer_sizes):
+            raise ValueError("layer sizes must be positive")
+
+        self.keys = keys
+        self.n = len(keys)
+        self.layer_sizes = [1, *map(int, layer_sizes)]
+        self.model_types = [resolve_model_type(t) for t in model_types]
+        self.search_name = search
+        self._search = resolve_search_algorithm(search)
+        self.bound_type = resolve_bound_type(bound_type)
+        self.copy_keys = copy_keys
+        self.train_on_model_index = train_on_model_index
+        self.cs_fallback = cs_fallback
+
+        self.layers: list[list[Model]] = []
+        self.bounds: ErrorBounds = NoBounds(self.n)
+        self.build_stats = BuildStats()
+        self._leaf_model_ids: np.ndarray | None = None
+        self._leaf_linear: tuple[np.ndarray, np.ndarray] | None = None
+        self._build()
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+
+    def _build(self) -> None:
+        stats = BuildStats()
+        n = self.n
+        positions = np.arange(n, dtype=np.float64)
+        num_layers = len(self.layer_sizes)
+
+        # Current key->model assignment, non-decreasing when the no-copy
+        # path applies.  ``order`` maps the training order back to array
+        # positions (identity unless a non-monotonic model interleaved
+        # segments or copy_keys forced the reference path).
+        assign = np.zeros(n, dtype=np.int64)
+        order = np.arange(n, dtype=np.int64)
+
+        for depth in range(num_layers):
+            fanout = self.layer_sizes[depth]
+            model_type = self.model_types[depth]
+            last_layer = depth == num_layers - 1
+            next_fanout = None if last_layer else self.layer_sizes[depth + 1]
+
+            # --- gather keys per model -------------------------------
+            t0 = time.perf_counter()
+            if self.copy_keys or np.any(np.diff(assign) < 0):
+                perm = np.argsort(assign, kind="stable")
+                order = order[perm]
+                assign = assign[perm]
+            ordered_keys = self.keys[order]
+            if self.copy_keys:
+                # Reference algorithm: physically materialize per-model
+                # key arrays (Listing 1, line 11).
+                ordered_keys = ordered_keys.copy()
+                stats.keys_copied += n
+            counts = np.bincount(assign, minlength=fanout)
+            offsets = np.concatenate(([0], np.cumsum(counts)))
+            t1 = time.perf_counter()
+            if depth > 0:
+                stats.segment_seconds += t1 - t0
+
+            # --- choose targets --------------------------------------
+            if last_layer:
+                targets = positions[order]
+            elif self.train_on_model_index:
+                targets = positions[order] * (next_fanout / n)
+            else:
+                targets = positions[order]
+
+            # --- train models ----------------------------------------
+            t2 = time.perf_counter()
+            layer = [
+                _fit_model(
+                    model_type,
+                    ordered_keys[offsets[j] : offsets[j + 1]],
+                    targets[offsets[j] : offsets[j + 1]],
+                    self.cs_fallback,
+                )
+                for j in range(fanout)
+            ]
+            self.layers.append(layer)
+            t3 = time.perf_counter()
+            if depth == 0:
+                stats.train_root_seconds += t3 - t2
+            else:
+                stats.train_leaves_seconds += t3 - t2
+
+            # --- assign keys to the next layer ------------------------
+            if not last_layer:
+                t4 = time.perf_counter()
+                nxt = np.empty(n, dtype=np.int64)
+                for j in range(fanout):
+                    lo, hi = offsets[j], offsets[j + 1]
+                    if lo == hi:
+                        continue
+                    preds = layer[j].predict_batch(ordered_keys[lo:hi])
+                    stats.keys_touched += hi - lo
+                    nxt[lo:hi] = _assignments(
+                        preds, next_fanout, n, self.train_on_model_index
+                    )
+                assign = nxt
+                stats.segment_seconds += time.perf_counter() - t4
+            else:
+                leaf_ids = np.empty(n, dtype=np.int64)
+                leaf_ids[order] = assign
+                self._leaf_model_ids = leaf_ids
+
+        self._cache_linear_leaves()
+
+        # --- error bounds --------------------------------------------
+        # With NB the last layer is never evaluated during the build
+        # (paper Section 7: "the second layer is never evaluated
+        # because we do not compute bounds"), which is what makes NB
+        # builds cheaper in Figure 11c.
+        if self.bound_type is NoBounds:
+            self.bounds = NoBounds(n)
+        else:
+            t5 = time.perf_counter()
+            preds = self._predict_positions(self.keys, self._leaf_model_ids)
+            stats.keys_touched += n
+            self.bounds = compute_bounds(
+                self.bound_type,
+                preds,
+                np.arange(n, dtype=np.int64),
+                self._leaf_model_ids,
+                self.layer_sizes[-1],
+                n,
+            )
+            stats.bounds_seconds += time.perf_counter() - t5
+        self.build_stats = stats
+
+    def _cache_linear_leaves(self) -> None:
+        """Cache leaf parameters as arrays when all leaves are linear.
+
+        The paper restricts last-layer models to LR and LS (both linear),
+        so batch lookups can evaluate the whole last layer with two
+        gathers and a fused multiply-add.
+        """
+        leaves = self.layers[-1]
+        slopes = np.empty(len(leaves), dtype=np.float64)
+        intercepts = np.empty(len(leaves), dtype=np.float64)
+        for j, m in enumerate(leaves):
+            if hasattr(m, "slope") and hasattr(m, "intercept"):
+                slopes[j] = m.slope
+                intercepts[j] = m.intercept
+            elif isinstance(m, ConstantModel):
+                slopes[j] = 0.0
+                intercepts[j] = m.value
+            else:
+                self._leaf_linear = None
+                return
+        self._leaf_linear = (slopes, intercepts)
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+
+    def _route_batch(self, queries: np.ndarray) -> np.ndarray:
+        """Vectorized Equation 3: map queries to last-layer model ids."""
+        assign = np.zeros(len(queries), dtype=np.int64)
+        for depth in range(len(self.layer_sizes) - 1):
+            layer = self.layers[depth]
+            next_fanout = self.layer_sizes[depth + 1]
+            preds = np.empty(len(queries), dtype=np.float64)
+            if len(layer) == 1:
+                preds = layer[0].predict_batch(queries)
+            else:
+                for j in np.unique(assign):
+                    mask = assign == j
+                    preds[mask] = layer[j].predict_batch(queries[mask])
+            assign = _assignments(
+                preds, next_fanout, self.n, self.train_on_model_index
+            )
+        return assign
+
+    def _predict_positions(
+        self, queries: np.ndarray, model_ids: np.ndarray
+    ) -> np.ndarray:
+        """Clamped integral position estimates for given leaf routing."""
+        if self._leaf_linear is not None:
+            slopes, intercepts = self._leaf_linear
+            est = slopes[model_ids] * queries.astype(np.float64) + intercepts[
+                model_ids
+            ]
+        else:
+            est = np.empty(len(queries), dtype=np.float64)
+            for j in np.unique(model_ids):
+                mask = model_ids == j
+                est[mask] = self.layers[-1][j].predict_batch(queries[mask])
+        est = np.clip(np.nan_to_num(est), 0.0, float(self.n - 1))
+        return est.astype(np.int64)
+
+    def predict_batch(self, queries: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized prediction: ``(model_ids, position_estimates)``."""
+        queries = np.asarray(queries, dtype=np.uint64)
+        model_ids = self._route_batch(queries)
+        return model_ids, self._predict_positions(queries, model_ids)
+
+    def predict(self, key: int) -> tuple[int, int]:
+        """Predict ``(leaf model id, position estimate)`` for one key."""
+        ids, preds = self.predict_batch(np.asarray([key], dtype=np.uint64))
+        return int(ids[0]), int(preds[0])
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def lookup(self, key: int) -> int:
+        """Lower-bound lookup: smallest index with ``keys[i] >= key``."""
+        return self.lookup_traced(key).position
+
+    def lookup_traced(self, key: int) -> LookupTrace:
+        """Lookup returning instrumentation for the cost model."""
+        model_id, pred = self.predict(int(key))
+        lo, hi = self.bounds.interval(pred, model_id)
+        lo = max(lo, 0)
+        hi = min(hi, self.n - 1)
+        result = self._search(self.keys, key, lo, hi, pred)
+        position, comparisons = result.position, result.comparisons
+        # Containment is only guaranteed for keys present in the array;
+        # fall back to an unrestricted search when a miss escapes the
+        # interval (possible for absent keys under tight bounds).
+        if self.bounds.provides_bounds:
+            position, comparisons = self._escape_interval(
+                key, position, comparisons, lo, hi
+            )
+        return LookupTrace(
+            position=position,
+            model_evaluations=len(self.layer_sizes),
+            comparisons=comparisons,
+            interval_size=hi - lo + 1,
+            prediction=pred,
+        )
+
+    def _escape_interval(
+        self, key: int, position: int, comparisons: int, lo: int, hi: int
+    ) -> tuple[int, int]:
+        """Repair interval-relative results for out-of-bounds misses."""
+        if position == lo and lo > 0 and self.keys[lo - 1] >= key:
+            # The key left of the interval is still >= key, so the true
+            # lower bound lies further left (absent key or duplicates
+            # spilling over the interval edge).
+            result = self._search(self.keys, key, 0, lo - 1, lo - 1)
+            return result.position, comparisons + result.comparisons
+        if position == hi + 1 and hi + 1 < self.n:
+            # Everything in the interval is < key; continue right.
+            result = self._search(self.keys, key, hi + 1, self.n - 1, hi + 1)
+            return result.position, comparisons + result.comparisons
+        return position, comparisons
+
+    def range_query(self, low: int, high: int) -> tuple[int, int]:
+        """Keys in ``[low, high)`` as ``(start position, count)``."""
+        if high < low:
+            raise ValueError("range_query requires low <= high")
+        start = self.lookup(low)
+        end = self.lookup(high)
+        return start, end - start
+
+    def lookup_batch(self, queries: np.ndarray) -> np.ndarray:
+        """Vectorized lower-bound lookup (binary error correction).
+
+        Used by the workload runner for wall-clock throughput; performs
+        the same window-restricted work as scalar lookups with ``bin``
+        search, batched across queries.
+        """
+        queries = np.asarray(queries, dtype=np.uint64)
+        model_ids, preds = self.predict_batch(queries)
+        lo, hi = self.bounds.intervals(preds, model_ids)
+        lo = np.clip(lo, 0, self.n - 1)
+        hi = np.clip(hi, 0, self.n - 1)
+        out = batch_binary_search(self.keys, queries, lo, hi)
+        # Repair misses that escaped their interval (absent keys or
+        # duplicate runs crossing the interval edge).
+        bad_left = (out == lo) & (lo > 0) & (self.keys[np.maximum(lo - 1, 0)] >= queries)
+        bad_right = (out == hi + 1) & (hi + 1 < self.n)
+        bad = bad_left | bad_right
+        if bad.any():
+            out[bad] = np.searchsorted(self.keys, queries[bad], side="left")
+        return out
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def leaf_model_ids(self) -> np.ndarray:
+        """Last-layer model id of every indexed key (training routing)."""
+        assert self._leaf_model_ids is not None
+        return self._leaf_model_ids
+
+    def size_in_bytes(self) -> int:
+        """Index size: all model parameters plus stored error bounds.
+
+        Matches the paper's accounting: the sorted data array itself is
+        not part of the index.
+        """
+        model_bytes = sum(m.size_in_bytes() for layer in self.layers for m in layer)
+        return model_bytes + self.bounds.size_in_bytes()
+
+    def describe(self) -> str:
+        """Human-readable configuration string, e.g. ``LS→LR (2^10), LAbs``."""
+        arrow = "→".join(t.abbreviation.upper() for t in self.model_types)
+        sizes = ",".join(str(s) for s in self.layer_sizes[1:])
+        return f"{arrow} ({sizes}), {self.bounds.abbreviation.upper()}, {self.search_name}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RMI {self.describe()} over {self.n} keys>"
+
+
+def build_rmi_layers(
+    keys: np.ndarray,
+    root: str = "ls",
+    leaf: str = "lr",
+    num_leaf_models: int = 1024,
+    **kwargs,
+) -> RMI:
+    """Convenience constructor for the two-layer RMIs of the paper."""
+    return RMI(
+        keys,
+        layer_sizes=[num_leaf_models],
+        model_types=(root, leaf),
+        **kwargs,
+    )

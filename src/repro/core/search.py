@@ -1,0 +1,382 @@
+"""Search algorithms for RMI error correction.
+
+Given a sorted array, a query key, a predicted position, and an
+(inclusive) search interval, these algorithms locate the *lower bound*
+of the query: the smallest index whose key is greater than or equal to
+the query.  The paper evaluates four algorithms (Table 4):
+
+===== ================================= ==========================
+Abrv. Method                            Uses
+===== ================================= ==========================
+Bin   Binary search                     error bounds only
+MBin  Model-biased binary search        bounds + prediction
+MLin  Model-biased linear search        prediction (bounds optional)
+MExp  Model-biased exponential search   prediction (bounds optional)
+===== ================================= ==========================
+
+Plain (non-model-biased) linear and exponential search are also
+implemented; the paper reports they always lose to their model-biased
+counterparts (Section 4.2) and our Figure 10 bench re-verifies that via
+comparison counts.
+
+Every scalar function returns a :class:`SearchResult` carrying the found
+position and the number of key comparisons performed, which feeds the
+analytic cost model.  Vectorized batch variants (used by the workload
+runner for wall-clock throughput) perform the same amount of
+window-bounded work but amortize Python interpreter overhead.
+
+Lower-bound semantics follow ``numpy.searchsorted(side="left")``: if
+every key in the interval is smaller than the query, the position one
+past the interval is returned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "SearchResult",
+    "binary_search",
+    "model_biased_binary_search",
+    "model_biased_linear_search",
+    "model_biased_exponential_search",
+    "linear_search",
+    "exponential_search",
+    "interpolation_search",
+    "SEARCH_ALGORITHMS",
+    "resolve_search_algorithm",
+    "batch_binary_search",
+    "batch_exponential_search",
+    "expected_comparisons",
+]
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Result of a scalar search: position found and comparisons made."""
+
+    position: int
+    comparisons: int
+
+
+def _clamp(value: int, lo: int, hi: int) -> int:
+    return lo if value < lo else hi if value > hi else value
+
+
+def binary_search(
+    keys: np.ndarray, query: int, lo: int, hi: int, prediction: int = 0
+) -> SearchResult:
+    """Classic lower-bound binary search over ``keys[lo..hi]`` (Bin).
+
+    Ignores the prediction entirely; only the error bounds matter.  The
+    ``prediction`` parameter exists so all algorithms share a signature.
+    """
+    comparisons = 0
+    left, right = lo, hi + 1  # search in the half-open range [left, right)
+    while left < right:
+        mid = (left + right) // 2
+        comparisons += 1
+        if keys[mid] < query:
+            left = mid + 1
+        else:
+            right = mid
+    return SearchResult(left, comparisons)
+
+
+def model_biased_binary_search(
+    keys: np.ndarray, query: int, lo: int, hi: int, prediction: int
+) -> SearchResult:
+    """Binary search whose first probe is the prediction (MBin, [20]).
+
+    After the first comparison at the (clamped) predicted position the
+    search continues as a classic binary search on the surviving half.
+    With absolute bounds the prediction already is the interval centre,
+    making MBin equivalent to Bin (Section 4.2).
+    """
+    if lo > hi:
+        return SearchResult(lo, 0)
+    probe = _clamp(prediction, lo, hi)
+    comparisons = 1
+    if keys[probe] < query:
+        inner = binary_search(keys, query, probe + 1, hi)
+    else:
+        # The lower bound is at most ``probe``; searching [lo, probe-1]
+        # returns ``probe`` itself when every key left of it is smaller.
+        inner = binary_search(keys, query, lo, probe - 1)
+    return SearchResult(inner.position, comparisons + inner.comparisons)
+
+
+def model_biased_linear_search(
+    keys: np.ndarray, query: int, lo: int, hi: int, prediction: int
+) -> SearchResult:
+    """Linear scan outward from the prediction (MLin).
+
+    Starts at the clamped predicted position and walks left or right,
+    depending on whether the model over- or underestimated, until the
+    lower bound is found or an interval bound is hit.
+    """
+    n = len(keys)
+    if lo > hi:
+        return SearchResult(lo, 0)
+    pos = _clamp(prediction, lo, hi)
+    comparisons = 1
+    if keys[pos] < query:
+        # Underestimate: walk right until a key >= query appears.
+        while pos < hi:
+            pos += 1
+            comparisons += 1
+            if keys[pos] >= query:
+                return SearchResult(pos, comparisons)
+        return SearchResult(hi + 1 if hi + 1 <= n else n, comparisons)
+    # Overestimate (or exact): walk left while the predecessor still >= query.
+    while pos > lo:
+        comparisons += 1
+        if keys[pos - 1] >= query:
+            pos -= 1
+        else:
+            return SearchResult(pos, comparisons)
+    return SearchResult(pos, comparisons)
+
+
+def model_biased_exponential_search(
+    keys: np.ndarray, query: int, lo: int, hi: int, prediction: int
+) -> SearchResult:
+    """Exponential (galloping) search from the prediction (MExp, [20]).
+
+    Doubles the step width away from the predicted position until the
+    lower bound is bracketed, then finishes with binary search inside
+    the bracket.  Cost is logarithmic in the *actual* prediction error
+    rather than in the stored bound, which is why MExp wins once typical
+    errors are much smaller than worst-case bounds (Section 6.3).
+    """
+    if lo > hi:
+        return SearchResult(lo, 0)
+    pos = _clamp(prediction, lo, hi)
+    comparisons = 1
+    if keys[pos] < query:
+        # Underestimate: gallop right.  Invariant: the lower bound lies
+        # in [bracket_lo, hi]; each failed probe advances bracket_lo.
+        bracket_lo = pos + 1
+        step = 1
+        probe = pos + step
+        while probe <= hi:
+            comparisons += 1
+            if keys[probe] >= query:
+                inner = binary_search(keys, query, bracket_lo, probe)
+                return SearchResult(
+                    inner.position, comparisons + inner.comparisons
+                )
+            bracket_lo = probe + 1
+            step *= 2
+            probe = pos + step
+        inner = binary_search(keys, query, bracket_lo, hi)
+        return SearchResult(inner.position, comparisons + inner.comparisons)
+    # Overestimate or exact hit: gallop left.  Invariant: the lower
+    # bound lies in [lo, bracket_hi + 1]; binary search on
+    # [found + 1, bracket_hi] returns bracket_hi + 1 when all smaller.
+    bracket_hi = pos - 1
+    step = 1
+    probe = pos - step
+    while probe >= lo:
+        comparisons += 1
+        if keys[probe] < query:
+            inner = binary_search(keys, query, probe + 1, bracket_hi)
+            return SearchResult(inner.position, comparisons + inner.comparisons)
+        bracket_hi = probe - 1
+        step *= 2
+        probe = pos - step
+    inner = binary_search(keys, query, lo, bracket_hi)
+    return SearchResult(inner.position, comparisons + inner.comparisons)
+
+
+def linear_search(
+    keys: np.ndarray, query: int, lo: int, hi: int, prediction: int = 0
+) -> SearchResult:
+    """Plain left-to-right linear scan of the interval (non-model-biased)."""
+    comparisons = 0
+    for pos in range(lo, hi + 1):
+        comparisons += 1
+        if keys[pos] >= query:
+            return SearchResult(pos, comparisons)
+    return SearchResult(hi + 1, comparisons)
+
+
+def exponential_search(
+    keys: np.ndarray, query: int, lo: int, hi: int, prediction: int = 0
+) -> SearchResult:
+    """Plain exponential search starting at the interval's left edge."""
+    return model_biased_exponential_search(keys, query, lo, hi, lo)
+
+
+def interpolation_search(
+    keys: np.ndarray, query: int, lo: int, hi: int, prediction: int = 0
+) -> SearchResult:
+    """Interpolation search within the error interval (extension).
+
+    Not part of the paper's Table 4, but the natural companion of
+    learned indexes (SOSD uses it for some baselines): each probe
+    interpolates the query's position between the interval's boundary
+    keys -- effectively re-learning a local linear model per step.
+    O(log log w) on locally uniform data, degrading on skew; a probe
+    that makes no progress falls back to a binary halving, so the
+    worst case stays O(log w).
+    """
+    comparisons = 0
+    # Half-open [left, right): the lower bound lies within; invariant
+    # keys[left-1] < query <= keys[right] where those indexes exist.
+    left, right = lo, hi + 1
+    interpolate = True
+    while left < right:
+        i0, i1 = left, right - 1
+        k0, k1 = int(keys[i0]), int(keys[i1])
+        if interpolate and k1 > k0:
+            frac = (query - k0) / (k1 - k0)
+            frac = 0.0 if frac < 0.0 else 1.0 if frac > 1.0 else frac
+            probe = i0 + int(frac * (i1 - i0))
+        else:
+            probe = (left + right) // 2  # halving step / flat region
+        # Introspective alternation: every other probe halves, which
+        # bounds the worst case (duplicate runs, adversarial skew) at
+        # 2*log2(w) while keeping O(log log w) on friendly data.
+        interpolate = not interpolate
+        comparisons += 1
+        if keys[probe] < query:
+            left = probe + 1  # strictly increases (probe >= left)
+        else:
+            right = probe  # strictly decreases (probe <= right - 1)
+    return SearchResult(left, comparisons)
+
+
+#: Registry mapping Table 4 abbreviations to scalar search functions.
+#: All share the signature ``(keys, query, lo, hi, prediction)``.
+SEARCH_ALGORITHMS: dict[str, Callable[..., SearchResult]] = {
+    "bin": binary_search,
+    "mbin": model_biased_binary_search,
+    "mlin": model_biased_linear_search,
+    "mexp": model_biased_exponential_search,
+    "lin": linear_search,
+    "exp": exponential_search,
+    "interp": interpolation_search,
+}
+
+
+def resolve_search_algorithm(spec: str) -> Callable[..., SearchResult]:
+    """Resolve a Table 4 abbreviation to its search function."""
+    if callable(spec):
+        return spec
+    key = str(spec).strip().lower()
+    try:
+        return SEARCH_ALGORITHMS[key]
+    except KeyError:
+        known = ", ".join(sorted(SEARCH_ALGORITHMS))
+        raise ValueError(f"unknown search algorithm {spec!r}; known: {known}")
+
+
+# ---------------------------------------------------------------------------
+# Vectorized batch variants
+# ---------------------------------------------------------------------------
+
+
+def batch_binary_search(
+    keys: np.ndarray,
+    queries: np.ndarray,
+    lo: np.ndarray,
+    hi: np.ndarray,
+) -> np.ndarray:
+    """Vectorized lower-bound binary search on per-query windows.
+
+    ``lo``/``hi`` are inclusive interval bounds per query (already
+    clamped to the array).  Performs synchronized halving: every query
+    participates in ``ceil(log2(max window))`` rounds, mirroring the
+    data-dependent work of the scalar version while amortizing
+    interpreter overhead.
+    """
+    left = lo.astype(np.int64).copy()
+    right = hi.astype(np.int64) + 1
+    while True:
+        active = left < right
+        if not active.any():
+            break
+        mid = (left + right) // 2
+        probe = np.clip(mid, 0, len(keys) - 1)
+        smaller = active & (keys[probe] < queries)
+        left = np.where(smaller, mid + 1, left)
+        right = np.where(active & ~smaller, mid, right)
+    return left
+
+
+def batch_exponential_search(
+    keys: np.ndarray,
+    queries: np.ndarray,
+    lo: np.ndarray,
+    hi: np.ndarray,
+    predictions: np.ndarray,
+) -> np.ndarray:
+    """Vectorized model-biased exponential search.
+
+    Gallops outward from the clamped prediction with synchronized step
+    doubling, then finishes with :func:`batch_binary_search` on the
+    discovered brackets.
+    """
+    n = len(keys)
+    lo64 = lo.astype(np.int64)
+    hi64 = hi.astype(np.int64)
+    pos = np.clip(predictions.astype(np.int64), lo64, hi64)
+    under = keys[np.clip(pos, 0, n - 1)] < queries
+
+    blo = np.where(under, pos + 1, lo64)
+    bhi = np.where(under, hi64, pos - 1)
+
+    # Gallop right for underestimates.
+    step = np.ones(len(queries), dtype=np.int64)
+    cur = pos + 1
+    active = under & (cur <= hi64)
+    while active.any():
+        probe = np.clip(cur, 0, n - 1)
+        found = active & (keys[probe] >= queries)
+        bhi = np.where(found, cur, bhi)
+        cont = active & ~found
+        blo = np.where(cont, cur + 1, blo)
+        step = np.where(cont, step * 2, step)
+        cur = np.where(cont, pos + step, cur)
+        active = cont & (cur <= hi64)
+
+    # Gallop left for overestimates.
+    step = np.ones(len(queries), dtype=np.int64)
+    cur = pos - 1
+    over = ~under
+    blo = np.where(over, lo64, blo)
+    bhi_left = pos - 1
+    bhi = np.where(over, bhi_left, bhi)
+    active = over & (cur >= lo64)
+    while active.any():
+        probe = np.clip(cur, 0, n - 1)
+        found = active & (keys[probe] < queries)
+        blo = np.where(found, cur + 1, blo)
+        cont = active & ~found
+        bhi = np.where(cont, cur - 1, bhi)
+        step = np.where(cont, step * 2, step)
+        cur = np.where(cont, pos - step, cur)
+        active = cont & (cur >= lo64)
+
+    result = batch_binary_search(keys, queries, np.maximum(blo, 0), bhi)
+    # Exact hit at the probe position for overestimates that never moved.
+    return result
+
+
+def expected_comparisons(interval_sizes: np.ndarray, algorithm: str) -> np.ndarray:
+    """Analytic comparison-count estimate for the cost model.
+
+    For binary variants this is ``ceil(log2(w + 1))`` on window size
+    ``w``; linear and exponential variants are data dependent and should
+    be measured, so this helper only covers the bounded binary searches.
+    """
+    w = np.maximum(np.asarray(interval_sizes, dtype=np.float64), 1.0)
+    if algorithm in ("bin", "mbin"):
+        return np.ceil(np.log2(w + 1.0))
+    raise ValueError(
+        f"expected_comparisons only supports bin/mbin, got {algorithm!r}"
+    )

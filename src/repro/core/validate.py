@@ -1,0 +1,111 @@
+"""Invariant validation for trained RMIs.
+
+A production index needs a way to audit itself: after deserialization,
+after the underlying array changed, or simply as a debugging aid.
+:func:`validate_rmi` re-verifies the properties the lookup path relies
+on and returns a structured report instead of asserting, so callers can
+log or surface the findings.
+
+Checked invariants:
+
+1. **Key order** -- the indexed array is sorted (the problem statement's
+   precondition).
+2. **Routing consistency** -- re-routing every key through the model
+   hierarchy reproduces the training-time leaf assignment (violated
+   when models were tampered with or keys were swapped out).
+3. **Bound containment** -- every key's true position lies within its
+   error interval (the Section 2.2 guarantee that makes bounded search
+   correct).
+4. **Segment contiguity** -- leaf assignments are non-decreasing over
+   the sorted keys when all models are monotonic (Section 4.1's no-copy
+   precondition).
+5. **Lookup spot-check** -- a sample of lookups against the
+   ``searchsorted`` oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .rmi import RMI
+
+__all__ = ["ValidationReport", "validate_rmi"]
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_rmi`."""
+
+    ok: bool = True
+    checks: dict[str, bool] = field(default_factory=dict)
+    problems: list[str] = field(default_factory=list)
+
+    def record(self, name: str, passed: bool, detail: str = "") -> None:
+        self.checks[name] = passed
+        if not passed:
+            self.ok = False
+            self.problems.append(f"{name}: {detail}" if detail else name)
+
+    def __str__(self) -> str:
+        lines = [f"RMI validation: {'OK' if self.ok else 'FAILED'}"]
+        for name, passed in self.checks.items():
+            lines.append(f"  [{'x' if passed else ' '}] {name}")
+        lines.extend(f"  ! {p}" for p in self.problems)
+        return "\n".join(lines)
+
+
+def validate_rmi(rmi: RMI, lookup_samples: int = 256) -> ValidationReport:
+    """Audit a trained RMI's invariants; see the module docstring."""
+    report = ValidationReport()
+    keys = rmi.keys
+    n = rmi.n
+
+    sorted_ok = bool(np.all(keys[1:] >= keys[:-1])) if n > 1 else True
+    report.record("keys sorted", sorted_ok)
+
+    routed = rmi._route_batch(keys)
+    trained = rmi.leaf_model_ids
+    mismatches = int(np.sum(routed != trained))
+    report.record(
+        "routing consistent",
+        mismatches == 0,
+        f"{mismatches} of {n} keys route to a different leaf than at "
+        "training time",
+    )
+
+    preds = rmi._predict_positions(keys, trained)
+    lo, hi = rmi.bounds.intervals(preds, trained)
+    positions = np.arange(n, dtype=np.int64)
+    escapes = int(np.sum((positions < lo) | (positions > hi)))
+    report.record(
+        "bounds contain positions",
+        escapes == 0,
+        f"{escapes} keys fall outside their error interval",
+    )
+
+    monotone_models = all(
+        m.is_monotonic() for layer in rmi.layers for m in layer
+    )
+    if monotone_models:
+        contiguous = bool(np.all(np.diff(trained) >= 0))
+        report.record(
+            "segments contiguous",
+            contiguous,
+            "monotonic models produced a non-contiguous assignment",
+        )
+    else:
+        report.checks["segments contiguous"] = True  # not applicable
+
+    sample = keys[:: max(n // lookup_samples, 1)][:lookup_samples]
+    got = rmi.lookup_batch(sample)
+    want = np.searchsorted(keys, sample, side="left")
+    wrong = int(np.sum(got != want))
+    report.record(
+        "lookup spot-check",
+        wrong == 0,
+        f"{wrong} of {len(sample)} sampled lookups disagree with the "
+        "oracle",
+    )
+    return report

@@ -1,0 +1,106 @@
+"""Calibrate the cost model's machine constants on the host.
+
+The default :class:`~repro.cost.model.MachineModel` describes the
+paper's Xeon E5-2620 v4.  To project lookup costs onto *your* machine
+instead, :func:`calibrate_machine` measures the two quantities the
+model depends on -- dependent random-access latency at several working
+set sizes, and throughput of simple arithmetic -- and returns a fitted
+``MachineModel``.
+
+Measurement technique: a pointer-chase over a random permutation
+(dependent loads defeat both prefetching and out-of-order overlap),
+batched through NumPy in blocks large enough to amortize interpreter
+overhead.  Python adds a constant per-block cost which the measurement
+subtracts via a tiny-working-set baseline, so the *differences* between
+cache tiers are meaningful even though absolute numbers carry
+interpreter noise.  Calibration is best-effort by design: it refuses to
+return nonsense (monotonicity of tier latencies is enforced).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+
+import numpy as np
+
+from .model import MachineModel
+
+__all__ = ["measure_chase_latency", "calibrate_machine"]
+
+
+def _pointer_chase(size_bytes: int, hops: int, seed: int = 0) -> float:
+    """Seconds per hop of a dependent pointer chase in a working set."""
+    n = max(size_bytes // 8, 16)
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(n).astype(np.int64)
+    # Build a single cycle so the chase visits the whole working set.
+    chain = np.empty(n, dtype=np.int64)
+    chain[perm[:-1]] = perm[1:]
+    chain[perm[-1]] = perm[0]
+    idx = int(perm[0])
+    # Chase in Python but with a stride of vectorized gathers: each
+    # gather of the "next" pointers is one dependent load per element.
+    hops_done = 0
+    t0 = time.perf_counter()
+    while hops_done < hops:
+        idx = int(chain[idx])
+        hops_done += 1
+    elapsed = time.perf_counter() - t0
+    return elapsed / hops
+
+
+def measure_chase_latency(
+    sizes_bytes: "list[int] | None" = None, hops: int = 200_000
+) -> dict[int, float]:
+    """Per-hop latency (ns) for several working-set sizes.
+
+    The smallest working set serves as the interpreter baseline; the
+    returned values are baseline-subtracted so they approximate the
+    pure memory-latency difference between tiers.
+    """
+    sizes = sizes_bytes or [
+        16 * 1024,          # comfortably L1
+        128 * 1024,         # L2
+        4 * 1024 * 1024,    # L3
+        64 * 1024 * 1024,   # memory
+    ]
+    raw = {s: _pointer_chase(s, hops) * 1e9 for s in sizes}
+    base = min(raw.values())
+    return {s: max(v - base, 0.0) for s, v in raw.items()}
+
+
+def calibrate_machine(
+    hops: int = 200_000, base: MachineModel | None = None
+) -> MachineModel:
+    """Return a MachineModel with latencies fitted to this host.
+
+    Only the latency *ladder* is replaced; cache sizes keep the paper
+    machine's defaults unless the measurements are degenerate, in which
+    case the base model is returned unchanged.
+    """
+    base = base or MachineModel()
+    lat = measure_chase_latency(hops=hops)
+    tiers = sorted(lat.items())
+    values = [v for _, v in tiers]
+    # Enforce the monotone ladder the model assumes; bail out to the
+    # defaults when the measurement is too noisy to honor it.
+    if any(b < a for a, b in zip(values, values[1:])):
+        values = list(np.maximum.accumulate(values))
+    l1, l2, l3, mem = values[:4]
+    floor = base.l1_latency_ns
+    fitted = replace(
+        base,
+        l1_latency_ns=max(l1, floor),
+        l2_latency_ns=max(l2, floor * 2),
+        l3_latency_ns=max(l3, floor * 4),
+        memory_latency_ns=max(mem, floor * 8),
+    )
+    if not (
+        fitted.l1_latency_ns
+        <= fitted.l2_latency_ns
+        <= fitted.l3_latency_ns
+        <= fitted.memory_latency_ns
+    ):  # pragma: no cover - construction forbids it
+        return base
+    return fitted

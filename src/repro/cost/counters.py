@@ -1,0 +1,82 @@
+"""Operation counters aggregated over a lookup workload.
+
+Machine-independent measurements of the work a lookup performs: model
+evaluations / nodes visited (the *evaluation* phase) and key
+comparisons over the error interval (the *search* phase) -- the same
+decomposition the paper uses in Figure 13.  The analytic cost model
+(:mod:`repro.cost.model`) converts these counts into nanosecond
+estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["OperationCounters"]
+
+
+@dataclass(frozen=True)
+class OperationCounters:
+    """Aggregate counters over a batch of lookups."""
+
+    num_lookups: int
+    total_evaluation_steps: int
+    total_comparisons: int
+    total_interval: int
+    max_interval: int
+    median_interval: float
+
+    @property
+    def mean_evaluation_steps(self) -> float:
+        return self.total_evaluation_steps / max(self.num_lookups, 1)
+
+    @property
+    def mean_comparisons(self) -> float:
+        return self.total_comparisons / max(self.num_lookups, 1)
+
+    @property
+    def mean_interval(self) -> float:
+        return self.total_interval / max(self.num_lookups, 1)
+
+    @classmethod
+    def collect(
+        cls,
+        evaluation_steps: Iterable[int],
+        comparisons: Iterable[int],
+        intervals: Iterable[int],
+    ) -> "OperationCounters":
+        ev = np.fromiter(evaluation_steps, dtype=np.int64)
+        cmp_ = np.fromiter(comparisons, dtype=np.int64)
+        iv = np.fromiter(intervals, dtype=np.int64)
+        if not (len(ev) == len(cmp_) == len(iv)):
+            raise ValueError("counter streams must have equal length")
+        return cls(
+            num_lookups=len(ev),
+            total_evaluation_steps=int(ev.sum()),
+            total_comparisons=int(cmp_.sum()),
+            total_interval=int(iv.sum()),
+            max_interval=int(iv.max()) if len(iv) else 0,
+            median_interval=float(np.median(iv)) if len(iv) else 0.0,
+        )
+
+    def merged(self, other: "OperationCounters") -> "OperationCounters":
+        """Combine counters of two workload batches."""
+        total = self.num_lookups + other.num_lookups
+        # The exact merged median is unavailable; weight the two medians,
+        # which is adequate for reporting.
+        med = (
+            self.median_interval * self.num_lookups
+            + other.median_interval * other.num_lookups
+        ) / max(total, 1)
+        return OperationCounters(
+            num_lookups=total,
+            total_evaluation_steps=self.total_evaluation_steps
+            + other.total_evaluation_steps,
+            total_comparisons=self.total_comparisons + other.total_comparisons,
+            total_interval=self.total_interval + other.total_interval,
+            max_interval=max(self.max_interval, other.max_interval),
+            median_interval=med,
+        )

@@ -1,0 +1,25 @@
+"""Datasets: synthetic SOSD stand-ins and statistical distributions."""
+
+from . import cdf, distributions, sosd
+from .cdf import CdfSummary, has_duplicates, is_sorted, local_noise, summarize
+from .distributions import DISTRIBUTIONS
+from .sosd import DATASETS, books, dataset_names, fb, generate, osmc, wiki
+
+__all__ = [
+    "sosd",
+    "distributions",
+    "cdf",
+    "DATASETS",
+    "DISTRIBUTIONS",
+    "books",
+    "fb",
+    "osmc",
+    "wiki",
+    "generate",
+    "dataset_names",
+    "CdfSummary",
+    "summarize",
+    "is_sorted",
+    "has_duplicates",
+    "local_noise",
+]

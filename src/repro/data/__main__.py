@@ -1,0 +1,64 @@
+"""CLI: generate, inspect, and convert SOSD-format datasets.
+
+Usage::
+
+    python -m repro.data generate books --n 200000 --out books.sosd
+    python -m repro.data info books.sosd
+    python -m repro.data list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import distributions, sosd
+from .io import dataset_info, read_sosd, write_sosd
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.data")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic dataset")
+    gen.add_argument("name", help="dataset or distribution name")
+    gen.add_argument("--n", type=int, default=200_000)
+    gen.add_argument("--seed", type=int, default=42)
+    gen.add_argument("--out", required=True, help="output .sosd path")
+
+    info = sub.add_parser("info", help="inspect a SOSD binary file")
+    info.add_argument("path")
+
+    sub.add_parser("list", help="list available generators")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name in sosd.DATASETS:
+            print(f"sosd:{name}")
+        for name in distributions.DISTRIBUTIONS:
+            print(f"dist:{name}")
+        return 0
+
+    if args.command == "generate":
+        if args.name in sosd.DATASETS:
+            keys = sosd.generate(args.name, n=args.n, seed=args.seed)
+        elif args.name in distributions.DISTRIBUTIONS:
+            keys = distributions.generate(args.name, n=args.n, seed=args.seed)
+        else:
+            parser.error(f"unknown generator {args.name!r}; see 'list'")
+        written = write_sosd(args.out, keys)
+        print(f"wrote {len(keys):,} keys ({written:,} bytes) to {args.out}")
+        return 0
+
+    if args.command == "info":
+        keys = read_sosd(args.path)
+        for field, value in dataset_info(keys).items():
+            print(f"{field}: {value}")
+        return 0
+
+    return 1  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,116 @@
+"""CDF utilities shared by analyses and figure drivers.
+
+In the learned-index literature (and throughout this repository) "CDF"
+denotes the mapping from key to position in the sorted array rather
+than the statistical cumulative distribution function; see Section 2.1
+of the paper for the relationship (Equation 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "positions",
+    "normalized_cdf",
+    "is_sorted",
+    "has_duplicates",
+    "zoom_segment",
+    "local_noise",
+    "CdfSummary",
+    "summarize",
+]
+
+
+def positions(keys: np.ndarray) -> np.ndarray:
+    """Positions 0..n-1 of the (sorted) keys: the CDF's codomain."""
+    return np.arange(len(keys), dtype=np.float64)
+
+
+def normalized_cdf(keys: np.ndarray, samples: int = 1024) -> tuple[np.ndarray, np.ndarray]:
+    """Down-sampled (key, position/n) pairs for plotting Figure 2/3 CDFs."""
+    n = len(keys)
+    if n == 0:
+        return np.array([]), np.array([])
+    idx = np.unique(np.linspace(0, n - 1, min(samples, n)).astype(np.int64))
+    return keys[idx].astype(np.float64), idx.astype(np.float64) / max(n - 1, 1)
+
+
+def is_sorted(keys: np.ndarray) -> bool:
+    """Whether the array is sorted in non-decreasing order."""
+    return bool(np.all(keys[1:] >= keys[:-1])) if len(keys) > 1 else True
+
+
+def has_duplicates(keys: np.ndarray) -> bool:
+    """Whether the sorted array contains duplicate keys."""
+    return bool(np.any(keys[1:] == keys[:-1])) if len(keys) > 1 else False
+
+
+def zoom_segment(keys: np.ndarray, start: int | None = None,
+                 length: int = 100) -> np.ndarray:
+    """A window of ``length`` consecutive keys (the Figure 2 zoom-ins).
+
+    Defaults to a window centered in the array; the paper uses such
+    100-key segments to visualize local noise.
+    """
+    n = len(keys)
+    if start is None:
+        start = max(0, n // 2 - length // 2)
+    return keys[start : min(start + length, n)]
+
+
+def local_noise(keys: np.ndarray, window: int = 100) -> float:
+    """Quantify local CDF noise: mean relative gap deviation in windows.
+
+    For each window of consecutive keys, compute the coefficient of
+    variation of the key gaps; return the mean over windows.  Perfectly
+    regular data (sequential keys) scores 0; the heavy per-cluster noise
+    of osmc scores high.  Used to sanity-check the synthetic datasets
+    against the paper's qualitative descriptions.
+    """
+    keys = keys.astype(np.float64)
+    gaps = np.diff(keys)
+    if len(gaps) < window:
+        if len(gaps) == 0 or gaps.mean() == 0:
+            return 0.0
+        return float(gaps.std() / gaps.mean())
+    usable = len(gaps) - len(gaps) % window
+    chunks = gaps[:usable].reshape(-1, window)
+    means = chunks.mean(axis=1)
+    stds = chunks.std(axis=1)
+    mask = means > 0
+    if not mask.any():
+        return 0.0
+    return float(np.mean(stds[mask] / means[mask]))
+
+
+@dataclass(frozen=True)
+class CdfSummary:
+    """Structural summary of a dataset used by reports and tests."""
+
+    n: int
+    min_key: int
+    max_key: int
+    duplicates: bool
+    noise: float
+
+    @property
+    def key_space_utilization(self) -> float:
+        """Fraction of the spanned key range that is actually occupied."""
+        span = self.max_key - self.min_key + 1
+        return self.n / span if span > 0 else 0.0
+
+
+def summarize(keys: np.ndarray) -> CdfSummary:
+    """Compute a :class:`CdfSummary` for a sorted key array."""
+    if len(keys) == 0:
+        return CdfSummary(0, 0, 0, False, 0.0)
+    return CdfSummary(
+        n=len(keys),
+        min_key=int(keys[0]),
+        max_key=int(keys[-1]),
+        duplicates=has_duplicates(keys),
+        noise=local_noise(keys),
+    )

@@ -1,0 +1,108 @@
+"""Synthetic statistical key distributions.
+
+The paper notes that "learned indexes are known to adapt well to
+artificial data sampled from statistical distributions" (Section 4.3)
+and therefore evaluates on real-world data.  We nevertheless provide the
+classic distributions: they serve as easy/controlled inputs for tests,
+examples, and ablation benches, and let users reproduce the contrast
+between statistical and real-world data themselves.
+
+All generators return a sorted, unique ``uint64`` array and are
+deterministic given ``(n, seed)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "uniform",
+    "normal",
+    "lognormal",
+    "zipf",
+    "sequential",
+    "DISTRIBUTIONS",
+    "generate",
+]
+
+
+def _unique_n(sample: Callable[[int], np.ndarray], n: int) -> np.ndarray:
+    """Draw from ``sample`` until ``n`` unique keys are collected."""
+    keys = np.unique(sample(int(n * 1.1) + 16))
+    while len(keys) < n:
+        keys = np.unique(np.concatenate([keys, sample(n)]))
+    return keys[:n] if len(keys) >= n else keys
+
+
+def uniform(n: int = 200_000, seed: int = 42, high: int = 2**60) -> np.ndarray:
+    """Uniformly distributed keys: the easiest case for any learned index."""
+    rng = np.random.default_rng(seed)
+    return _unique_n(
+        lambda k: rng.integers(0, high, size=k, dtype=np.uint64), n
+    )
+
+
+def normal(n: int = 200_000, seed: int = 42) -> np.ndarray:
+    """Gaussian keys centered in the key space."""
+    rng = np.random.default_rng(seed)
+
+    def sample(k: int) -> np.ndarray:
+        x = rng.normal(2**40, 2**36, size=k)
+        return np.clip(x, 0, 2**63).astype(np.uint64)
+
+    return _unique_n(sample, n)
+
+
+def lognormal(n: int = 200_000, seed: int = 42, sigma: float = 2.0) -> np.ndarray:
+    """Lognormal keys: a hard, heavily skewed but outlier-free case."""
+    rng = np.random.default_rng(seed)
+
+    def sample(k: int) -> np.ndarray:
+        x = rng.lognormal(0.0, sigma, size=k)
+        return np.clip(x * 2**32, 0, 2**63).astype(np.uint64)
+
+    return _unique_n(sample, n)
+
+
+def zipf(n: int = 200_000, seed: int = 42, a: float = 1.5) -> np.ndarray:
+    """Zipf-distributed keys (power-law gaps)."""
+    rng = np.random.default_rng(seed)
+
+    def sample(k: int) -> np.ndarray:
+        x = rng.zipf(a, size=k).astype(np.float64)
+        return np.clip(x * 2**20, 0, 2**63).astype(np.uint64)
+
+    return _unique_n(sample, n)
+
+
+def sequential(n: int = 200_000, seed: int = 42, start: int = 0,
+               step: int = 1) -> np.ndarray:
+    """Densely packed sequential keys: the degenerate best case.
+
+    A single linear model predicts these exactly; useful as a unit-test
+    oracle (every model family should achieve zero error here).
+    """
+    del seed  # deterministic by construction; kept for a uniform API
+    return (start + step * np.arange(n, dtype=np.uint64)).astype(np.uint64)
+
+
+#: Registry of statistical distribution generators.
+DISTRIBUTIONS: dict[str, Callable[..., np.ndarray]] = {
+    "uniform": uniform,
+    "normal": normal,
+    "lognormal": lognormal,
+    "zipf": zipf,
+    "sequential": sequential,
+}
+
+
+def generate(name: str, n: int = 200_000, seed: int = 42) -> np.ndarray:
+    """Generate distribution ``name``; see :data:`DISTRIBUTIONS`."""
+    try:
+        gen = DISTRIBUTIONS[name]
+    except KeyError:
+        known = ", ".join(DISTRIBUTIONS)
+        raise ValueError(f"unknown distribution {name!r}; known: {known}")
+    return gen(n=n, seed=seed)

@@ -1,0 +1,261 @@
+"""Synthetic stand-ins for the four SOSD datasets used in the paper.
+
+The paper evaluates on four real-world datasets from the SOSD benchmark
+[18], each 200M unsigned 64-bit keys (Section 4.3, Figure 2).  The raw
+datasets are multi-gigabyte downloads and are not redistributable here,
+so this module generates *synthetic* datasets that reproduce the
+distributional properties each of the paper's findings hinges on:
+
+``books``
+    Popularity of books on Amazon: a smooth, mildly convex CDF with a
+    heavy upper tail.  Finding it drives: accurate RMI predictions,
+    small error intervals, RMI/RadixSpline winning on "smooth CDFs".
+``fb``
+    Facebook user ids: near-uniform keys **plus 21 outliers at the
+    upper end that are several orders of magnitude larger** than the
+    rest.  The 21 outliers are the load-bearing property: they flatten
+    every root-model approximation, collapse almost all keys into one
+    segment, and make every RMI configuration lose to plain binary
+    search (Sections 5.1, 5.2, 6.1).
+``osmc``
+    OpenStreetMap cell ids: strong clustering caused by projecting
+    two-dimensional data into one dimension [22].  Clusters concentrate
+    the keys in a small fraction of the key space, producing many empty
+    segments and noisy large segments (Sections 5.1, 5.2).
+``wiki``
+    Wikipedia edit timestamps: a near-linear CDF with bursty density
+    **and duplicate keys**.  SOSD's wiki is the only one of the four
+    with duplicates, which is why ART and Hist-Tree "did not work on
+    wiki" in the paper (Section 8.1); we keep duplicates for exactly
+    that reason.
+
+All generators are deterministic given ``(n, seed)`` and return a sorted
+``uint64`` array.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "books",
+    "fb",
+    "osmc",
+    "wiki",
+    "DATASETS",
+    "generate",
+    "dataset_names",
+    "FB_NUM_OUTLIERS",
+]
+
+#: Number of extreme outliers in the fb dataset (Section 4.3: "This
+#: dataset contains 21 outliers at the upper end of the key space").
+FB_NUM_OUTLIERS = 21
+
+_KEY_MAX = np.uint64(2**64 - 1)
+
+
+def _finalize(values: np.ndarray, allow_duplicates: bool = False) -> np.ndarray:
+    """Sort, clip to the uint64 domain, and optionally deduplicate."""
+    values = np.clip(values, 0.0, float(2**63))  # headroom for outliers
+    keys = np.sort(values.astype(np.uint64))
+    if not allow_duplicates:
+        keys = np.unique(keys)
+    return keys
+
+
+def _top_up_unique(keys: np.ndarray, n: int, rng: np.random.Generator,
+                   low: int, high: int) -> np.ndarray:
+    """Pad a deduplicated sample back up to exactly ``n`` unique keys."""
+    while len(keys) < n:
+        extra = rng.integers(low, high, size=(n - len(keys)) * 2, dtype=np.uint64)
+        keys = np.unique(np.concatenate([keys, extra]))
+    if len(keys) > n:
+        drop = rng.choice(len(keys), size=len(keys) - n, replace=False)
+        keys = np.delete(keys, drop)
+    return keys
+
+
+def books(n: int = 200_000, seed: int = 42) -> np.ndarray:
+    """Amazon book popularity: smooth, gently curved CDF.
+
+    The paper characterizes books as a *smooth* CDF that spline root
+    models approximate well (few empty segments, single-digit median
+    errors at large layer sizes).  We reproduce that with a density
+    that varies smoothly -- by a factor of a few, via a smoothed random
+    walk -- across the key space, plus per-key noise.
+    """
+    rng = np.random.default_rng(seed)
+    epochs = 1_000
+    walk = np.cumsum(rng.normal(0.0, 1.0, size=epochs))
+    walk -= walk.mean()
+    walk /= max(np.abs(walk).max(), 1e-9)
+    rate = np.exp(0.8 * walk)  # smooth density, ~5x max/min ratio
+    rate /= rate.sum()
+    counts = rng.multinomial(int(n * 1.05), rate)
+    # The occupied range deliberately starts well inside its enclosing
+    # power-of-two range: radix root models then never predict the low
+    # segment indexes, reproducing RX's high share of empty segments on
+    # books (paper Figure 4; the real books keys sit inside their
+    # bit-range the same way).
+    lo, hi = int(0.15 * 2**50), int(0.95 * 2**50)
+    edges = np.linspace(lo, hi, epochs + 1)
+    parts = [
+        rng.uniform(edges[i], edges[i + 1], size=c)
+        for i, c in enumerate(counts)
+        if c > 0
+    ]
+    keys = _finalize(np.concatenate(parts))
+    return _top_up_unique(keys, n, rng, lo, hi)
+
+
+def fb(n: int = 200_000, seed: int = 42,
+       num_outliers: int = FB_NUM_OUTLIERS) -> np.ndarray:
+    """Facebook user ids: noisy body plus extreme upper outliers.
+
+    Two load-bearing properties from the paper:
+
+    * the ``num_outliers`` (default 21) outliers are spread
+      log-uniformly across ``[2^50, 2^63)`` -- orders of magnitude above
+      the body.  They flatten every root approximation; as the segment
+      count grows they gradually leave the big segment, reproducing the
+      sudden error drop of Figure 6 (paper: "between 2^15 and 2^17
+      segments ... none of the outliers being assigned to the large
+      segment anymore").
+    * the body in ``[0, 2^44)`` has coarse *density regimes* (ID
+      allocation eras), so even after the outliers separate, a single
+      linear model keeps a large error over the body segment (paper:
+      the large segment "still contains a considerable amount of noise
+      that leads to the persistent high prediction error").
+    """
+    rng = np.random.default_rng(seed)
+    body_n = n - num_outliers
+    # Coarse regimes with strong rate variation: the resulting CDF
+    # deviates from any single line by a double-digit percentage of n.
+    # Because the root model's slope is dominated by the outliers, the
+    # body always collapses into ~one segment whose single linear model
+    # inherits this deviation -- keeping every RMI at or below binary
+    # search on fb at every scale, like the paper's Figure 8.
+    epochs = 50
+    rate = np.exp(rng.normal(0.0, 1.5, size=epochs))
+    rate /= rate.sum()
+    counts = rng.multinomial(int(body_n * 1.05), rate)
+    edges = np.linspace(0, 2**44, epochs + 1)
+    parts = [
+        rng.uniform(edges[i], edges[i + 1], size=c)
+        for i, c in enumerate(counts)
+        if c > 0
+    ]
+    body = _finalize(np.concatenate(parts))
+    body = _top_up_unique(body, body_n, rng, 0, 2**44)
+    # Outliers spread log-evenly over [2^47, 2^63] with jitter.  The
+    # smallest outlier pins where the Figure 6 error drop happens: the
+    # big segment keeps at least one outlier until the segment count
+    # exceeds keyspace/2^47 = 2^16 -- late in any sweep, like the
+    # paper's drop between 2^15 and 2^17 segments.  Deterministic
+    # across n and seed.
+    if num_outliers > 0:
+        exponents = np.linspace(47.0, 63.0, num_outliers)
+        exponents += rng.uniform(-0.2, 0.2, size=num_outliers)
+        outliers = np.unique((2.0 ** exponents).astype(np.uint64))
+        while len(outliers) < num_outliers:  # jitter collisions (rare)
+            extra = 2.0 ** rng.uniform(47.0, 63.0, num_outliers)
+            outliers = np.unique(
+                np.concatenate([outliers, extra.astype(np.uint64)])
+            )
+        outliers = outliers[:num_outliers]
+        return np.sort(np.concatenate([body, outliers]))
+    return body
+
+
+def osmc(n: int = 200_000, seed: int = 42, clusters: int | None = None) -> np.ndarray:
+    """OpenStreetMap cell ids: heavily clustered key space.
+
+    Cluster centers are spread log-uniformly over the key space (the
+    2D->1D projection concentrates populated cells); members are tightly
+    packed around their center.  The result is the staircase CDF with
+    per-cluster noise that dominates the paper's osmc findings.
+    """
+    rng = np.random.default_rng(seed)
+    if clusters is None:
+        clusters = max(16, n // 1_000)
+    centers = np.sort(rng.uniform(2.0**30, 2.0**62, size=clusters))
+    # Lognormal cluster populations: heavily skewed (some cells are
+    # cities, some are oceans) without letting a single cluster swallow
+    # the dataset, which would mimic fb's one-segment collapse instead
+    # of osmc's many-noisy-segments profile.
+    weights = rng.lognormal(0.0, 1.5, size=clusters)
+    weights /= weights.sum()
+    counts = rng.multinomial(int(n * 1.08), weights)
+    parts = []
+    for center, count in zip(centers, counts):
+        if count == 0:
+            continue
+        spread = center * 1e-4 + 1_000.0
+        parts.append(rng.normal(center, spread, size=count))
+    keys = _finalize(np.concatenate(parts))
+    return _top_up_unique(keys, n, rng, 2**30, 2**62)
+
+
+def wiki(n: int = 200_000, seed: int = 42) -> np.ndarray:
+    """Wikipedia edit timestamps: bursty near-linear CDF with duplicates.
+
+    Simulates ~15 years of edit timestamps (seconds) with weekly and
+    yearly rate modulation plus random burst events.  Duplicate
+    timestamps are retained on purpose: SOSD's wiki contains duplicates,
+    which is why tries reject it (Section 8.1).
+    """
+    rng = np.random.default_rng(seed)
+    start = 1_050_000_000  # ~2003, like Wikipedia's early history
+    span = int(15 * 365.25 * 86_400)
+    # Piecewise-constant edit rate over ~2000 epochs, growing over time
+    # with multiplicative noise and occasional bursts.
+    epochs = 2_000
+    t = np.linspace(0.0, 1.0, epochs)
+    rate = (0.2 + t) * np.exp(rng.normal(0.0, 0.35, size=epochs))
+    bursts = rng.random(epochs) < 0.01
+    rate[bursts] *= rng.uniform(5.0, 20.0, size=int(bursts.sum()))
+    rate /= rate.sum()
+    # Reserve ~1% of keys as same-second duplicates (concurrent edits):
+    # SOSD's wiki contains duplicates at every scale, and they are what
+    # disqualifies tries (Section 8.1), so their presence must not
+    # depend on sampling luck.
+    num_dupes = max(n // 100, 1)
+    base_n = n - num_dupes
+    counts = rng.multinomial(base_n, rate)
+    edges = (start + np.linspace(0, span, epochs + 1)).astype(np.int64)
+    parts = [
+        rng.integers(edges[i], edges[i + 1], size=c, dtype=np.int64)
+        for i, c in enumerate(counts)
+        if c > 0
+    ]
+    base = np.concatenate(parts).astype(np.uint64)
+    dupes = base[rng.integers(0, len(base), num_dupes)]
+    keys = np.sort(np.concatenate([base, dupes]))
+    return keys  # duplicates intentionally retained
+
+
+#: Registry of dataset generators in the paper's presentation order.
+DATASETS: dict[str, Callable[..., np.ndarray]] = {
+    "books": books,
+    "fb": fb,
+    "osmc": osmc,
+    "wiki": wiki,
+}
+
+
+def dataset_names() -> list[str]:
+    """Names of the four SOSD-like datasets, in paper order."""
+    return list(DATASETS)
+
+
+def generate(name: str, n: int = 200_000, seed: int = 42) -> np.ndarray:
+    """Generate dataset ``name`` with ``n`` keys; see module docstring."""
+    try:
+        gen = DATASETS[name]
+    except KeyError:
+        known = ", ".join(DATASETS)
+        raise ValueError(f"unknown dataset {name!r}; known datasets: {known}")
+    return gen(n=n, seed=seed)

@@ -1,0 +1,33 @@
+"""Lookup workloads and the measurement runner (Section 4.4)."""
+
+from .generator import (
+    PAPER_NUM_LOOKUPS,
+    PAPER_NUM_RUNS,
+    RangeWorkload,
+    Workload,
+    make_range_workload,
+    make_workload,
+    position_checksum,
+)
+from .runner import (
+    WorkloadResult,
+    measure_build,
+    run_range_workload,
+    run_workload,
+    trace_sample,
+)
+
+__all__ = [
+    "Workload",
+    "make_workload",
+    "position_checksum",
+    "RangeWorkload",
+    "make_range_workload",
+    "WorkloadResult",
+    "run_workload",
+    "run_range_workload",
+    "measure_build",
+    "trace_sample",
+    "PAPER_NUM_LOOKUPS",
+    "PAPER_NUM_RUNS",
+]

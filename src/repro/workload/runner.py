@@ -1,0 +1,179 @@
+"""Workload execution and measurement.
+
+Runs a lookup workload against an index (an
+:class:`~repro.baselines.interfaces.OrderedIndex` or a bare
+:class:`~repro.core.rmi.RMI`), following the paper's protocol
+(Section 4.4): several independent runs, the median run is reported,
+and a checksum over the returned positions validates correctness.
+
+Each result carries three views of the cost:
+
+* ``wall_seconds`` / ``wall_ns_per_lookup`` -- measured Python time of
+  the vectorized batch path (honest relative throughput at this scale);
+* ``counters`` -- machine-independent operation counts from a traced
+  sample of scalar lookups;
+* ``estimated_ns_per_lookup`` -- the analytic cost model's estimate of
+  the per-lookup latency on the paper's machine, which is what the
+  figure drivers plot (see :mod:`repro.cost.model`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..baselines.interfaces import OrderedIndex
+from ..core.rmi import RMI
+from ..cost.counters import OperationCounters
+from ..cost.model import CostModel
+from .generator import RangeWorkload, Workload, position_checksum
+
+__all__ = [
+    "WorkloadResult",
+    "run_workload",
+    "run_range_workload",
+    "measure_build",
+    "trace_sample",
+]
+
+#: Queries traced per workload for operation counting (tracing is a
+#: scalar Python path, so it runs on a sample, not the full workload).
+DEFAULT_TRACE_SAMPLE = 512
+
+
+@dataclass(frozen=True)
+class WorkloadResult:
+    """Measurements of one index over one workload."""
+
+    index_name: str
+    index_bytes: int
+    num_lookups: int
+    wall_seconds: float
+    checksum_ok: bool
+    counters: OperationCounters
+    estimated_ns_per_lookup: float
+    estimated_eval_ns: float
+    estimated_search_ns: float
+
+    @property
+    def wall_ns_per_lookup(self) -> float:
+        return self.wall_seconds / max(self.num_lookups, 1) * 1e9
+
+
+def _batch_lookup(index: "OrderedIndex | RMI", queries: np.ndarray) -> np.ndarray:
+    if isinstance(index, RMI):
+        return index.lookup_batch(queries)
+    return index.lower_bound_batch(queries)
+
+
+def trace_sample(
+    index: "OrderedIndex | RMI",
+    queries: np.ndarray,
+    sample: int = DEFAULT_TRACE_SAMPLE,
+) -> OperationCounters:
+    """Collect operation counters from a deterministic query sample."""
+    take = queries[:: max(len(queries) // sample, 1)][:sample]
+    evals, comps, intervals = [], [], []
+    if isinstance(index, RMI):
+        for q in take:
+            t = index.lookup_traced(int(q))
+            evals.append(t.model_evaluations)
+            comps.append(t.comparisons)
+            intervals.append(t.interval_size)
+    else:
+        for q in take:
+            b = index.search_bounds(int(q))
+            width = max(b.hi - b.lo + 1, 1)
+            evals.append(b.evaluation_steps)
+            comps.append(int(np.ceil(np.log2(width + 1))))
+            intervals.append(width)
+    return OperationCounters.collect(evals, comps, intervals)
+
+
+def run_workload(
+    index: "OrderedIndex | RMI",
+    workload: Workload,
+    runs: int = 3,
+    cost_model: CostModel | None = None,
+    search: str | None = None,
+    trace_size: int = DEFAULT_TRACE_SAMPLE,
+) -> WorkloadResult:
+    """Execute a workload ``runs`` times; report the median run.
+
+    ``search`` overrides the search algorithm assumed by the cost
+    model; by default it is the RMI's configured algorithm or ``bin``
+    for baselines (the Section 8 protocol).
+    """
+    cm = cost_model or CostModel()
+    durations = []
+    positions = None
+    for _ in range(max(runs, 1)):
+        t0 = time.perf_counter()
+        positions = _batch_lookup(index, workload.queries)
+        durations.append(time.perf_counter() - t0)
+    checksum_ok = position_checksum(positions) == workload.checksum
+
+    counters = trace_sample(index, workload.queries, trace_size)
+    if isinstance(index, RMI):
+        name = f"rmi[{index.describe()}]"
+        algo = search or index.search_name
+    else:
+        name = index.name
+        algo = search or "bin"
+    index_bytes = index.size_in_bytes()
+    eval_ns = cm.evaluation_ns(counters.mean_evaluation_steps, index_bytes)
+    search_ns = cm.search_ns(
+        algo,
+        counters.mean_comparisons,
+        counters.mean_interval,
+        index.n * 8,
+    )
+    return WorkloadResult(
+        index_name=name,
+        index_bytes=index_bytes,
+        num_lookups=workload.num_lookups,
+        wall_seconds=float(np.median(durations)),
+        checksum_ok=checksum_ok,
+        counters=counters,
+        estimated_ns_per_lookup=eval_ns + search_ns,
+        estimated_eval_ns=eval_ns,
+        estimated_search_ns=search_ns,
+    )
+
+
+def run_range_workload(
+    index: "OrderedIndex | RMI",
+    workload: RangeWorkload,
+    runs: int = 1,
+) -> tuple[float, bool]:
+    """Execute a range workload; returns ``(median seconds, checksum ok)``.
+
+    Implemented via the batch lower-bound path on both boundaries --
+    exactly what :meth:`OrderedIndex.range_query` does per query, so
+    the measured time reflects two lookups per range.
+    """
+    durations = []
+    checksum = None
+    for _ in range(max(runs, 1)):
+        t0 = time.perf_counter()
+        starts = _batch_lookup(index, workload.lows)
+        ends = _batch_lookup(index, workload.highs)
+        durations.append(time.perf_counter() - t0)
+        checksum = int(starts.sum() + (ends - starts).sum())
+    return float(np.median(durations)), checksum == workload.checksum
+
+
+def measure_build(
+    factory: Callable[[], "OrderedIndex | RMI"], runs: int = 3
+) -> tuple["OrderedIndex | RMI", float]:
+    """Build an index ``runs`` times; return (index, median seconds)."""
+    durations = []
+    index = None
+    for _ in range(max(runs, 1)):
+        t0 = time.perf_counter()
+        index = factory()
+        durations.append(time.perf_counter() - t0)
+    return index, float(np.median(durations))

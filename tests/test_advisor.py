@@ -1,0 +1,71 @@
+"""Tests for the Section 9.2 guideline advisor."""
+
+import numpy as np
+import pytest
+
+from repro.core.advisor import (
+    Recommendation,
+    WorkloadRequirements,
+    recommend_index,
+)
+
+
+class TestRecommendations:
+    def test_rmi_tops_on_smooth_readonly(self, books_keys):
+        recs = recommend_index(books_keys)
+        assert recs[0].index == "rmi"
+        assert "smooth CDF" in recs[0].reasons[0]
+
+    def test_outliers_demote_rmi(self, fb_keys):
+        recs = recommend_index(fb_keys, top=8)
+        ranks = {r.index: i for i, r in enumerate(recs)}
+        # RMI must not win on fb-like data; robust indexes must beat it.
+        assert ranks["rmi"] > ranks["pgm-index"]
+        rmi = next(r for r in recs if r.index == "rmi")
+        assert any("fb-like outliers" in reason for reason in rmi.reasons)
+
+    def test_updates_exclude_static_indexes(self, books_keys):
+        recs = recommend_index(
+            books_keys, WorkloadRequirements(needs_updates=True), top=8
+        )
+        scored = {r.index: r.score for r in recs}
+        assert scored["rmi"] == float("-inf")
+        assert scored["radix-spline"] == float("-inf")
+        assert scored["alex"] > 0
+        assert scored["pgm-index"] > 0  # the dynamic variant
+
+    def test_duplicates_exclude_tries(self, wiki_keys):
+        recs = recommend_index(wiki_keys, top=8)
+        scored = {r.index: r.score for r in recs}
+        assert scored["art"] == float("-inf")
+        assert scored["hist-tree"] == float("-inf")
+        art = next(r for r in recs if r.index == "art")
+        assert any("duplicate" in reason for reason in art.reasons)
+
+    def test_lookup_priority_promotes_hist_tree(self, books_keys):
+        # De-duplicate books is outlier-free; crank lookup priority and
+        # remove memory concerns: Hist-Tree should rank near the top.
+        recs = recommend_index(
+            books_keys,
+            WorkloadRequirements(lookup_priority=1.0, build_priority=0.0,
+                                 memory_priority=0.0),
+            top=3,
+        )
+        assert {r.index for r in recs[:2]} <= {"rmi", "hist-tree"}
+
+    def test_build_priority_promotes_btree_art(self, osmc_keys):
+        recs = recommend_index(
+            osmc_keys,
+            WorkloadRequirements(lookup_priority=0.1, build_priority=1.0,
+                                 memory_priority=0.1),
+            top=3,
+        )
+        assert recs[0].index in {"b-tree", "art", "binary-search", "alex"}
+
+    def test_top_parameter(self, books_keys):
+        assert len(recommend_index(books_keys, top=2)) == 2
+        assert len(recommend_index(books_keys, top=8)) == 8
+
+    def test_recommendation_rendering(self, books_keys):
+        text = str(recommend_index(books_keys)[0])
+        assert "score" in text and "-" in text

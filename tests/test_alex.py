@@ -1,0 +1,189 @@
+"""Tests for the ALEX baseline (gapped arrays, adaptive tree, inserts)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.alex import ALEXIndex, GappedLeaf
+
+
+class TestGappedLeaf:
+    def test_slots_preserve_order(self, books_keys):
+        keys = np.unique(books_keys[:500])
+        leaf = GappedLeaf(keys, np.arange(len(keys)), density=0.7)
+        stored = leaf.keys_in_order()
+        np.testing.assert_array_equal(stored, keys)
+        assert len(leaf.slots) >= len(keys)
+
+    def test_lower_bound_entry(self):
+        keys = np.array([10, 20, 30, 40], dtype=np.uint64)
+        leaf = GappedLeaf(keys, np.array([1, 2, 3, 4]))
+        assert leaf.lower_bound_entry(25)[:2] == (30, 3)
+        assert leaf.lower_bound_entry(10)[:2] == (10, 1)
+        assert leaf.lower_bound_entry(99)[0] == -1
+
+    def test_insert_into_gap(self):
+        keys = np.array([10, 30, 50], dtype=np.uint64)
+        leaf = GappedLeaf(keys, np.array([0, 1, 2]), density=0.5)
+        assert leaf.insert(20, 9)
+        stored = leaf.keys_in_order()
+        np.testing.assert_array_equal(stored, [10, 20, 30, 50])
+        assert leaf.lower_bound_entry(15)[:2] == (20, 9)
+
+    def test_insert_until_full_then_expand(self):
+        keys = np.array([100, 200], dtype=np.uint64)
+        leaf = GappedLeaf(keys, np.array([0, 1]), density=1.0)
+        added = 0
+        for k in range(101, 140):
+            if not leaf.insert(k, k):
+                leaf.expand()
+                assert leaf.insert(k, k)
+            added += 1
+        stored = leaf.keys_in_order()
+        assert len(stored) == 2 + added
+        assert np.all(np.diff(stored.astype(np.int64)) > 0)
+
+    def test_density_validation(self):
+        with pytest.raises(ValueError):
+            GappedLeaf(np.array([1], dtype=np.uint64), np.array([0]),
+                       density=0.0)
+
+
+class TestALEXIndex:
+    @pytest.mark.parametrize("dataset", ["books", "fb", "osmc", "wiki"])
+    def test_matches_oracle(self, small_datasets, mixed_queries, oracle,
+                            dataset):
+        keys = small_datasets[dataset]
+        index = ALEXIndex(keys, max_leaf_keys=128)
+        queries = mixed_queries(keys)
+        got = index.lower_bound_batch(queries)
+        np.testing.assert_array_equal(got, oracle(keys, queries))
+
+    @pytest.mark.parametrize("sparsity", [4, 32])
+    def test_sparse_matches_oracle(self, books_keys, mixed_queries, oracle,
+                                   sparsity):
+        index = ALEXIndex(books_keys, sparsity=sparsity)
+        queries = mixed_queries(books_keys)
+        got = index.lower_bound_batch(queries)
+        np.testing.assert_array_equal(got, oracle(books_keys, queries))
+
+    def test_adaptive_depth(self, osmc_keys):
+        shallow = ALEXIndex(osmc_keys, max_leaf_keys=4096)
+        deep = ALEXIndex(osmc_keys, max_leaf_keys=64)
+        assert deep.height > shallow.height
+        assert deep.num_leaves > shallow.num_leaves
+
+    def test_cost_model_splits_hard_data_deeper(self, osmc_keys, books_keys):
+        """The paper: ALEX's 'dynamic structure ... is controlled by a
+        cost model that decides how to split nodes' -- hard (noisy)
+        regions should get more, smaller leaves than smooth ones at the
+        same configuration."""
+        smooth = ALEXIndex(books_keys, max_leaf_keys=1024,
+                           split_error_bits=3.0)
+        noisy = ALEXIndex(osmc_keys, max_leaf_keys=1024,
+                          split_error_bits=3.0)
+        assert noisy.num_leaves >= smooth.num_leaves
+
+    def test_cost_model_off_matches_size_only_split(self, books_keys, rng,
+                                                    oracle):
+        index = ALEXIndex(books_keys, max_leaf_keys=128,
+                          split_error_bits=None)
+        queries = books_keys[rng.integers(0, len(books_keys), 150)]
+        np.testing.assert_array_equal(
+            index.lower_bound_batch(queries), oracle(books_keys, queries)
+        )
+        # Without the cost model every leaf is only bounded by the cap.
+        for leaf in index._leaves_chain:
+            assert leaf.num_keys <= 128
+
+    def test_degenerate_cluster_does_not_recurse_forever(self):
+        # Keys the router cannot separate (all nearly identical) but
+        # above min_leaf_keys: must still terminate in a leaf.
+        keys = np.arange(10**9, 10**9 + 500, dtype=np.uint64)
+        index = ALEXIndex(keys, max_leaf_keys=1024, min_leaf_keys=4,
+                          split_error_bits=-10.0)  # always "too costly"
+        assert index.num_leaves >= 1
+        assert index.lower_bound(int(keys[123])) == 123
+
+    def test_size_includes_data_nodes(self, books_keys):
+        """Section 8.2: ALEX 'actually stores the key/position pairs in
+        data nodes', so its size scales with the inserted keys."""
+        dense = ALEXIndex(books_keys, sparsity=1).size_in_bytes()
+        sparse = ALEXIndex(books_keys, sparsity=16).size_in_bytes()
+        assert dense > 8 * len(books_keys)  # at least the slot storage
+        assert sparse < dense / 4
+
+    def test_inserts_then_lookup(self, rng):
+        base = np.sort(rng.choice(2**40, 2000, replace=False).astype(np.uint64))
+        index = ALEXIndex(base, max_leaf_keys=128)
+        new_keys = rng.choice(2**40, 300, replace=False).astype(np.uint64)
+        for k in new_keys:
+            index.insert_key(int(k))
+        # All original keys must still be found at correct positions.
+        sample = base[rng.integers(0, len(base), 200)]
+        for q in sample:
+            stored_key, _, _ = index._find_leaf(int(q))[0].lower_bound_entry(int(q))
+            # The leaf chain must still contain every original key.
+        all_stored = np.concatenate(
+            [l.keys_in_order() for l in index._leaves_chain]
+        )
+        for k in new_keys:
+            assert k in all_stored
+
+    def test_inserts_preserve_global_order(self, rng):
+        """Cross-leaf insert routing must keep the concatenated leaf
+        chain globally sorted (the bug class: approximate inner-model
+        routing sending an insert to the wrong leaf)."""
+        base = np.sort(rng.choice(2**40, 4000, replace=False).astype(np.uint64))
+        index = ALEXIndex(base[::2], max_leaf_keys=64)
+        for k in base[1::2]:
+            index.insert_key(int(k))
+        stored = np.concatenate(
+            [l.keys_in_order() for l in index._leaves_chain]
+        )
+        assert len(stored) == len(base)
+        assert np.all(np.diff(stored.astype(np.int64)) > 0)
+        np.testing.assert_array_equal(np.sort(stored), base)
+
+    def test_insert_below_global_minimum(self, rng):
+        base = np.sort(rng.choice(2**30, 500, replace=False).astype(np.uint64))
+        base = base[base > 100]
+        index = ALEXIndex(base, max_leaf_keys=64)
+        index.insert_key(1)
+        stored = np.concatenate(
+            [l.keys_in_order() for l in index._leaves_chain]
+        )
+        assert stored[0] == 1
+        assert np.all(np.diff(stored.astype(np.int64)) > 0)
+
+    def test_insert_upserts_existing_key(self, rng):
+        base = np.sort(rng.choice(2**30, 200, replace=False).astype(np.uint64))
+        index = ALEXIndex(base, max_leaf_keys=64)
+        index.insert_key(int(base[7]), payload=999)
+        stored = np.concatenate(
+            [l.keys_in_order() for l in index._leaves_chain]
+        )
+        assert len(stored) == len(base)  # no duplicate slot
+
+    def test_stats(self, books_keys):
+        stats = ALEXIndex(books_keys, max_leaf_keys=256).stats()
+        assert stats["name"] == "alex"
+        assert stats["leaves"] >= 1
+        assert stats["height"] >= 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(st.integers(0, 2**48), min_size=2, max_size=300,
+                    unique=True),
+    max_leaf=st.sampled_from([16, 64]),
+)
+def test_alex_lower_bound_property(values, max_leaf):
+    keys = np.sort(np.asarray(values, dtype=np.uint64))
+    index = ALEXIndex(keys, max_leaf_keys=max_leaf)
+    queries = np.concatenate([keys[:40], keys[:40] + 1])
+    for q in queries:
+        assert index.lower_bound(int(q)) == int(
+            np.searchsorted(keys, np.uint64(q), side="left")
+        )

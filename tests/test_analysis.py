@@ -1,0 +1,125 @@
+"""Tests for the structural analyses of Section 5."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import (
+    IntervalStats,
+    PredictionErrorStats,
+    interval_sizes,
+    interval_stats,
+    prediction_errors,
+    root_approximation,
+    segment_keys,
+    segmentation_stats,
+)
+from repro.core.rmi import RMI
+
+
+class TestSegmentation:
+    def test_uniform_keys_spread_evenly(self):
+        keys = np.arange(0, 64_000, 8, dtype=np.uint64)
+        assignment = segment_keys(keys, "ls", 16)
+        stats = segmentation_stats(assignment, 16)
+        assert stats.empty_segments == 0
+        assert stats.largest_segment <= stats.num_keys // 16 + 1
+
+    def test_assignment_in_range(self, small_datasets):
+        for keys in small_datasets.values():
+            for root in ("lr", "ls", "cs", "rx"):
+                assignment = segment_keys(keys, root, 32)
+                assert assignment.min() >= 0
+                assert assignment.max() <= 31
+
+    def test_assignment_monotone_for_monotone_roots(self, books_keys):
+        for root in ("ls", "cs", "rx"):
+            assignment = segment_keys(books_keys, root, 64)
+            assert np.all(np.diff(assignment) >= 0), root
+
+    def test_fb_collapses_to_one_segment(self, fb_keys):
+        """The paper's Section 5.1 finding: on fb almost all keys land
+        in a single segment, for every root model type."""
+        for root in ("lr", "ls", "cs", "rx"):
+            assignment = segment_keys(fb_keys, root, 1024)
+            stats = segmentation_stats(assignment, 1024)
+            assert stats.largest_fraction > 0.95, root
+
+    def test_stats_fields(self):
+        assignment = np.array([0, 0, 0, 2, 2, 5])
+        stats = segmentation_stats(assignment, 8)
+        assert stats.num_segments == 8
+        assert stats.num_keys == 6
+        assert stats.empty_segments == 5
+        assert stats.largest_segment == 3
+        assert stats.empty_fraction == pytest.approx(5 / 8)
+        assert stats.mean_nonempty == pytest.approx(2.0)
+
+    def test_scaled_and_unscaled_segmentations_similar(self, books_keys):
+        a = segment_keys(books_keys, "ls", 32, train_on_model_index=True)
+        b = segment_keys(books_keys, "ls", 32, train_on_model_index=False)
+        assert np.mean(a == b) > 0.99
+
+
+class TestRootApproximation:
+    def test_covers_position_space_for_ls(self, books_keys):
+        xs, preds = root_approximation(books_keys, "ls")
+        assert preds.min() >= 0
+        assert preds.max() <= len(books_keys) - 1
+        assert len(xs) == len(preds)
+
+    def test_lr_does_not_cover_full_range_on_skewed_data(self, wiki_keys):
+        """Figure 3/Section 5.1: LR approximations need not span the
+        full position range; clamping handles the rest."""
+        _, preds_ls = root_approximation(wiki_keys, "ls")
+        span_ls = preds_ls.max() - preds_ls.min()
+        assert span_ls > 0
+
+
+class TestPredictionErrors:
+    def test_zero_on_sequential_keys(self, sequential_keys):
+        rmi = RMI(sequential_keys, layer_sizes=[8])
+        err = prediction_errors(rmi)
+        assert err.max() <= 1  # integer truncation may cost one slot
+
+    def test_more_segments_reduce_error(self, books_keys):
+        """Section 5.2: 'the more segments are created, the better'."""
+        small = RMI(books_keys, layer_sizes=[8], bound_type="nb")
+        large = RMI(books_keys, layer_sizes=[512], bound_type="nb")
+        assert np.median(prediction_errors(large)) <= np.median(
+            prediction_errors(small)
+        )
+
+    def test_lr_leaf_beats_ls_leaf(self, small_datasets):
+        """Section 5.2: 'LR always achieves lower errors than LS'."""
+        for name, keys in small_datasets.items():
+            lr = RMI(keys, layer_sizes=[64], model_types=("ls", "lr"))
+            ls = RMI(keys, layer_sizes=[64], model_types=("ls", "ls"))
+            assert np.mean(prediction_errors(lr)) <= np.mean(
+                prediction_errors(ls)
+            ) * 1.01, name
+
+    def test_stats_from_errors(self):
+        stats = PredictionErrorStats.from_errors(np.array([1, 2, 3, 100]))
+        assert stats.median == pytest.approx(2.5)
+        assert stats.max == 100
+        empty = PredictionErrorStats.from_errors(np.array([]))
+        assert empty.mean == 0.0
+
+
+class TestIntervals:
+    def test_local_beats_global_at_same_model_count(self, osmc_keys):
+        lind = RMI(osmc_keys, layer_sizes=[128], bound_type="lind")
+        gabs = RMI(osmc_keys, layer_sizes=[128], bound_type="gabs")
+        assert interval_stats(lind).median <= interval_stats(gabs).median
+
+    def test_nb_interval_is_whole_array(self, books_keys):
+        rmi = RMI(books_keys, layer_sizes=[16], bound_type="nb")
+        sizes = interval_sizes(rmi)
+        assert np.all(sizes == len(books_keys))
+
+    def test_interval_stats_fields(self, books_keys):
+        rmi = RMI(books_keys, layer_sizes=[64], bound_type="labs")
+        stats = interval_stats(rmi)
+        assert isinstance(stats, IntervalStats)
+        assert stats.median <= stats.max
+        assert stats.bounds_bytes == 64 * 8

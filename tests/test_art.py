@@ -1,0 +1,161 @@
+"""Tests for the Adaptive Radix Tree baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.art import ARTIndex
+from repro.baselines.interfaces import UnsupportedDataError
+
+
+class TestStructure:
+    def test_node_kinds_adapt_to_fanout(self):
+        # 256 keys differing in their last byte force one Node256.
+        keys = np.arange(256, dtype=np.uint64)
+        index = ARTIndex(keys)
+        assert index._node_counts[256] >= 1
+
+    def test_small_fanout_uses_node4(self):
+        keys = np.array([1, 2**40, 2**50], dtype=np.uint64)
+        index = ARTIndex(keys)
+        assert index._node_counts[4] >= 1
+        assert index._node_counts[256] == 0
+
+    def test_path_compression_limits_height(self):
+        # Keys sharing 6 leading bytes: height must stay tiny.
+        base = np.uint64(0xAABBCCDDEE000000)
+        keys = base + np.arange(100, dtype=np.uint64) * np.uint64(7)
+        index = ARTIndex(keys)
+        assert index.height <= 4
+
+    def test_duplicates_rejected(self, wiki_keys):
+        """Reproduces the paper: 'ART did not work on wiki'."""
+        with pytest.raises(UnsupportedDataError):
+            ARTIndex(wiki_keys)
+
+    def test_size_accounts_node_mix(self):
+        keys = np.arange(1000, dtype=np.uint64)
+        index = ARTIndex(keys)
+        assert index.size_in_bytes() > 1000 * 16  # leaves alone
+
+
+class TestLowerBound:
+    @pytest.mark.parametrize("dataset", ["books", "fb", "osmc"])
+    def test_matches_oracle(self, small_datasets, mixed_queries, oracle,
+                            dataset):
+        keys = small_datasets[dataset]
+        index = ARTIndex(keys)
+        queries = mixed_queries(keys)
+        got = index.lower_bound_batch(queries)
+        np.testing.assert_array_equal(got, oracle(keys, queries))
+
+    @pytest.mark.parametrize("sparsity", [3, 16])
+    def test_sparse_matches_oracle(self, books_keys, mixed_queries, oracle,
+                                   sparsity):
+        index = ARTIndex(books_keys, sparsity=sparsity)
+        queries = mixed_queries(books_keys)
+        got = index.lower_bound_batch(queries)
+        np.testing.assert_array_equal(got, oracle(books_keys, queries))
+
+    def test_query_beyond_all_keys(self, books_keys):
+        index = ARTIndex(books_keys)
+        assert index.lower_bound(int(books_keys[-1]) + 1) == len(books_keys)
+        assert index.lower_bound(2**64 - 1) == len(books_keys)
+
+    def test_query_before_all_keys(self, books_keys):
+        index = ARTIndex(books_keys)
+        assert index.lower_bound(0) == 0
+
+    def test_evaluation_steps_bounded_by_height(self, books_keys):
+        index = ARTIndex(books_keys)
+        for q in books_keys[::997]:
+            b = index.search_bounds(int(q))
+            # Lower-bound descent may backtrack once per level.
+            assert b.evaluation_steps <= 2 * index.height + 2
+
+
+class TestInserts:
+    def test_insert_then_successor(self):
+        keys = np.array([100, 500, 900], dtype=np.uint64)
+        index = ARTIndex(keys)
+        index.insert(300, value=42)
+        assert index.lower_bound_key(200) == (300, 42)
+        assert index.lower_bound_key(300) == (300, 42)
+        assert index.lower_bound_key(301) == (500, 1)
+
+    def test_upsert_existing(self):
+        keys = np.array([7, 9], dtype=np.uint64)
+        index = ARTIndex(keys)
+        before = index.num_leaves
+        index.insert(7, value=77)
+        assert index.num_leaves == before
+        assert index.lower_bound_key(7) == (7, 77)
+
+    def test_prefix_split(self):
+        # Two keys sharing a long prefix, then an insert diverging
+        # inside the compressed path.
+        base = 0xAABBCCDD00000000
+        index = ARTIndex(np.array([base + 1, base + 2], dtype=np.uint64))
+        diverging = 0xAABB000000000000
+        index.insert(diverging, value=5)
+        assert index.lower_bound_key(diverging) == (diverging, 5)
+        assert index.lower_bound_key(base) == (base + 1, 0)
+
+    def test_node_growth_4_to_16_to_48(self):
+        # Root children multiply as keys with distinct top bytes arrive.
+        index = ARTIndex(np.array([0, 2**56], dtype=np.uint64))
+        for top in range(2, 60):
+            index.insert(top * 2**56 + 1)
+        counts = index._node_counts
+        assert counts[64 if 64 in counts else 256] >= 1 or counts[48] >= 1
+        # All inserted keys findable in order.
+        found = index.lower_bound_key(5 * 2**56)
+        assert found is not None and found[0] == 5 * 2**56 + 1
+
+    def test_many_random_inserts_match_reference(self, rng):
+        base = np.sort(rng.choice(2**48, 300, replace=False).astype(np.uint64))
+        index = ARTIndex(base[::2])
+        stored = set(int(k) for k in base[::2])
+        for k in base[1::2]:
+            index.insert(int(k))
+            stored.add(int(k))
+        for probe in rng.choice(2**48, 200).astype(np.uint64):
+            want = min((s for s in stored if s >= int(probe)), default=None)
+            got = index.lower_bound_key(int(probe))
+            assert (got[0] if got else None) == want
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    values=st.lists(st.integers(0, 2**64 - 1), min_size=1, max_size=250,
+                    unique=True),
+    queries=st.lists(st.integers(0, 2**64 - 1), min_size=1, max_size=30),
+)
+def test_art_lower_bound_property(values, queries):
+    keys = np.sort(np.asarray(values, dtype=np.uint64))
+    index = ARTIndex(keys)
+    for q in queries:
+        assert index.lower_bound(q) == int(
+            np.searchsorted(keys, np.uint64(q), side="left")
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    initial=st.lists(st.integers(0, 2**60), min_size=1, max_size=60,
+                     unique=True),
+    inserts=st.lists(st.integers(0, 2**60), min_size=0, max_size=60),
+    probes=st.lists(st.integers(0, 2**60), min_size=1, max_size=20),
+)
+def test_art_insert_property(initial, inserts, probes):
+    keys = np.sort(np.asarray(initial, dtype=np.uint64))
+    index = ARTIndex(keys)
+    stored = set(initial)
+    for k in inserts:
+        index.insert(k)
+        stored.add(k)
+    for q in probes:
+        want = min((s for s in stored if s >= q), default=None)
+        got = index.lower_bound_key(q)
+        assert (got[0] if got else None) == want

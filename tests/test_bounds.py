@@ -1,0 +1,150 @@
+"""Unit tests for error-bound strategies (Table 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import (
+    BOUND_TYPES,
+    GlobalAbsoluteBounds,
+    GlobalIndividualBounds,
+    LocalAbsoluteBounds,
+    LocalIndividualBounds,
+    NoBounds,
+    compute_bounds,
+    resolve_bound_type,
+)
+
+
+def sample_errors():
+    """Predictions/positions over 3 models with known error structure.
+
+    Model 0: always overestimates by <= 3 (signed errors -3..-1).
+    Model 1: always underestimates by <= 5.
+    Model 2: exact.
+    """
+    predictions = np.array([10, 21, 32, 40, 52, 61, 70, 80], dtype=np.int64)
+    positions = np.array([7, 20, 30, 45, 55, 66, 70, 80], dtype=np.int64)
+    model_ids = np.array([0, 0, 0, 1, 1, 1, 2, 2], dtype=np.int64)
+    return predictions, positions, model_ids
+
+
+class TestLocalIndividual:
+    def test_per_model_extremes(self):
+        p, a, m = sample_errors()
+        b = LocalIndividualBounds.compute(p, a, m, 3, 100)
+        assert b.interval(100, 0) == (97, 99)  # errors in [-3, -1]
+        assert b.interval(100, 1) == (103, 105)  # errors in [3, 5]
+        assert b.interval(100, 2) == (100, 100)  # exact model
+
+    def test_tighter_than_absolute_for_biased_model(self):
+        p, a, m = sample_errors()
+        lind = LocalIndividualBounds.compute(p, a, m, 3, 100)
+        labs = LocalAbsoluteBounds.compute(p, a, m, 3, 100)
+        lo_i, hi_i = lind.interval(50, 0)
+        lo_a, hi_a = labs.interval(50, 0)
+        assert (hi_i - lo_i) < (hi_a - lo_a)
+
+    def test_size_scales_with_models(self):
+        p, a, m = sample_errors()
+        b = LocalIndividualBounds.compute(p, a, m, 64, 100)
+        assert b.size_in_bytes() == 64 * 16
+
+    def test_empty_model_gets_zero_bounds(self):
+        p, a, m = sample_errors()
+        b = LocalIndividualBounds.compute(p, a, m, 5, 100)
+        assert b.interval(33, 4) == (33, 33)
+
+
+class TestLocalAbsolute:
+    def test_symmetric_interval(self):
+        p, a, m = sample_errors()
+        b = LocalAbsoluteBounds.compute(p, a, m, 3, 100)
+        lo, hi = b.interval(50, 0)
+        assert hi - 50 == 50 - lo == 3
+        assert b.interval(50, 2) == (50, 50)
+
+    def test_size(self):
+        p, a, m = sample_errors()
+        assert LocalAbsoluteBounds.compute(p, a, m, 10, 100).size_in_bytes() == 80
+
+
+class TestGlobal:
+    def test_individual_uses_worst_over_rmi(self):
+        p, a, m = sample_errors()
+        b = GlobalIndividualBounds.compute(p, a, m, 3, 100)
+        assert b.interval(50, 0) == (47, 55)  # worst -3 and +5 overall
+        assert b.interval(50, 2) == (47, 55)  # same for every model
+
+    def test_absolute_uses_single_max(self):
+        p, a, m = sample_errors()
+        b = GlobalAbsoluteBounds.compute(p, a, m, 3, 100)
+        assert b.interval(50, 1) == (45, 55)
+
+    def test_constant_size(self):
+        p, a, m = sample_errors()
+        assert GlobalIndividualBounds.compute(p, a, m, 999, 100).size_in_bytes() == 16
+        assert GlobalAbsoluteBounds.compute(p, a, m, 999, 100).size_in_bytes() == 8
+
+    def test_outlier_sensitivity(self):
+        """The paper's core point: one bad prediction widens *all*
+        global intervals but only one local interval."""
+        p = np.array([10, 20, 30, 1000], dtype=np.int64)
+        a = np.array([10, 20, 30, 0], dtype=np.int64)
+        m = np.array([0, 0, 1, 1], dtype=np.int64)
+        g = GlobalAbsoluteBounds.compute(p, a, m, 2, 2000)
+        l = LocalAbsoluteBounds.compute(p, a, m, 2, 2000)
+        g_lo, g_hi = g.interval(10, 0)
+        l_lo, l_hi = l.interval(10, 0)
+        assert g_hi - g_lo == 2000  # poisoned by the outlier
+        assert l_hi - l_lo == 0  # model 0 predicted perfectly
+
+
+class TestNoBounds:
+    def test_whole_array(self):
+        b = NoBounds.compute(np.array([]), np.array([]), np.array([]), 4, 500)
+        assert b.interval(250, 0) == (0, 499)
+        assert b.size_in_bytes() == 0
+        assert not b.provides_bounds
+
+
+class TestVectorizedIntervals:
+    @pytest.mark.parametrize("name", ["lind", "labs", "gind", "gabs", "nb"])
+    def test_intervals_match_scalar(self, name):
+        p, a, m = sample_errors()
+        b = compute_bounds(name, p, a, m, 3, 100)
+        los, his = b.intervals(p, m)
+        for i in range(len(p)):
+            lo, hi = b.interval(int(p[i]), int(m[i]))
+            assert (lo, hi) == (int(los[i]), int(his[i]))
+
+
+class TestRegistry:
+    def test_resolve(self):
+        assert resolve_bound_type("LInd") is LocalIndividualBounds
+        assert resolve_bound_type(NoBounds) is NoBounds
+        with pytest.raises(ValueError, match="unknown bound type"):
+            resolve_bound_type("bogus")
+
+    def test_table3_complete(self):
+        assert set(BOUND_TYPES) == {"lind", "labs", "gind", "gabs", "nb"}
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    errors=st.lists(st.integers(-1000, 1000), min_size=1, max_size=100),
+    num_models=st.integers(1, 8),
+)
+@pytest.mark.parametrize("name", ["lind", "labs", "gind", "gabs"])
+def test_containment_property(name, errors, num_models):
+    """Every bounded strategy must contain the true position of every
+    key it was computed on -- the RMI lookup guarantee (Section 2.2)."""
+    rng = np.random.default_rng(0)
+    predictions = rng.integers(0, 10_000, len(errors)).astype(np.int64)
+    positions = predictions + np.asarray(errors, dtype=np.int64)
+    model_ids = rng.integers(0, num_models, len(errors)).astype(np.int64)
+    b = compute_bounds(name, predictions, positions, model_ids, num_models, 20_000)
+    los, his = b.intervals(predictions, model_ids)
+    assert np.all(los <= positions)
+    assert np.all(positions <= his)

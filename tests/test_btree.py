@@ -1,0 +1,158 @@
+"""Tests for the bulk-loaded B+-tree and the sparse B-tree baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.btree import BTreeIndex, BulkLoadedBPlusTree
+
+
+class TestBulkLoadedTree:
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError, match="fanout"):
+            BulkLoadedBPlusTree(np.array([1], dtype=np.uint64),
+                                np.array([0]), fanout=1)
+        with pytest.raises(ValueError, match="equal length"):
+            BulkLoadedBPlusTree(np.array([1, 2], dtype=np.uint64),
+                                np.array([0]))
+        with pytest.raises(ValueError, match="empty"):
+            BulkLoadedBPlusTree(np.array([], dtype=np.uint64), np.array([]))
+
+    def test_lookup_le_semantics(self):
+        keys = np.array([10, 20, 30, 40], dtype=np.uint64)
+        values = np.array([100, 200, 300, 400])
+        tree = BulkLoadedBPlusTree(keys, values, fanout=2)
+        assert tree.lookup_le(25)[:2] == (1, 200)
+        assert tree.lookup_le(30)[:2] == (2, 300)
+        assert tree.lookup_le(9)[:2] == (-1, -1)
+        assert tree.lookup_le(99)[:2] == (3, 400)
+
+    def test_height_logarithmic(self):
+        keys = np.arange(10_000, dtype=np.uint64)
+        tree = BulkLoadedBPlusTree(keys, keys.astype(np.int64), fanout=16)
+        assert tree.height <= 5  # 16^4 > 10^4
+        assert tree.num_leaves == int(np.ceil(10_000 / 16))
+
+    def test_single_entry(self):
+        tree = BulkLoadedBPlusTree(np.array([7], dtype=np.uint64),
+                                   np.array([70]))
+        assert tree.height == 1
+        assert tree.lookup_le(7)[:2] == (0, 70)
+
+    def test_size_accounting(self):
+        keys = np.arange(1000, dtype=np.uint64)
+        tree = BulkLoadedBPlusTree(keys, keys.astype(np.int64), fanout=32)
+        assert tree.size_in_bytes() >= 1000 * 16
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        values=st.lists(st.integers(0, 2**50), min_size=1, max_size=300,
+                        unique=True),
+        fanout=st.sampled_from([2, 3, 8, 64]),
+        query=st.integers(0, 2**50),
+    )
+    def test_lookup_le_property(self, values, fanout, query):
+        keys = np.sort(np.asarray(values, dtype=np.uint64))
+        tree = BulkLoadedBPlusTree(keys, np.arange(len(keys)), fanout=fanout)
+        entry, value, steps = tree.lookup_le(query)
+        want = int(np.searchsorted(keys, query, side="right")) - 1
+        assert entry == want
+        if want >= 0:
+            assert value == want
+        assert steps >= tree.height
+
+
+class TestInserts:
+    def test_insert_and_lookup(self):
+        keys = np.array([10, 30, 50], dtype=np.uint64)
+        tree = BulkLoadedBPlusTree(keys, np.array([1, 3, 5]), fanout=4)
+        tree.insert(20, 2)
+        assert tree.lookup_le(20)[1] == 2
+        assert tree.lookup_le(25)[1] == 2
+        assert tree.lookup_le(30)[1] == 3
+        assert tree.num_entries == 4
+
+    def test_upsert(self):
+        keys = np.array([10, 30], dtype=np.uint64)
+        tree = BulkLoadedBPlusTree(keys, np.array([1, 3]), fanout=4)
+        tree.insert(10, 99)
+        assert tree.num_entries == 2
+        assert tree.lookup_le(10)[1] == 99
+
+    def test_leaf_split_grows_tree(self):
+        tree = BulkLoadedBPlusTree(np.array([0], dtype=np.uint64),
+                                   np.array([0]), fanout=4)
+        for k in range(1, 50):
+            tree.insert(k, k)
+        assert tree.height >= 3
+        for k in range(50):
+            assert tree.lookup_le(k)[1] == k
+
+    def test_random_inserts_match_reference(self, rng):
+        base = np.sort(rng.choice(2**40, 200, replace=False).astype(np.uint64))
+        tree = BulkLoadedBPlusTree(base[::2],
+                                   base[::2].astype(np.int64), fanout=8)
+        stored = {int(k): int(k) for k in base[::2]}
+        for k in base[1::2]:
+            tree.insert(int(k), int(k))
+            stored[int(k)] = int(k)
+        for probe in rng.choice(2**40, 300).astype(np.uint64):
+            candidates = [k for k in stored if k <= int(probe)]
+            want = max(candidates) if candidates else -1
+            _, value, _ = tree.lookup_le(int(probe))
+            assert value == (stored[want] if want >= 0 else -1)
+
+    def test_rank_caches_invalidated(self):
+        keys = np.arange(0, 100, 2, dtype=np.uint64)
+        tree = BulkLoadedBPlusTree(keys, keys.astype(np.int64), fanout=8)
+        # Warm the rank caches, then insert before the probed key.
+        assert tree.lookup_le(50)[0] == 25
+        tree.insert(1, 1)
+        entry, _, _ = tree.lookup_le(50)
+        assert entry == 26  # rank shifted by the new entry
+
+
+class TestBTreeIndex:
+    def test_dense_lower_bound(self, books_keys, mixed_queries, oracle):
+        index = BTreeIndex(books_keys, fanout=32, sparsity=1)
+        queries = mixed_queries(books_keys)
+        got = index.lower_bound_batch(queries)
+        np.testing.assert_array_equal(got, oracle(books_keys, queries))
+
+    @pytest.mark.parametrize("sparsity", [2, 7, 64])
+    def test_sparse_lower_bound(self, osmc_keys, mixed_queries, oracle,
+                                sparsity):
+        index = BTreeIndex(osmc_keys, sparsity=sparsity)
+        queries = mixed_queries(osmc_keys)
+        got = index.lower_bound_batch(queries)
+        np.testing.assert_array_equal(got, oracle(osmc_keys, queries))
+
+    def test_sparsity_shrinks_index(self, books_keys):
+        dense = BTreeIndex(books_keys, sparsity=1).size_in_bytes()
+        sparse = BTreeIndex(books_keys, sparsity=16).size_in_bytes()
+        assert sparse < dense / 8
+
+    def test_search_bounds_width_bounded_by_sparsity(self, books_keys):
+        index = BTreeIndex(books_keys, sparsity=10)
+        for q in books_keys[::701]:
+            b = index.search_bounds(int(q))
+            assert b.width <= 11
+
+    def test_duplicates_supported(self, wiki_keys, oracle):
+        index = BTreeIndex(wiki_keys, sparsity=1)
+        sample = wiki_keys[::53]
+        got = index.lower_bound_batch(sample)
+        np.testing.assert_array_equal(got, oracle(wiki_keys, sample))
+
+    def test_stats(self, books_keys):
+        index = BTreeIndex(books_keys, fanout=16, sparsity=4)
+        stats = index.stats()
+        assert stats["name"] == "b-tree"
+        assert stats["sparsity"] == 4
+        assert stats["height"] >= 2
+        assert stats["indexed_keys"] == int(np.ceil(len(books_keys) / 4))
+
+    def test_invalid_sparsity(self, books_keys):
+        with pytest.raises(ValueError):
+            BTreeIndex(books_keys, sparsity=0)

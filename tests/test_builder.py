@@ -1,0 +1,85 @@
+"""Tests for RMI configuration objects and guideline defaults."""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import (
+    DEFAULT_CONFIG,
+    LAYER2_SIZE_SWEEP,
+    LEAF_MODEL_TYPES,
+    ROOT_MODEL_TYPES,
+    RMIConfig,
+    build_rmi,
+    guideline_config,
+    sweep_configs,
+)
+
+
+class TestRMIConfig:
+    def test_default_matches_paper_section8(self):
+        assert DEFAULT_CONFIG.model_types == ("ls", "lr")
+        assert DEFAULT_CONFIG.bound_type == "labs"
+        assert DEFAULT_CONFIG.search == "bin"
+
+    def test_validation_rejects_unknown_names(self):
+        with pytest.raises(ValueError):
+            RMIConfig(model_types=("transformer", "lr"))
+        with pytest.raises(ValueError):
+            RMIConfig(bound_type="approximate")
+        with pytest.raises(ValueError):
+            RMIConfig(search="interpolation")
+
+    def test_validation_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError, match="one more entry"):
+            RMIConfig(model_types=("ls", "ls", "lr"), layer_sizes=(64,))
+        with pytest.raises(ValueError, match="positive"):
+            RMIConfig(layer_sizes=(0,))
+
+    def test_describe_readable(self):
+        cfg = RMIConfig(model_types=("cs", "lr"), layer_sizes=(1024,),
+                        bound_type="lind", search="mexp")
+        text = cfg.describe()
+        assert "CS→LR" in text
+        assert "2^10" in text
+        assert "LIND" in text
+
+    def test_with_layer2_size(self):
+        cfg = DEFAULT_CONFIG.with_layer2_size(4096)
+        assert cfg.layer_sizes == (4096,)
+        assert DEFAULT_CONFIG.layer_sizes != (4096,)  # frozen original
+
+    def test_build_produces_working_rmi(self, books_keys):
+        rmi = DEFAULT_CONFIG.with_layer2_size(64).build(books_keys)
+        assert rmi.lookup(int(books_keys[5])) == 5
+
+    def test_build_rmi_with_overrides(self, books_keys):
+        rmi = build_rmi(books_keys, bound_type="gabs", layer_sizes=(32,))
+        assert rmi.bounds.abbreviation == "gabs"
+
+
+class TestGuideline:
+    def test_layer_size_at_least_pointzerozeroone_percent(self):
+        cfg = guideline_config(100_000_000)
+        assert cfg.layer_sizes[0] >= 10_000
+        assert cfg.model_types == ("ls", "lr")
+        assert cfg.bound_type == "labs"
+
+    def test_clamped_to_paper_sweep_range(self):
+        assert guideline_config(10).layer_sizes[0] == 2**8
+        assert guideline_config(10**12).layer_sizes[0] == 2**24
+
+    def test_power_of_two(self):
+        size = guideline_config(3_000_000).layer_sizes[0]
+        assert size & (size - 1) == 0
+
+
+class TestSweeps:
+    def test_paper_hyperparameter_space(self):
+        assert ROOT_MODEL_TYPES == ("lr", "ls", "cs", "rx")
+        assert LEAF_MODEL_TYPES == ("lr", "ls")
+        assert LAYER2_SIZE_SWEEP[0] == 2**8
+        assert LAYER2_SIZE_SWEEP[-1] == 2**24
+
+    def test_sweep_configs(self):
+        configs = sweep_configs(DEFAULT_CONFIG, [16, 64])
+        assert [c.layer_sizes[0] for c in configs] == [16, 64]

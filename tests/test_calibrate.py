@@ -1,0 +1,36 @@
+"""Tests for host calibration of the cost model."""
+
+import pytest
+
+from repro.cost.calibrate import calibrate_machine, measure_chase_latency
+from repro.cost.model import MachineModel
+
+HOPS = 5_000  # keep tests fast; accuracy is irrelevant here
+
+
+class TestCalibrate:
+    def test_chase_latency_shape(self):
+        lat = measure_chase_latency(
+            sizes_bytes=[16 * 1024, 1024 * 1024], hops=HOPS
+        )
+        assert set(lat) == {16 * 1024, 1024 * 1024}
+        assert all(v >= 0 for v in lat.values())
+
+    def test_calibrated_model_is_valid(self):
+        model = calibrate_machine(hops=HOPS)
+        assert isinstance(model, MachineModel)
+        assert (
+            model.l1_latency_ns
+            <= model.l2_latency_ns
+            <= model.l3_latency_ns
+            <= model.memory_latency_ns
+        )
+        # Cache sizes keep the base machine's geometry.
+        assert model.l3_bytes == MachineModel().l3_bytes
+
+    def test_calibrated_model_usable_by_cost_model(self):
+        from repro.cost.model import CostModel
+
+        cm = CostModel(machine=calibrate_machine(hops=HOPS))
+        t = cm.lookup_ns(2, 100, 64_000, 10**6, search="bin")
+        assert t > 0

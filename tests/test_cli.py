@@ -1,0 +1,83 @@
+"""Tests for the command-line interfaces."""
+
+import pytest
+
+from repro.__main__ import main as repro_cli
+from repro.bench.__main__ import main as bench_cli
+
+
+class TestReproCli:
+    def test_guideline(self, capsys):
+        assert repro_cli(["guideline", "1000000"]) == 0
+        out = capsys.readouterr().out
+        assert "LS→LR" in out
+
+    def test_tune_on_generated_dataset(self, capsys):
+        assert repro_cli(["tune", "uniform", "--n", "5000"]) == 0
+        out = capsys.readouterr().out
+        assert "Pareto-optimal" in out
+        assert "cost_proxy" in out
+
+    def test_compare_small(self, capsys):
+        assert repro_cli(["compare", "books", "--n", "4000",
+                          "--lookups", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "rmi" in out and "b-tree" in out
+        assert "WRONG" not in out
+
+    def test_compare_skips_tries_on_wiki(self, capsys):
+        assert repro_cli(["compare", "wiki", "--n", "4000",
+                          "--lookups", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "skipped" in out
+
+    def test_tune_on_sosd_file(self, tmp_path, capsys):
+        from repro.data import books
+        from repro.data.io import write_sosd
+
+        path = tmp_path / "b.sosd"
+        write_sosd(path, books(n=3_000))
+        assert repro_cli(["tune", str(path)]) == 0
+
+    def test_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            repro_cli(["tune", "no-such-thing"])
+
+    def test_recommend_smooth(self, capsys):
+        assert repro_cli(["recommend", "books", "--n", "5000"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[2].startswith("1. rmi")
+
+    def test_recommend_with_updates(self, capsys):
+        assert repro_cli(["recommend", "wiki", "--n", "5000",
+                          "--updates", "--top", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "rmi" not in out.splitlines()[2]  # static indexes excluded
+
+
+class TestBenchCli:
+    def test_list(self, capsys):
+        assert bench_cli(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig04" in out and "ext_robust" in out
+
+    def test_run_one_figure(self, capsys):
+        assert bench_cli(["fig02", "--n", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "fig02" in out and "books" in out
+
+    def test_unknown_figure(self):
+        with pytest.raises(ValueError):
+            bench_cli(["fig99"])
+
+    def test_csv_and_json_export(self, tmp_path, capsys):
+        assert bench_cli(["fig02", "--n", "3000",
+                          "--csv", str(tmp_path / "csv"),
+                          "--json", str(tmp_path / "json")]) == 0
+        csv_text = (tmp_path / "csv" / "fig02.csv").read_text()
+        assert csv_text.startswith("dataset,")
+        import json
+
+        payload = json.loads((tmp_path / "json" / "fig02.json").read_text())
+        assert payload["figure_id"] == "fig02"
+        assert len(payload["rows"]) == 4

@@ -1,0 +1,51 @@
+"""Tests for the compressed PGM-index variant."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.compressed_pgm import CompressedPGMIndex
+from repro.baselines.pgm import PGMIndex
+
+
+class TestCompressedPGM:
+    @pytest.mark.parametrize("dataset", ["books", "fb", "osmc", "wiki"])
+    def test_matches_oracle(self, small_datasets, mixed_queries, oracle,
+                            dataset):
+        keys = small_datasets[dataset]
+        index = CompressedPGMIndex(keys, eps=32)
+        queries = mixed_queries(keys)
+        got = index.lower_bound_batch(queries)
+        np.testing.assert_array_equal(got, oracle(keys, queries))
+        for q in queries[:50]:
+            assert index.lower_bound(int(q)) == oracle(keys,
+                                                       np.array([q]))[0]
+
+    def test_smaller_than_plain_pgm(self, osmc_keys):
+        plain = PGMIndex(osmc_keys, eps=32)
+        compressed = CompressedPGMIndex(osmc_keys, eps=32)
+        assert compressed.size_in_bytes() < plain.size_in_bytes()
+        # Same segmentation, only the per-segment bytes differ.
+        assert compressed.stats()["segments_per_level"] == plain.stats()[
+            "segments_per_level"
+        ]
+
+    def test_effective_eps_covers_quantization(self, books_keys):
+        index = CompressedPGMIndex(books_keys, eps=16)
+        assert index._effective_eps >= index.eps
+        # The widened window must still contain every key's position.
+        unique, first_pos = np.unique(books_keys, return_index=True)
+        for i in range(0, len(unique), 313):
+            b = index.search_bounds(int(unique[i]))
+            assert b.lo <= first_pos[i] <= b.hi
+
+    def test_stats_report_compression(self, books_keys):
+        stats = CompressedPGMIndex(books_keys, eps=32).stats()
+        assert stats["name"] == "compressed-pgm"
+        assert stats["compression_ratio"] > 1.0
+        assert "effective_eps" in stats
+
+    def test_quantization_widening_small_on_smooth_data(self, books_keys):
+        """On smooth data the float32 error should cost only a few
+        extra positions of search radius."""
+        index = CompressedPGMIndex(books_keys, eps=32)
+        assert index._effective_eps - index.eps <= 32

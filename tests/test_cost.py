@@ -1,0 +1,110 @@
+"""Tests for operation counters and the analytic cost model."""
+
+import numpy as np
+import pytest
+
+from repro.cost.counters import OperationCounters
+from repro.cost.model import XEON_E5_2620V4, CostModel, MachineModel
+
+
+class TestMachineModel:
+    def test_cache_tier_latencies_ordered(self):
+        m = XEON_E5_2620V4
+        assert (
+            m.l1_latency_ns < m.l2_latency_ns < m.l3_latency_ns
+            < m.memory_latency_ns
+        )
+
+    def test_access_latency_tiers(self):
+        m = XEON_E5_2620V4
+        assert m.access_latency(1_000) == m.l1_latency_ns
+        assert m.access_latency(100_000) == m.l2_latency_ns
+        assert m.access_latency(10_000_000) == m.l3_latency_ns
+        assert m.access_latency(10**9) == m.memory_latency_ns
+
+    def test_paper_machine_l3(self):
+        assert XEON_E5_2620V4.l3_bytes == 20 * 1024 * 1024  # 20 MiB
+
+
+class TestCostModel:
+    def test_binary_search_logarithmic_in_interval(self):
+        cm = CostModel()
+        data = 10**9
+        t1 = cm.binary_search_ns(16, data)
+        t2 = cm.binary_search_ns(16_000, data)
+        t3 = cm.binary_search_ns(16_000_000, data)
+        assert t1 < t2 < t3
+        # Roughly 10 extra halvings per 1000x interval growth.
+        assert (t3 - t2) == pytest.approx(t2 - t1, rel=0.35)
+
+    def test_evaluation_penalized_beyond_cache(self):
+        cm = CostModel()
+        small = cm.evaluation_ns(2, 10_000)
+        huge = cm.evaluation_ns(2, 10**9)
+        assert huge > small * 2
+
+    def test_cache_resident_interval_cheap(self):
+        """Intervals within a cache line cost no random accesses --
+        the reason accurate RMIs win (Marcus et al. [22])."""
+        cm = CostModel()
+        line = cm.binary_search_ns(7, 10**9)
+        big = cm.binary_search_ns(1_000_000, 10**9)
+        assert big > line * 5
+
+    def test_search_ns_dispatch(self):
+        cm = CostModel()
+        assert cm.search_ns("bin", 10, 1000, 10**8) == cm.binary_search_ns(
+            1000, 10**8
+        )
+        assert cm.search_ns("mlin", 5, 1000, 10**8) > 0
+        assert cm.search_ns("mexp", 5, 1000, 10**8) > 0
+        with pytest.raises(ValueError):
+            cm.search_ns("fuzzy", 1, 1, 1)
+
+    def test_exponential_cheaper_than_binary_for_small_actual_error(self):
+        """Section 6.3: MExp beats Bin when typical errors are far
+        smaller than the worst-case bound."""
+        cm = CostModel()
+        data = 10**9
+        bin_ns = cm.binary_search_ns(interval_size=10_000, data_bytes=data)
+        # Actual error ~ 8 keys -> mexp needs ~2*log2(8) comparisons.
+        mexp_ns = cm.search_ns("mexp", comparisons=6, interval_size=10_000,
+                               data_bytes=data)
+        assert mexp_ns < bin_ns
+
+    def test_build_ns_monotone_in_work(self):
+        cm = CostModel()
+        a = cm.build_ns(1000, 1000, 10_000)
+        b = cm.build_ns(2000, 2000, 10_000)
+        assert b > a
+        with_misses = cm.build_ns(1000, 1000, 10_000, bound_branch_misses=500)
+        assert with_misses > a
+
+    def test_lookup_ns_end_to_end(self):
+        cm = CostModel()
+        t = cm.lookup_ns(2, 100, 64_000, 10**7, search="bin")
+        assert 0 < t < 10_000
+        with pytest.raises(ValueError):
+            cm.lookup_ns(1, 1, 1, 1, search="warp")
+
+
+class TestOperationCounters:
+    def test_collect(self):
+        c = OperationCounters.collect([2, 2, 2], [5, 7, 9], [10, 20, 90])
+        assert c.num_lookups == 3
+        assert c.mean_evaluation_steps == 2.0
+        assert c.mean_comparisons == 7.0
+        assert c.max_interval == 90
+        assert c.median_interval == 20.0
+
+    def test_collect_validates_lengths(self):
+        with pytest.raises(ValueError):
+            OperationCounters.collect([1], [1, 2], [1])
+
+    def test_merged(self):
+        a = OperationCounters.collect([1], [4], [8])
+        b = OperationCounters.collect([3, 3, 3], [2, 2, 2], [4, 4, 4])
+        m = a.merged(b)
+        assert m.num_lookups == 4
+        assert m.total_comparisons == 10
+        assert m.max_interval == 8

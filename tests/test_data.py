@@ -1,0 +1,104 @@
+"""Tests for the dataset generators and CDF utilities (Section 4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.data import cdf, distributions, sosd
+
+
+class TestSosdDatasets:
+    @pytest.mark.parametrize("name", ["books", "fb", "osmc", "wiki"])
+    def test_sorted_uint64_exact_size(self, name):
+        keys = sosd.generate(name, n=5_000, seed=3)
+        assert keys.dtype == np.uint64
+        assert len(keys) == 5_000
+        assert cdf.is_sorted(keys)
+
+    @pytest.mark.parametrize("name", ["books", "fb", "osmc", "wiki"])
+    def test_deterministic_given_seed(self, name):
+        a = sosd.generate(name, n=2_000, seed=11)
+        b = sosd.generate(name, n=2_000, seed=11)
+        np.testing.assert_array_equal(a, b)
+        c = sosd.generate(name, n=2_000, seed=12)
+        assert not np.array_equal(a, c)
+
+    def test_fb_has_21_extreme_outliers(self):
+        """Paper Section 4.3: 'This dataset contains 21 outliers at the
+        upper end of the key space that are several orders of magnitude
+        larger than the rest of the keys.'"""
+        keys = sosd.fb(n=20_000)
+        body_max = keys[-(sosd.FB_NUM_OUTLIERS + 1)]
+        outliers = keys[keys > np.uint64(2**45)]
+        assert len(outliers) == sosd.FB_NUM_OUTLIERS == 21
+        assert float(keys[-1]) / float(body_max) > 1_000
+
+    def test_wiki_has_duplicates_all_others_unique(self):
+        for name in ("books", "fb", "osmc"):
+            assert not cdf.has_duplicates(sosd.generate(name, n=5_000)), name
+        assert cdf.has_duplicates(sosd.wiki(n=5_000))
+
+    def test_osmc_clustered_noise_exceeds_books(self):
+        """osmc's clusters make its local gap variation much larger
+        than smooth books (the paper's Figure 2 zoom-in contrast)."""
+        books_noise = cdf.local_noise(sosd.books(n=20_000))
+        osmc_noise = cdf.local_noise(sosd.osmc(n=20_000))
+        assert osmc_noise > books_noise
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            sosd.generate("imdb")
+
+    def test_registry_order_matches_paper(self):
+        assert sosd.dataset_names() == ["books", "fb", "osmc", "wiki"]
+
+
+class TestDistributions:
+    @pytest.mark.parametrize("name", list(distributions.DISTRIBUTIONS))
+    def test_sorted_unique(self, name):
+        keys = distributions.generate(name, n=3_000)
+        assert cdf.is_sorted(keys)
+        assert not cdf.has_duplicates(keys)
+        assert len(keys) == 3_000
+
+    def test_sequential_is_exact(self):
+        keys = distributions.sequential(100, start=5, step=3)
+        np.testing.assert_array_equal(keys[:4], [5, 8, 11, 14])
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown distribution"):
+            distributions.generate("cauchy")
+
+
+class TestCdfUtils:
+    def test_positions(self):
+        keys = np.array([3, 7, 9], dtype=np.uint64)
+        np.testing.assert_array_equal(cdf.positions(keys), [0.0, 1.0, 2.0])
+
+    def test_normalized_cdf_range(self, books_keys):
+        xs, ys = cdf.normalized_cdf(books_keys, samples=50)
+        assert ys[0] == 0.0
+        assert ys[-1] == 1.0
+        assert len(xs) <= 50
+
+    def test_normalized_cdf_empty(self):
+        xs, ys = cdf.normalized_cdf(np.array([], dtype=np.uint64))
+        assert len(xs) == 0
+
+    def test_zoom_segment(self, books_keys):
+        window = cdf.zoom_segment(books_keys, length=100)
+        assert len(window) == 100
+        head = cdf.zoom_segment(books_keys, start=0, length=10)
+        np.testing.assert_array_equal(head, books_keys[:10])
+
+    def test_local_noise_zero_for_regular_gaps(self):
+        keys = np.arange(0, 100_000, 7, dtype=np.uint64)
+        assert cdf.local_noise(keys) == pytest.approx(0.0, abs=1e-12)
+
+    def test_summarize(self, wiki_keys):
+        summary = cdf.summarize(wiki_keys)
+        assert summary.n == len(wiki_keys)
+        assert summary.duplicates
+        assert summary.min_key == int(wiki_keys[0])
+        assert 0 < summary.key_space_utilization <= 1
+        empty = cdf.summarize(np.array([], dtype=np.uint64))
+        assert empty.n == 0

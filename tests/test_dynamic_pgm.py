@@ -1,0 +1,115 @@
+"""Tests for the dynamic PGM-index (logarithmic method)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.dynamic_pgm import DynamicPGMIndex
+
+
+def reference_lower_bound(live: set[int], key: int) -> int | None:
+    candidates = [k for k in live if k >= key]
+    return min(candidates) if candidates else None
+
+
+class TestBasics:
+    def test_bulk_init_and_lookup(self):
+        keys = list(range(0, 1000, 3))
+        index = DynamicPGMIndex(keys, eps=8, base_size=16)
+        assert index.contains(300)
+        assert not index.contains(301)
+        assert index.lower_bound(301) == 303
+        assert index.lower_bound(0) == 0
+        assert index.lower_bound(998) == 999
+        assert index.lower_bound(1000) is None
+        assert len(index) == len(keys)
+
+    def test_insert_visible_immediately(self):
+        index = DynamicPGMIndex(eps=8, base_size=8)
+        index.insert(42)
+        assert index.contains(42)
+        assert index.lower_bound(10) == 42
+        assert index.lower_bound(43) is None
+
+    def test_delete_shadows_older_insert(self):
+        index = DynamicPGMIndex(range(100), eps=8, base_size=8)
+        index.delete(50)
+        assert not index.contains(50)
+        assert index.lower_bound(50) == 51
+        index.insert(50)  # resurrect
+        assert index.contains(50)
+
+    def test_many_inserts_trigger_cascades(self):
+        index = DynamicPGMIndex(eps=8, base_size=8)
+        for k in range(500):
+            index.insert(k * 7)
+        assert len(index) == 500
+        assert index.lower_bound(0) == 0
+        assert index.lower_bound(3_000) == 3003  # next multiple of 7
+        # Multiple runs must exist after the cascades.
+        assert sum(1 for r in index.stats()["runs"] if r) >= 1
+
+    def test_delete_everything(self):
+        index = DynamicPGMIndex(range(64), eps=4, base_size=8)
+        for k in range(64):
+            index.delete(k)
+        assert len(index) == 0
+        assert index.lower_bound(0) is None
+
+    def test_tombstones_purged_at_oldest_level(self):
+        index = DynamicPGMIndex(eps=4, base_size=4)
+        for k in range(64):
+            index.insert(k)
+        for k in range(0, 64, 2):
+            index.delete(k)
+        # Force enough flushes that deletions reach the oldest level.
+        for k in range(1000, 1200):
+            index.insert(k)
+        stats = index.stats()
+        stored = sum(stats["runs"]) + stats["buffer"]
+        # Stored entries should not grow unboundedly with tombstones.
+        assert stored <= 2 * len(index) + index.base_size * 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DynamicPGMIndex(eps=0)
+        with pytest.raises(ValueError):
+            DynamicPGMIndex(base_size=1)
+
+    def test_size_and_stats(self):
+        index = DynamicPGMIndex(range(100), eps=8, base_size=16)
+        assert index.size_in_bytes() > 0
+        assert index.stats()["name"] == "dynamic-pgm"
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    commands=st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "delete", "lower_bound"]),
+            st.integers(0, 300),
+        ),
+        min_size=1,
+        max_size=150,
+    ),
+    base_size=st.sampled_from([4, 16]),
+)
+def test_against_reference_model(commands, base_size):
+    """Random operation sequences must match a plain set model."""
+    index = DynamicPGMIndex(eps=4, base_size=base_size)
+    live: set[int] = set()
+    for op, key in commands:
+        if op == "insert":
+            index.insert(key)
+            live.add(key)
+        elif op == "delete":
+            index.delete(key)
+            live.discard(key)
+        else:
+            assert index.lower_bound(key) == reference_lower_bound(live, key)
+    # Final full agreement.
+    for probe in range(0, 301, 7):
+        assert index.lower_bound(probe) == reference_lower_bound(live, probe)
+        assert index.contains(probe) == (probe in live)
+    assert len(index) == len(live)

@@ -1,0 +1,135 @@
+"""Adversarial and edge-case inputs across every index.
+
+Failure-injection-style tests: key patterns chosen to stress clamping,
+bit arithmetic, duplicate handling, and numeric extremes -- the places
+where learned indexes historically break.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ALEXIndex,
+    ARTIndex,
+    BinarySearchIndex,
+    BTreeIndex,
+    FITingTree,
+    HistTree,
+    PGMIndex,
+    RadixSpline,
+    RMIAsIndex,
+    UnsupportedDataError,
+)
+from repro.core.rmi import RMI
+
+ALL_FACTORIES = {
+    "rmi": lambda k: RMIAsIndex(k, layer2_size=16),
+    "pgm": lambda k: PGMIndex(k, eps=4),
+    "radix-spline": lambda k: RadixSpline(k, max_error=4, radix_bits=6),
+    "alex": lambda k: ALEXIndex(k, max_leaf_keys=16),
+    "fiting": lambda k: FITingTree(k, error=4),
+    "b-tree": lambda k: BTreeIndex(k, fanout=4),
+    "hist-tree": lambda k: HistTree(k, num_bins=4, max_error=4),
+    "art": lambda k: ARTIndex(k),
+    "binary": lambda k: BinarySearchIndex(k),
+}
+
+PATTERNS = {
+    "tiny": np.array([7], dtype=np.uint64),
+    "pair": np.array([0, 2**64 - 1], dtype=np.uint64),
+    "extremes": np.array(
+        [0, 1, 2, 2**63 - 1, 2**63, 2**64 - 3, 2**64 - 2, 2**64 - 1],
+        dtype=np.uint64,
+    ),
+    "powers_of_two": (np.uint64(1) << np.arange(0, 63, dtype=np.uint64)),
+    "dense_run_plus_gap": np.concatenate([
+        np.arange(1000, 2000, dtype=np.uint64),
+        np.array([2**60], dtype=np.uint64),
+    ]),
+    "two_clusters": np.concatenate([
+        np.arange(10**6, 10**6 + 500, dtype=np.uint64),
+        np.arange(2**50, 2**50 + 500, dtype=np.uint64),
+    ]),
+    "arithmetic": np.arange(0, 64_000, 64, dtype=np.uint64),
+}
+
+
+def probes_for(keys: np.ndarray) -> np.ndarray:
+    """Present keys, their neighbours, and the domain extremes."""
+    probes = np.concatenate([
+        keys,
+        keys + np.uint64(1),
+        keys - np.uint64(1),
+        np.array([0, 2**63, 2**64 - 1], dtype=np.uint64),
+    ])
+    return probes
+
+
+@pytest.mark.parametrize("pattern", list(PATTERNS))
+@pytest.mark.parametrize("index_name", list(ALL_FACTORIES))
+def test_pattern_against_oracle(pattern, index_name):
+    keys = PATTERNS[pattern]
+    try:
+        index = ALL_FACTORIES[index_name](keys)
+    except UnsupportedDataError:
+        pytest.skip("index rejects this dataset (documented behaviour)")
+    probes = probes_for(keys)
+    want = np.searchsorted(keys, probes, side="left")
+    got = index.lower_bound_batch(probes)
+    np.testing.assert_array_equal(got, want, err_msg=f"{index_name}/{pattern}")
+
+
+class TestDuplicateHeavy:
+    def test_all_keys_identical(self):
+        keys = np.full(100, 42, dtype=np.uint64)
+        rmi = RMI(keys, layer_sizes=[8])
+        assert rmi.lookup(42) == 0
+        assert rmi.lookup(41) == 0
+        assert rmi.lookup(43) == 100
+
+    def test_long_duplicate_runs(self):
+        keys = np.sort(np.repeat(
+            np.array([5, 10, 10**9, 2**40], dtype=np.uint64), 50
+        ))
+        for cls in (lambda k: RMI(k, layer_sizes=[8]),
+                    lambda k: PGMIndex(k, eps=4),
+                    lambda k: RadixSpline(k, max_error=4, radix_bits=6),
+                    lambda k: BTreeIndex(k, fanout=8)):
+            index = cls(keys)
+            lookup = index.lookup if isinstance(index, RMI) else index.lower_bound
+            assert lookup(10) == 50  # first of the duplicate run
+            assert lookup(10**9) == 100
+            assert lookup(2**40 + 1) == 200
+
+    def test_tries_reject_duplicates(self):
+        keys = np.sort(np.repeat(np.arange(10, dtype=np.uint64), 3))
+        with pytest.raises(UnsupportedDataError):
+            ARTIndex(keys)
+        with pytest.raises(UnsupportedDataError):
+            HistTree(keys)
+
+
+class TestRMIStress:
+    @pytest.mark.parametrize("pattern", list(PATTERNS))
+    @pytest.mark.parametrize("root", ["lr", "ls", "cs", "rx"])
+    def test_all_roots_on_all_patterns(self, pattern, root):
+        keys = PATTERNS[pattern]
+        rmi = RMI(keys, layer_sizes=[4], model_types=(root, "lr"))
+        probes = probes_for(keys)
+        want = np.searchsorted(keys, probes, side="left")
+        got = rmi.lookup_batch(probes)
+        np.testing.assert_array_equal(got, want)
+
+    def test_layer_larger_than_keys(self):
+        """More second-layer models than keys: most segments empty."""
+        keys = np.array([3, 9, 27, 81], dtype=np.uint64)
+        rmi = RMI(keys, layer_sizes=[64])
+        for i, k in enumerate(keys):
+            assert rmi.lookup(int(k)) == i
+
+    def test_deep_rmi_on_tiny_data(self):
+        keys = np.arange(10, dtype=np.uint64) * np.uint64(1000)
+        rmi = RMI(keys, layer_sizes=[2, 4, 8],
+                  model_types=("ls", "ls", "ls", "lr"))
+        assert rmi.lookup(5000) == 5
+        assert rmi.lookup(5001) == 6

@@ -1,0 +1,61 @@
+"""Every example must run end-to-end (small arguments where supported).
+
+Examples are documentation that executes; this module keeps them from
+rotting.  Each runs as a subprocess exactly as a user would run it.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 300) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, (
+        f"{name} failed:\nstdout:\n{result.stdout}\nstderr:\n{result.stderr}"
+    )
+    return result.stdout
+
+
+@pytest.mark.parametrize("name,args,expect", [
+    ("compare_indexes.py", ("books", "8000"), "binary search"),
+    ("tuning_guide.py", ("wiki", "8000"), "Pareto front"),
+    ("outlier_study.py", ("20000",), "binary search"),
+    ("updatable_index.py", ("8000",), "order preserved: True"),
+])
+def test_parameterized_examples(name, args, expect):
+    out = run_example(name, *args)
+    assert expect in out
+    assert "WRONG" not in out
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "verified against searchsorted" in out
+    assert "median |prediction error|" in out
+
+
+def test_persistence_pipeline(tmp_path):
+    out = run_example("persistence_pipeline.py", str(tmp_path))
+    assert "invariant audit: OK" in out
+    assert "all correct" in out
+    assert (tmp_path / "wiki.sosd").exists()
+    assert (tmp_path / "wiki.rmi.npz").exists()
+
+
+def test_full_reproduction(tmp_path):
+    report = tmp_path / "report.md"
+    out = run_example("full_reproduction.py", "4000", str(report),
+                      timeout=900)
+    assert "report written" in out
+    text = report.read_text()
+    assert "fig12" in text and "ext_robust" in text

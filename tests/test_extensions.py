@@ -1,0 +1,122 @@
+"""Tests for the extension experiments (future-work studies)."""
+
+import pytest
+
+from repro.bench.extensions import (
+    ext_baselines,
+    ext_distributions,
+    ext_multilayer,
+    ext_robust,
+    ext_updates,
+    ext_variance,
+)
+
+TINY = dict(n=8_000, seed=9)
+
+
+class TestMultilayer:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_multilayer(num_lookups=300, **TINY)
+
+    def test_all_variants_correct(self, result):
+        assert all(r["checksum_ok"] for r in result.rows)
+
+    def test_three_layer_larger_and_present(self, result):
+        for ds in ("books", "osmc"):
+            two = result.series(dataset=ds, layers="2")[0]
+            three = result.series(dataset=ds, layers="3")[0]
+            assert three["index_bytes"] > two["index_bytes"]
+            assert three["median_err"] >= 0
+
+
+class TestRobust:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_robust(num_lookups=300, **TINY)
+
+    def test_robust_rescues_fb(self, result):
+        rows = {r["variant"]: r for r in result.rows}
+        plain = next(v for k, v in rows.items() if k.startswith("rmi"))
+        robust = next(v for k, v in rows.items() if k.startswith("robust"))
+        base = rows["binary-search"]
+        assert all(r["checksum_ok"] for r in result.rows)
+        # The paper's finding: plain RMIs do not beat binary search on
+        # fb; the detection-based variant does, with far lower error.
+        assert plain["est_ns"] >= base["est_ns"] * 0.85
+        assert robust["median_err"] < plain["median_err"] / 10
+        assert robust["est_ns"] < plain["est_ns"]
+
+
+class TestVariance:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_variance(num_lookups=300, **TINY)
+
+    def test_capped_indexes_have_flat_cost(self, result):
+        """Footnote 2: PGM/RadixSpline cap the error, so their
+        per-lookup comparison counts barely vary; the RMI's tail is
+        wider on hard datasets."""
+        for ds in ("books", "osmc"):
+            pgm = result.series(dataset=ds, index="pgm-index")[0]
+            assert pgm["p99_over_p50"] <= 1.5, ds
+        rmi_osmc = result.series(dataset="osmc", index="rmi")[0]
+        pgm_osmc = result.series(dataset="osmc", index="pgm-index")[0]
+        assert rmi_osmc["p99_over_p50"] >= pgm_osmc["p99_over_p50"]
+
+
+class TestExtraBaselines:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_baselines(num_lookups=300, **TINY)
+
+    def test_all_correct(self, result):
+        assert all(r["checksum_ok"] for r in result.rows)
+        names = {r["index"] for r in result.rows}
+        assert names == {"rmi", "pgm-index", "compressed-pgm",
+                         "fiting-tree", "fast"}
+
+    def test_compressed_pgm_smaller_than_plain(self, result):
+        for ds in ("books", "osmc"):
+            plain = result.series(dataset=ds, index="pgm-index")[0]
+            comp = result.series(dataset=ds, index="compressed-pgm")[0]
+            assert comp["index_bytes"] < plain["index_bytes"]
+
+
+class TestUpdates:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_updates(**TINY)
+
+    def test_all_structures_correct_after_inserts(self, result):
+        assert len(result.rows) == 5
+        for row in result.rows:
+            assert row["correct_after"], row["structure"]
+            assert row["us_per_insert"] > 0
+
+    def test_updatable_structures_present(self, result):
+        structures = {r["structure"] for r in result.rows}
+        assert structures == {"alex", "dynamic-pgm", "b-tree", "art", "rmi"}
+        rmi = result.series(structure="rmi")[0]
+        assert "retrain" in rmi["mechanism"]
+
+
+class TestDistributions:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_distributions(num_lookups=300, **TINY)
+
+    def test_statistical_uniformly_easy(self, result):
+        assert all(r["checksum_ok"] for r in result.rows)
+        stat_errs = [r["median_err"]
+                     for r in result.series(source="statistical")]
+        fb_err = result.series(source="real-world", dataset="fb")[0][
+            "median_err"
+        ]
+        osmc_err = result.series(source="real-world", dataset="osmc")[0][
+            "median_err"
+        ]
+        # Section 4.3: artificial data is easy; the hard real-world
+        # datasets are not.
+        assert max(stat_errs) < fb_err
+        assert max(stat_errs) < osmc_err

@@ -1,0 +1,81 @@
+"""Tests for the FAST (Eytzinger-layout) baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.fast import FASTIndex
+
+
+class TestLayout:
+    def test_eytzinger_order_is_permutation(self):
+        order = FASTIndex._eytzinger_order(15)
+        assert sorted(order.tolist()) == list(range(15))
+        # Root of a complete 15-node tree is the in-order median.
+        assert order[0] == 7
+        assert order[1] == 3 and order[2] == 11
+
+    def test_padding_to_complete_tree(self, books_keys):
+        index = FASTIndex(books_keys)
+        assert len(index._tree_keys) == (1 << index.height) - 1
+        assert index.num_sampled == len(books_keys)
+
+    def test_height_logarithmic(self, books_keys):
+        index = FASTIndex(books_keys)
+        assert index.height == int(np.ceil(np.log2(len(books_keys) + 1)))
+
+
+class TestLowerBound:
+    @pytest.mark.parametrize("dataset", ["books", "fb", "osmc", "wiki"])
+    def test_matches_oracle(self, small_datasets, mixed_queries, oracle,
+                            dataset):
+        keys = small_datasets[dataset]
+        index = FASTIndex(keys)
+        queries = mixed_queries(keys)
+        got = index.lower_bound_batch(queries)
+        np.testing.assert_array_equal(got, oracle(keys, queries))
+        for q in queries[:60]:
+            assert index.lower_bound(int(q)) == oracle(keys,
+                                                       np.array([q]))[0]
+
+    @pytest.mark.parametrize("sparsity", [4, 32])
+    def test_sparse_matches_oracle(self, osmc_keys, mixed_queries, oracle,
+                                   sparsity):
+        index = FASTIndex(osmc_keys, sparsity=sparsity)
+        queries = mixed_queries(osmc_keys)
+        got = index.lower_bound_batch(queries)
+        np.testing.assert_array_equal(got, oracle(osmc_keys, queries))
+
+    def test_blocked_evaluation_steps(self, books_keys):
+        """One dependent access per 3-level cache-line block."""
+        index = FASTIndex(books_keys)
+        b = index.search_bounds(int(books_keys[1234]))
+        assert b.evaluation_steps <= (index.height + 2) // 3 + 1
+        assert b.evaluation_steps >= 1
+
+    def test_sparsity_shrinks_index(self, books_keys):
+        dense = FASTIndex(books_keys).size_in_bytes()
+        sparse = FASTIndex(books_keys, sparsity=16).size_in_bytes()
+        assert sparse < dense / 4
+
+    def test_invalid_sparsity(self, books_keys):
+        with pytest.raises(ValueError):
+            FASTIndex(books_keys, sparsity=0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    values=st.lists(st.integers(0, 2**64 - 1), min_size=1, max_size=300,
+                    unique=True),
+    sparsity=st.sampled_from([1, 3]),
+)
+def test_fast_lower_bound_property(values, sparsity):
+    keys = np.sort(np.asarray(values, dtype=np.uint64))
+    index = FASTIndex(keys, sparsity=sparsity)
+    queries = np.concatenate([keys, keys + np.uint64(1),
+                              np.array([0], dtype=np.uint64)])
+    got = index.lower_bound_batch(queries)
+    np.testing.assert_array_equal(
+        got, np.searchsorted(keys, queries, side="left")
+    )

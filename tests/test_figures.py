@@ -1,0 +1,245 @@
+"""Integration tests: every figure driver runs end-to-end at tiny scale
+and reproduces the paper's qualitative claims."""
+
+import numpy as np
+import pytest
+
+from repro.bench import figures
+from repro.bench.registry import EXPERIMENTS, experiment_ids, run_experiment
+from repro.bench.report import FigureResult, format_bytes, format_ns, render_table
+
+TINY = dict(n=8_000, seed=9)
+SEGS = [16, 128]
+
+
+@pytest.fixture(scope="module")
+def fig06():
+    return figures.fig06_prediction_error(segment_counts=SEGS, **TINY)
+
+
+@pytest.fixture(scope="module")
+def fig07():
+    return figures.fig07_error_bounds(segment_counts=SEGS, **TINY)
+
+
+@pytest.fixture(scope="module")
+def fig12():
+    # Comparison claims need enough keys that index sizes straddle cache
+    # tiers; 20k keys keep the run fast while separating the indexes.
+    return figures.fig12_index_comparison(n=20_000, seed=9, num_lookups=500)
+
+
+class TestRegistry:
+    def test_all_figures_and_extensions_registered(self):
+        figs = [f"fig{i:02d}" for i in range(2, 15)]
+        exts = ["ext_multilayer", "ext_robust", "ext_distributions",
+                "ext_variance", "ext_baselines", "ext_updates"]
+        assert experiment_ids() == figs + exts
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            run_experiment("fig99")
+
+    def test_metadata_complete(self):
+        for exp in EXPERIMENTS.values():
+            assert exp.paper_reference
+            assert exp.summary
+
+
+class TestFig02:
+    def test_rows_and_fb_outliers(self):
+        r = figures.fig02_datasets(**TINY)
+        assert len(r.rows) == 4
+        fb = r.series(dataset="fb")[0]
+        assert fb["outlier_span"] > 100
+        wiki = r.series(dataset="wiki")[0]
+        assert wiki["duplicates"]
+
+
+class TestFig03:
+    def test_lr_partial_coverage_rx_fraction(self):
+        r = figures.fig03_root_approximations(**TINY)
+        assert len(r.rows) == 16  # 4 datasets x 4 roots
+        # Spline roots cover (nearly) the full position range on books.
+        ls = r.series(dataset="books", root="ls")[0]
+        assert ls["coverage_frac"] > 0.95
+        # fb collapses: every root's median error is a large share of n.
+        for root in ("lr", "ls", "cs", "rx"):
+            fb = r.series(dataset="fb", root=root)[0]
+            assert fb["median_abs_err"] > TINY["n"] * 0.05, root
+
+
+class TestFig04and05:
+    def test_osmc_emptier_than_books(self):
+        r = figures.fig04_empty_segments(segment_counts=[128], **TINY)
+        for root in ("lr", "ls", "cs", "rx"):
+            books = r.series(dataset="books", root=root, segments=128)[0]
+            osmc = r.series(dataset="osmc", root=root, segments=128)[0]
+            assert osmc["empty_pct"] > books["empty_pct"], root
+
+    def test_fb_single_giant_segment(self):
+        r = figures.fig05_largest_segment(segment_counts=[128], **TINY)
+        for root in ("lr", "ls", "cs", "rx"):
+            row = r.series(dataset="fb", root=root, segments=128)[0]
+            assert row["largest_frac"] > 0.9, root
+
+    def test_largest_shrinks_with_segments_for_splines(self):
+        r = figures.fig05_largest_segment(segment_counts=[16, 256], **TINY)
+        for root in ("ls", "cs"):
+            series = r.column("largest", dataset="books", root=root)
+            assert series[-1] <= series[0], root
+
+
+class TestFig06:
+    def test_lr_leaf_beats_ls_leaf(self, fig06):
+        for ds in ("books", "osmc", "wiki"):
+            for root in ("ls", "cs"):
+                lr = fig06.column("median_err", dataset=ds,
+                                  combo=f"{root}->lr", segments=128)[0]
+                ls = fig06.column("median_err", dataset=ds,
+                                  combo=f"{root}->ls", segments=128)[0]
+                assert lr <= ls * 1.05, (ds, root)
+
+    def test_more_segments_lower_error(self, fig06):
+        for ds in ("books", "wiki"):
+            series = fig06.column("median_err", dataset=ds, combo="ls->lr")
+            assert series[-1] <= series[0], ds
+
+    def test_fb_error_insensitive_to_segments(self, fig06):
+        series = fig06.column("median_err", dataset="fb", combo="ls->lr")
+        assert series[-1] > TINY["n"] * 0.01  # stays large
+
+
+class TestFig07:
+    def test_local_bounds_smaller_intervals_at_matched_size(self, fig07):
+        """The paper's headline Section 5.3 result, compared the way
+        the paper compares it: at *similar index size* (global-bound
+        RMIs get more segments for the same bytes)."""
+        for ds in ("books", "wiki"):
+            lind = fig07.series(dataset=ds, combo="ls->lr", bounds="lind",
+                                segments=SEGS[0])[0]
+            # Global config with roughly matching size: more segments.
+            gabs_rows = fig07.series(dataset=ds, combo="ls->lr", bounds="gabs")
+            closest = min(
+                gabs_rows,
+                key=lambda r: abs(r["index_bytes"] - lind["index_bytes"]),
+            )
+            assert lind["median_interval"] <= closest["median_interval"] * 1.5, ds
+
+    def test_fb_omitted(self, fig07):
+        assert not fig07.series(dataset="fb")
+
+
+class TestFig08to10:
+    def test_fig08_fb_never_beats_binary_search(self):
+        r = figures.fig08_lookup_models(segment_counts=SEGS, num_lookups=400,
+                                        roots=["ls"], leaves=["lr"], **TINY)
+        base = r.series(dataset="fb", combo="binary-search")[0]["est_ns"]
+        for row in r.series(dataset="fb", combo="ls->lr"):
+            assert row["est_ns"] >= base * 0.95
+            assert row["checksum_ok"]
+
+    def test_fig08_books_beats_binary_search(self):
+        r = figures.fig08_lookup_models(segment_counts=[128], num_lookups=400,
+                                        roots=["ls"], leaves=["lr"], **TINY)
+        base = r.series(dataset="books", combo="binary-search")[0]["est_ns"]
+        best = min(x["est_ns"] for x in r.series(dataset="books", combo="ls->lr"))
+        assert best < base
+
+    def test_fig09_local_beats_global(self):
+        r = figures.fig09_lookup_bounds(segment_counts=[128], num_lookups=300,
+                                        combos=[("ls", "lr")], **TINY)
+        for ds in ("books", "wiki"):
+            lind = r.series(dataset=ds, bounds="lind", segments=128)[0]
+            gabs = r.series(dataset=ds, bounds="gabs", segments=128)[0]
+            assert lind["est_ns"] <= gabs["est_ns"] * 1.10, ds
+
+    def test_fig10_all_checksums_ok(self):
+        r = figures.fig10_search_algorithms(segment_counts=[64],
+                                            num_lookups=200,
+                                            combos=[("ls", "lr")], **TINY)
+        assert all(row["checksum_ok"] for row in r.rows)
+        searches = {row["search"] for row in r.rows}
+        assert searches == {"bin", "mbin", "mlin", "mexp"}
+
+
+class TestFig11:
+    def test_panels_present_and_ablation_direction(self):
+        r = figures.fig11_build_time(segment_counts=[64], **TINY)
+        panels = {row["panel"] for row in r.rows}
+        assert panels == {"root", "leaf", "bounds", "ablation"}
+        nocopy = r.series(panel="ablation", variant="no-copy")[0]["build_s"]
+        copy = r.series(panel="ablation", variant="copy")[0]["build_s"]
+        # The paper's 2x claim holds at benchmark scale (see
+        # benchmarks/bench_fig11_build_time.py); at unit-test scale the
+        # timings are jitter-dominated, so only sanity-check them.
+        assert nocopy > 0 and copy > 0
+        assert nocopy <= copy * 4
+
+    def test_bounds_cost_more_than_nb(self):
+        r = figures.fig11_build_time(segment_counts=[128], **TINY)
+        nb = r.series(panel="bounds", variant="nb")[0]
+        lind = r.series(panel="bounds", variant="lind")[0]
+        assert lind["bounds_s"] >= nb["bounds_s"]
+
+
+class TestFig12to14:
+    def test_all_indexes_present_and_correct(self, fig12):
+        books = {row["index"] for row in fig12.series(dataset="books")}
+        assert books == {
+            "rmi", "pgm-index", "radix-spline", "alex", "b-tree", "art",
+            "hist-tree", "binary-search",
+        }
+        assert all(row["checksum_ok"] for row in fig12.rows)
+
+    def test_art_and_hist_tree_skip_wiki(self, fig12):
+        wiki = {row["index"] for row in fig12.series(dataset="wiki")}
+        assert "art" not in wiki
+        assert "hist-tree" not in wiki
+        assert any("did not work on wiki" in n for n in fig12.notes)
+
+    def test_learned_beat_btree_on_books(self, fig12):
+        """Section 8.1: learned indexes clearly beat B-tree; B-tree
+        barely beats binary search."""
+        best = lambda index: min(
+            r["est_ns"] for r in fig12.series(dataset="books", index=index)
+        )
+        assert best("rmi") < best("b-tree")
+        assert best("pgm-index") < best("b-tree")
+
+    def test_fig13_shares_sum_to_one(self):
+        r = figures.fig13_eval_vs_search(num_lookups=300, **TINY)
+        for row in r.rows:
+            assert row["eval_ns"] + row["search_ns"] == pytest.approx(
+                row["est_ns"], rel=0.01
+            )
+            assert 0 <= row["eval_share"] <= 1
+
+    def test_fig14_btree_builds_faster_than_learned(self):
+        r = figures.fig14_build_comparison(datasets=["books"], **TINY)
+        fastest = lambda index: min(
+            x["build_s"] for x in r.series(dataset="books", index=index)
+        )
+        assert fastest("b-tree") < fastest("rmi") * 20  # same order at least
+        assert all(row["build_s"] > 0 for row in r.rows)
+
+
+class TestReportRendering:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [{"a": 1, "bb": 2.5}, {"a": 10, "bb": 0}])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bb" in lines[0]
+
+    def test_figure_result_render(self):
+        r = FigureResult("figXX", "demo", ["x"], [{"x": 1}], ["hello"])
+        out = r.render()
+        assert "figXX" in out and "hello" in out
+
+    def test_format_helpers(self):
+        assert format_bytes(512) == "512 B"
+        assert format_bytes(2048) == "2.0 KiB"
+        assert "MiB" in format_bytes(3 * 1024 * 1024)
+        assert format_ns(500) == "500 ns"
+        assert format_ns(2_500) == "2.5 us"
+        assert format_ns(3_000_000) == "3.0 ms"

@@ -1,0 +1,45 @@
+"""Tests for the FITing-tree extension."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.fiting_tree import FITingTree
+
+
+class TestFITingTree:
+    @pytest.mark.parametrize("dataset", ["books", "fb", "osmc", "wiki"])
+    @pytest.mark.parametrize("error", [8, 64])
+    def test_matches_oracle(self, small_datasets, mixed_queries, oracle,
+                            dataset, error):
+        keys = small_datasets[dataset]
+        index = FITingTree(keys, error=error)
+        queries = mixed_queries(keys)
+        got = index.lower_bound_batch(queries)
+        np.testing.assert_array_equal(got, oracle(keys, queries))
+
+    def test_interval_width_capped_by_error(self, books_keys):
+        index = FITingTree(books_keys, error=32)
+        for q in books_keys[::499]:
+            b = index.search_bounds(int(q))
+            assert b.width <= 2 * 32 + 1
+
+    def test_variable_sized_segments(self, osmc_keys):
+        """The FITing-tree idea: 'a sparse B-tree with variable-sized
+        pages' -- smooth regions get long segments, noisy ones short."""
+        index = FITingTree(osmc_keys, error=32)
+        assert 1 < index.num_segments < len(osmc_keys)
+
+    def test_tighter_error_more_segments(self, osmc_keys):
+        fine = FITingTree(osmc_keys, error=4)
+        coarse = FITingTree(osmc_keys, error=256)
+        assert fine.num_segments > coarse.num_segments
+        assert fine.size_in_bytes() > coarse.size_in_bytes()
+
+    def test_validation(self, books_keys):
+        with pytest.raises(ValueError):
+            FITingTree(books_keys, error=0)
+
+    def test_stats(self, books_keys):
+        stats = FITingTree(books_keys, error=32).stats()
+        assert stats["name"] == "fiting-tree"
+        assert stats["segments"] == FITingTree(books_keys, error=32).num_segments

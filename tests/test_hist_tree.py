@@ -1,0 +1,82 @@
+"""Tests for the compact Hist-Tree baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.hist_tree import HistTree
+from repro.baselines.interfaces import UnsupportedDataError
+
+
+class TestConstruction:
+    def test_rejects_non_power_of_two_bins(self, books_keys):
+        with pytest.raises(ValueError, match="power of two"):
+            HistTree(books_keys, num_bins=48)
+        with pytest.raises(ValueError, match="power of two"):
+            HistTree(books_keys, num_bins=1)
+
+    def test_rejects_invalid_max_error(self, books_keys):
+        with pytest.raises(ValueError):
+            HistTree(books_keys, max_error=0)
+
+    def test_rejects_duplicates(self, wiki_keys):
+        """Reproduces the paper: 'Hist-Tree did not work on wiki'."""
+        with pytest.raises(UnsupportedDataError):
+            HistTree(wiki_keys)
+
+    def test_smaller_max_error_deeper_tree(self, osmc_keys):
+        fine = HistTree(osmc_keys, num_bins=16, max_error=4)
+        coarse = HistTree(osmc_keys, num_bins=16, max_error=256)
+        assert fine.num_nodes > coarse.num_nodes
+        assert fine.size_in_bytes() > coarse.size_in_bytes()
+
+
+class TestLowerBound:
+    @pytest.mark.parametrize("dataset", ["books", "fb", "osmc"])
+    @pytest.mark.parametrize("num_bins,max_error", [(16, 8), (64, 32), (256, 128)])
+    def test_matches_oracle(self, small_datasets, mixed_queries, oracle,
+                            dataset, num_bins, max_error):
+        keys = small_datasets[dataset]
+        index = HistTree(keys, num_bins=num_bins, max_error=max_error)
+        queries = mixed_queries(keys)
+        got = index.lower_bound_batch(queries)
+        np.testing.assert_array_equal(got, oracle(keys, queries))
+
+    def test_terminal_bin_width_bounded(self, books_keys):
+        """Terminal bins hold at most max_error keys, so the search
+        interval is capped -- the index's size/latency knob."""
+        index = HistTree(books_keys, num_bins=32, max_error=24)
+        for q in books_keys[::499]:
+            b = index.search_bounds(int(q))
+            assert b.width <= 24 + 2
+
+    def test_query_outside_key_range(self, books_keys):
+        index = HistTree(books_keys, num_bins=16, max_error=64)
+        assert index.lower_bound(0) == 0
+        assert index.lower_bound(2**63) == len(books_keys)
+
+    def test_sequential_keys_shallow(self, sequential_keys):
+        index = HistTree(sequential_keys, num_bins=64, max_error=32)
+        assert index.height <= 3
+        for q in sequential_keys[::97]:
+            assert index.lower_bound(int(q)) == int(
+                np.searchsorted(sequential_keys, q)
+            )
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    values=st.lists(st.integers(0, 2**52), min_size=1, max_size=300,
+                    unique=True),
+    num_bins=st.sampled_from([4, 16, 64]),
+    max_error=st.sampled_from([2, 16]),
+)
+def test_hist_tree_lower_bound_property(values, num_bins, max_error):
+    keys = np.sort(np.asarray(values, dtype=np.uint64))
+    index = HistTree(keys, num_bins=num_bins, max_error=max_error)
+    queries = np.concatenate([keys, keys + 1])
+    for q in queries[:60]:
+        assert index.lower_bound(int(q)) == int(
+            np.searchsorted(keys, np.uint64(q), side="left")
+        )

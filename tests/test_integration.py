@@ -1,0 +1,74 @@
+"""Cross-index integration tests: one workload, every index.
+
+The paper's checksum discipline (Section 4.4), enforced across the
+whole index zoo: every index must return *identical* positions for the
+same workload, on every dataset it supports.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import INDEX_TYPES, UnsupportedDataError
+from repro.core.rmi import RMI
+from repro.workload import make_workload, run_workload
+
+
+@pytest.fixture(scope="module")
+def workloads(small_datasets):
+    return {
+        name: make_workload(keys, num_lookups=400, seed=17)
+        for name, keys in small_datasets.items()
+    }
+
+
+@pytest.mark.parametrize("dataset", ["books", "fb", "osmc", "wiki"])
+def test_all_indexes_agree_on_positions(small_datasets, workloads, dataset):
+    keys = small_datasets[dataset]
+    wl = workloads[dataset]
+    reference = wl.expected_positions
+    tested = 0
+    for name, cls in INDEX_TYPES.items():
+        try:
+            index = cls(keys)
+        except UnsupportedDataError:
+            assert dataset == "wiki" and name in ("art", "hist-tree", "fast",
+                                                  "alex")
+            continue
+        got = index.lower_bound_batch(wl.queries)
+        np.testing.assert_array_equal(got, reference, err_msg=name)
+        tested += 1
+    assert tested >= 7
+
+
+@pytest.mark.parametrize("dataset", ["books", "osmc", "wiki"])
+def test_runner_checksums_across_indexes(small_datasets, workloads, dataset):
+    keys = small_datasets[dataset]
+    wl = workloads[dataset]
+    for name, cls in INDEX_TYPES.items():
+        try:
+            index = cls(keys)
+        except UnsupportedDataError:
+            continue
+        result = run_workload(index, wl, runs=1, trace_size=64)
+        assert result.checksum_ok, name
+        assert result.estimated_ns_per_lookup > 0, name
+
+
+def test_rmi_configs_agree_with_each_other(small_datasets):
+    """Every RMI configuration is just a different route to the same
+    answer: sweep a config grid and compare position vectors."""
+    keys = small_datasets["osmc"]
+    wl = make_workload(keys, num_lookups=300, seed=23)
+    reference = wl.expected_positions
+    for root in ("lr", "ls", "cs", "rx", "auto"):
+        for bounds, search in (("labs", "bin"), ("lind", "mbin"),
+                               ("nb", "mexp"), ("gind", "interp")):
+            rmi = RMI(keys, layer_sizes=[32], model_types=(root, "lr"),
+                      bound_type=bounds, search=search)
+            got = np.fromiter(
+                (rmi.lookup(int(q)) for q in wl.queries),
+                dtype=np.int64, count=len(wl.queries),
+            )
+            np.testing.assert_array_equal(
+                got, reference, err_msg=f"{root}/{bounds}/{search}"
+            )

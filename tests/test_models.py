@@ -1,0 +1,281 @@
+"""Unit tests for the RMI model types (Table 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.models import (
+    MODEL_TYPES,
+    ConstantModel,
+    CubicSpline,
+    LinearRegression,
+    LinearSpline,
+    Model,
+    Radix,
+    resolve_model_type,
+)
+
+
+def linear_keys(n=100, slope=3, offset=17):
+    keys = (offset + slope * np.arange(n)).astype(np.uint64)
+    targets = np.arange(n, dtype=np.float64)
+    return keys, targets
+
+
+class TestLinearRegression:
+    def test_exact_fit_on_linear_data(self):
+        keys, targets = linear_keys()
+        m = LinearRegression.fit(keys, targets)
+        np.testing.assert_allclose(m.predict_batch(keys), targets, atol=1e-6)
+
+    def test_minimizes_mse_vs_spline(self, books_keys):
+        targets = np.arange(len(books_keys), dtype=np.float64)
+        lr = LinearRegression.fit(books_keys, targets)
+        ls = LinearSpline.fit(books_keys, targets)
+        mse_lr = np.mean((lr.predict_batch(books_keys) - targets) ** 2)
+        mse_ls = np.mean((ls.predict_batch(books_keys) - targets) ** 2)
+        assert mse_lr <= mse_ls + 1e-9
+
+    def test_empty_and_single_key(self):
+        empty = LinearRegression.fit(np.array([], dtype=np.uint64), np.array([]))
+        assert empty.predict(123) == 0.0
+        single = LinearRegression.fit(
+            np.array([42], dtype=np.uint64), np.array([7.0])
+        )
+        assert single.predict(42) == 7.0
+        assert single.predict(10**12) == 7.0
+
+    def test_all_duplicate_keys_collapse_to_mean(self):
+        keys = np.full(10, 99, dtype=np.uint64)
+        targets = np.arange(10, dtype=np.float64)
+        m = LinearRegression.fit(keys, targets)
+        assert m.slope == 0.0
+        assert m.predict(99) == pytest.approx(4.5)
+
+    def test_trim_ignores_outliers(self):
+        # 1000 linear keys plus extreme outliers at both ends.
+        keys, targets = linear_keys(1000)
+        keys = np.concatenate(([0], keys, [2**62])).astype(np.uint64)
+        targets = np.concatenate(([0.0], targets + 1, [1001.0]))
+        plain = LinearRegression.fit(keys, targets)
+        trimmed = LinearRegression.fit(keys, targets, trim=0.001)
+        err_plain = np.abs(plain.predict_batch(keys[1:-1]) - targets[1:-1]).max()
+        err_trim = np.abs(trimmed.predict_batch(keys[1:-1]) - targets[1:-1]).max()
+        assert err_trim < err_plain
+
+    def test_large_keys_numerically_stable(self):
+        keys = np.uint64(2**63) + np.arange(100, dtype=np.uint64) * np.uint64(2**20)
+        targets = np.arange(100, dtype=np.float64)
+        m = LinearRegression.fit(keys, targets)
+        assert np.abs(m.predict_batch(keys) - targets).max() < 1.0
+
+    def test_size_and_monotonic(self):
+        keys, targets = linear_keys()
+        m = LinearRegression.fit(keys, targets)
+        assert m.size_in_bytes() == 16
+        assert m.is_monotonic()
+        assert not LinearRegression(slope=-1.0, intercept=0.0).is_monotonic()
+
+
+class TestLinearSpline:
+    def test_passes_through_endpoints(self, books_keys):
+        targets = np.arange(len(books_keys), dtype=np.float64)
+        m = LinearSpline.fit(books_keys, targets)
+        assert m.predict(int(books_keys[0])) == pytest.approx(0.0, abs=1e-6)
+        assert m.predict(int(books_keys[-1])) == pytest.approx(
+            len(books_keys) - 1, rel=1e-9
+        )
+
+    def test_exact_on_linear_data(self):
+        keys, targets = linear_keys()
+        m = LinearSpline.fit(keys, targets)
+        np.testing.assert_allclose(m.predict_batch(keys), targets, atol=1e-9)
+
+    def test_degenerate_inputs(self):
+        empty = LinearSpline.fit(np.array([], dtype=np.uint64), np.array([]))
+        assert empty.predict(5) == 0.0
+        same = LinearSpline.fit(
+            np.array([7, 7], dtype=np.uint64), np.array([1.0, 2.0])
+        )
+        assert same.slope == 0.0
+
+
+class TestCubicSpline:
+    def test_passes_through_endpoints(self, osmc_keys):
+        targets = np.arange(len(osmc_keys), dtype=np.float64)
+        m = CubicSpline.fit(osmc_keys, targets)
+        assert m.predict(int(osmc_keys[0])) == pytest.approx(0.0, abs=1e-6)
+        assert m.predict(int(osmc_keys[-1])) == pytest.approx(
+            len(osmc_keys) - 1, rel=1e-6
+        )
+
+    def test_monotone_on_all_datasets(self, small_datasets):
+        for name, keys in small_datasets.items():
+            targets = np.arange(len(keys), dtype=np.float64)
+            m = CubicSpline.fit(keys, targets)
+            preds = m.predict_batch(keys)
+            assert np.all(np.diff(preds) >= -1e-6), name
+            assert m.is_monotonic(), name
+
+    def test_beats_linear_spline_on_curved_cdf(self):
+        # Quadratic CDF: a cubic through endpoints with slope hints
+        # should fit better than the endpoint chord.
+        x = np.linspace(0, 1, 2000)
+        keys = (x**2 * 2**40 + 1).astype(np.uint64)
+        keys = np.unique(keys)
+        targets = np.arange(len(keys), dtype=np.float64)
+        cs = CubicSpline.fit(keys, targets)
+        ls = LinearSpline.fit(keys, targets)
+        err_cs = np.abs(cs.predict_batch(keys) - targets).mean()
+        err_ls = np.abs(ls.predict_batch(keys) - targets).mean()
+        assert err_cs < err_ls
+
+    def test_fallback_prefers_lower_max_error(self):
+        keys, targets = linear_keys(50)
+        chosen = CubicSpline.fit_with_fallback(keys, targets)
+        y = chosen.predict_batch(keys)
+        assert np.abs(y - targets).max() < 1e-6
+
+    def test_degenerate_inputs(self):
+        empty = CubicSpline.fit(np.array([], dtype=np.uint64), np.array([]))
+        assert empty.predict(5) == 0.0
+        single = CubicSpline.fit(np.array([3], dtype=np.uint64), np.array([9.0]))
+        assert single.predict(3) == 9.0
+        assert single.size_in_bytes() == 32
+
+
+class TestRadix:
+    def test_prefix_elimination(self):
+        # Keys sharing a 32-bit prefix; 8 significant bits.
+        base = np.uint64(0xDEADBEEF00000000)
+        keys = base + np.arange(0, 256, dtype=np.uint64) * np.uint64(2**24)
+        targets = np.arange(256, dtype=np.float64)
+        m = Radix.fit(keys, targets)
+        preds = m.predict_batch(keys)
+        assert np.all(np.diff(preds) >= 0)
+        assert preds.min() >= 0
+        # Output must span a meaningful part of the target range.
+        assert preds.max() >= 128
+
+    def test_empty_and_constant(self):
+        empty = Radix.fit(np.array([], dtype=np.uint64), np.array([]))
+        assert empty.predict(77) == 0.0
+        same = Radix.fit(np.array([5, 5], dtype=np.uint64), np.array([0.0, 1.0]))
+        assert same.predict(5) == 0.0
+
+    def test_scalar_matches_batch(self, fb_keys):
+        targets = np.arange(len(fb_keys), dtype=np.float64)
+        m = Radix.fit(fb_keys, targets)
+        batch = m.predict_batch(fb_keys[:50])
+        for i in range(50):
+            assert m.predict(int(fb_keys[i])) == batch[i]
+
+    def test_monotonic_always(self):
+        assert Radix(3, 40).is_monotonic()
+
+
+class TestConstantModel:
+    def test_mean_prediction(self):
+        m = ConstantModel.fit(
+            np.array([1, 2, 3], dtype=np.uint64), np.array([4.0, 5.0, 9.0])
+        )
+        assert m.predict(123) == pytest.approx(6.0)
+        assert m.size_in_bytes() == 8
+
+
+class TestAutoModel:
+    def test_returns_concrete_winner(self, books_keys):
+        from repro.core.models import AutoModel
+
+        targets = np.arange(len(books_keys), dtype=np.float64)
+        chosen = AutoModel.fit(books_keys, targets)
+        assert isinstance(chosen, (LinearRegression, LinearSpline,
+                                   CubicSpline))
+
+    def test_never_worse_than_each_candidate(self, osmc_keys):
+        from repro.core.models import AutoModel
+
+        targets = np.arange(len(osmc_keys), dtype=np.float64)
+        auto_err = np.max(np.abs(
+            AutoModel.fit(osmc_keys, targets).predict_batch(osmc_keys)
+            - targets
+        ))
+        for cls in (LinearRegression, LinearSpline, CubicSpline):
+            cand_err = np.max(np.abs(
+                cls.fit(osmc_keys, targets).predict_batch(osmc_keys)
+                - targets
+            ))
+            assert auto_err <= cand_err + 1e-9, cls.__name__
+
+    def test_empty_segment(self):
+        from repro.core.models import AutoModel
+
+        m = AutoModel.fit(np.array([], dtype=np.uint64), np.array([]))
+        assert isinstance(m, ConstantModel)
+
+    def test_auto_leaf_rmi_correct_and_tight(self, osmc_keys, rng):
+        from repro.core.analysis import interval_stats
+        from repro.core.rmi import RMI
+
+        auto = RMI(osmc_keys, layer_sizes=[64], model_types=("ls", "auto"))
+        lr = RMI(osmc_keys, layer_sizes=[64], model_types=("ls", "lr"))
+        queries = osmc_keys[rng.integers(0, len(osmc_keys), 200)]
+        want = np.searchsorted(osmc_keys, queries, side="left")
+        np.testing.assert_array_equal(auto.lookup_batch(queries), want)
+        # Best-of max error cannot exceed LR's, so LAbs intervals can
+        # only shrink or stay (modulo ties).
+        assert interval_stats(auto).median <= interval_stats(lr).median + 1
+
+
+class TestRegistry:
+    def test_resolve_by_abbreviation_case_insensitive(self):
+        assert resolve_model_type("LR") is LinearRegression
+        assert resolve_model_type(" ls ") is LinearSpline
+        assert resolve_model_type("cs") is CubicSpline
+        assert resolve_model_type("RX") is Radix
+
+    def test_resolve_by_class_is_identity(self):
+        assert resolve_model_type(Radix) is Radix
+
+    def test_unknown_raises_with_alternatives(self):
+        with pytest.raises(ValueError, match="unknown model type"):
+            resolve_model_type("neural-net")
+
+    def test_registry_covers_table2(self):
+        assert {"lr", "ls", "cs", "rx"} <= set(MODEL_TYPES)
+
+
+@st.composite
+def sorted_key_arrays(draw, min_size=2, max_size=200):
+    values = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=2**63),
+            min_size=min_size,
+            max_size=max_size,
+            unique=True,
+        )
+    )
+    return np.sort(np.asarray(values, dtype=np.uint64))
+
+
+class TestModelProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(keys=sorted_key_arrays())
+    @pytest.mark.parametrize("model_type", ["lr", "ls", "cs", "rx"])
+    def test_monotonic_on_cdf_targets(self, model_type, keys):
+        """Every Table 2 model is monotonic when fit on CDF targets --
+        the invariant the paper's no-copy training relies on."""
+        targets = np.arange(len(keys), dtype=np.float64)
+        model = resolve_model_type(model_type).fit(keys, targets)
+        preds = model.predict_batch(keys)
+        assert np.all(np.diff(preds) >= -1e-6)
+
+    @settings(max_examples=50, deadline=None)
+    @given(keys=sorted_key_arrays())
+    def test_splines_bounded_by_endpoints(self, keys):
+        targets = np.arange(len(keys), dtype=np.float64)
+        m = LinearSpline.fit(keys, targets)
+        preds = m.predict_batch(keys)
+        assert preds.min() >= -1e-6
+        assert preds.max() <= len(keys) - 1 + 1e-6

@@ -1,0 +1,113 @@
+"""Tests for the additional reference-RMI model families."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.models import resolve_model_type
+from repro.core.models_more import LogLinear, LogNormalCdf, NormalCdf, _phi
+from repro.core.rmi import RMI
+from repro.data import distributions
+
+
+class TestPhi:
+    def test_matches_math_erf(self):
+        zs = np.linspace(-5, 5, 101)
+        want = np.array([0.5 * (1 + math.erf(z / math.sqrt(2))) for z in zs])
+        np.testing.assert_allclose(_phi(zs), want, atol=2e-7)
+
+    def test_monotone_and_bounded(self):
+        zs = np.linspace(-10, 10, 1001)
+        vals = _phi(zs)
+        assert np.all(np.diff(vals) >= 0)
+        assert vals[0] >= 0 and vals[-1] <= 1
+
+
+class TestLogLinear:
+    def test_registered(self):
+        assert resolve_model_type("logl") is LogLinear
+
+    def test_exact_on_exponential_keys(self):
+        keys = (np.exp(np.arange(1, 40) * 0.5) * 100).astype(np.uint64)
+        keys = np.unique(keys)
+        targets = np.arange(len(keys), dtype=np.float64)
+        m = LogLinear.fit(keys, targets)
+        err = np.abs(m.predict_batch(keys) - targets)
+        assert err.max() < 1.5  # log-linear data is its sweet spot
+
+    def test_beats_lr_on_lognormal_data(self):
+        keys = distributions.lognormal(5_000, sigma=2.5)
+        targets = np.arange(len(keys), dtype=np.float64)
+        from repro.core.models import LinearRegression
+
+        logl_err = np.median(np.abs(
+            LogLinear.fit(keys, targets).predict_batch(keys) - targets
+        ))
+        lr_err = np.median(np.abs(
+            LinearRegression.fit(keys, targets).predict_batch(keys) - targets
+        ))
+        assert logl_err < lr_err
+
+    def test_degenerate(self):
+        assert LogLinear.fit(np.array([], dtype=np.uint64),
+                             np.array([])).predict(9) == 0.0
+        single = LogLinear.fit(np.array([5], dtype=np.uint64),
+                               np.array([3.0]))
+        assert single.predict(1000) == 3.0
+
+
+class TestCdfModels:
+    def test_normal_fits_gaussian_data(self):
+        keys = distributions.normal(5_000)
+        targets = np.arange(len(keys), dtype=np.float64)
+        m = NormalCdf.fit(keys, targets)
+        err = np.abs(m.predict_batch(keys) - targets)
+        assert np.median(err) < len(keys) * 0.02
+
+    def test_lognormal_fits_lognormal_data(self):
+        keys = distributions.lognormal(5_000, sigma=1.5)
+        targets = np.arange(len(keys), dtype=np.float64)
+        ln = LogNormalCdf.fit(keys, targets)
+        nm = NormalCdf.fit(keys, targets)
+        ln_err = np.median(np.abs(ln.predict_batch(keys) - targets))
+        nm_err = np.median(np.abs(nm.predict_batch(keys) - targets))
+        assert ln_err < nm_err  # model/distribution fit wins
+
+    @pytest.mark.parametrize("cls", [NormalCdf, LogNormalCdf])
+    def test_monotonic_and_sized(self, cls, books_keys):
+        targets = np.arange(len(books_keys), dtype=np.float64)
+        m = cls.fit(books_keys, targets)
+        preds = m.predict_batch(books_keys)
+        assert np.all(np.diff(preds) >= -1e-6)
+        assert m.is_monotonic()
+        assert m.size_in_bytes() == 32
+
+    @pytest.mark.parametrize("cls", [NormalCdf, LogNormalCdf])
+    def test_degenerate(self, cls):
+        empty = cls.fit(np.array([], dtype=np.uint64), np.array([]))
+        assert empty.predict(7) == 0.0
+        same = cls.fit(np.array([9, 9], dtype=np.uint64),
+                       np.array([0.0, 2.0]))
+        assert same.predict(9) == pytest.approx(1.0)
+
+
+class TestAsRmiRoots:
+    @pytest.mark.parametrize("root", ["logl", "normal", "lognorm"])
+    def test_rmi_correctness(self, root, rng, oracle):
+        keys = distributions.lognormal(8_000, sigma=1.8)
+        rmi = RMI(keys, layer_sizes=[64], model_types=(root, "lr"))
+        queries = keys[rng.integers(0, len(keys), 200)]
+        np.testing.assert_array_equal(
+            rmi.lookup_batch(queries), oracle(keys, queries)
+        )
+
+    def test_lognorm_root_accuracy_on_matching_data(self):
+        from repro.core.analysis import prediction_errors
+
+        keys = distributions.lognormal(10_000, sigma=1.8)
+        ln = RMI(keys, layer_sizes=[64], model_types=("lognorm", "lr"))
+        ls = RMI(keys, layer_sizes=[64], model_types=("ls", "lr"))
+        assert np.median(prediction_errors(ln)) <= np.median(
+            prediction_errors(ls)
+        ) * 1.2

@@ -1,0 +1,72 @@
+"""Tests for the neural-network model extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.models import resolve_model_type
+from repro.core.neural import NeuralNet
+from repro.core.rmi import RMI
+
+
+class TestNeuralNetModel:
+    def test_registered_as_nn(self):
+        assert resolve_model_type("nn") is NeuralNet
+
+    def test_fits_linear_data_closely(self):
+        keys = np.arange(0, 100_000, 17, dtype=np.uint64)
+        targets = np.arange(len(keys), dtype=np.float64)
+        nn = NeuralNet.fit(keys, targets)
+        err = np.abs(nn.predict_batch(keys) - targets)
+        assert np.median(err) < len(keys) * 0.02
+
+    def test_fits_curved_cdf_better_than_chord(self, books_keys):
+        from repro.core.models import LinearSpline
+
+        targets = np.arange(len(books_keys), dtype=np.float64)
+        nn = NeuralNet.fit(books_keys, targets)
+        ls = LinearSpline.fit(books_keys, targets)
+        nn_err = np.median(np.abs(nn.predict_batch(books_keys) - targets))
+        ls_err = np.median(np.abs(ls.predict_batch(books_keys) - targets))
+        assert nn_err <= ls_err * 1.5  # at least comparable; usually better
+
+    def test_deterministic(self, books_keys):
+        targets = np.arange(len(books_keys), dtype=np.float64)
+        a = NeuralNet.fit(books_keys, targets)
+        b = NeuralNet.fit(books_keys, targets)
+        np.testing.assert_array_equal(a.w1, b.w1)
+        assert a.b2 == b.b2
+
+    def test_degenerate_inputs(self):
+        empty = NeuralNet.fit(np.array([], dtype=np.uint64), np.array([]))
+        assert empty.predict(5) == 0.0
+        same = NeuralNet.fit(np.array([9, 9], dtype=np.uint64),
+                             np.array([1.0, 3.0]))
+        assert same.predict(9) == pytest.approx(2.0)
+
+    def test_size_accounting(self):
+        keys = np.arange(1000, dtype=np.uint64)
+        nn = NeuralNet.fit(keys, keys.astype(np.float64))
+        assert nn.size_in_bytes() == 8 * (3 * NeuralNet.hidden + 5)
+
+
+class TestNeuralRootRMI:
+    def test_rmi_with_nn_root_is_correct(self, books_keys, rng, oracle):
+        """NN roots may be non-monotonic: the trainer must fall back to
+        the stable-sort gather path and still produce correct lookups."""
+        rmi = RMI(books_keys, layer_sizes=[64], model_types=("nn", "lr"))
+        queries = books_keys[rng.integers(0, len(books_keys), 300)]
+        np.testing.assert_array_equal(
+            rmi.lookup_batch(queries), oracle(books_keys, queries)
+        )
+
+    def test_rmi_with_nn_root_on_clustered_data(self, osmc_keys, rng, oracle):
+        rmi = RMI(osmc_keys, layer_sizes=[64], model_types=("nn", "lr"),
+                  bound_type="lind", search="mexp")
+        queries = osmc_keys[rng.integers(0, len(osmc_keys), 150)]
+        for q in queries:
+            assert rmi.lookup(int(q)) == oracle(osmc_keys, np.array([q]))[0]
+
+    def test_nn_eval_cost_higher_than_linear(self):
+        from repro.core.models import LinearSpline
+
+        assert NeuralNet.eval_cost_units > LinearSpline.eval_cost_units

@@ -1,0 +1,66 @@
+"""Tests for the CDFShop-style grid-search optimizer."""
+
+import numpy as np
+
+from repro.core.optimizer import (
+    OptimizerResult,
+    grid_search,
+    lookup_cost_proxy,
+    pareto_front,
+)
+from repro.core.builder import RMIConfig
+
+
+class TestGridSearch:
+    def test_grid_covers_all_combinations(self, books_keys):
+        results = grid_search(books_keys, layer2_sizes=[16, 64],
+                              root_types=["ls", "rx"], leaf_types=["lr"])
+        assert len(results) == 4
+        combos = {
+            (r.config.model_types, r.config.layer_sizes[0]) for r in results
+        }
+        assert (("ls", "lr"), 16) in combos
+        assert (("rx", "lr"), 64) in combos
+
+    def test_cost_decreases_with_size_on_books(self, books_keys):
+        results = grid_search(books_keys, layer2_sizes=[8, 512],
+                              root_types=["ls"], leaf_types=["lr"])
+        small, large = sorted(results, key=lambda r: r.size_bytes)
+        assert large.lookup_cost <= small.lookup_cost
+
+
+class TestPareto:
+    def test_dominated_configs_removed(self):
+        def res(size, cost):
+            return OptimizerResult(
+                config=RMIConfig(), size_bytes=size, lookup_cost=cost,
+                median_interval=0.0, build_seconds=0.0,
+            )
+
+        a = res(100, 10.0)   # pareto
+        b = res(200, 5.0)    # pareto
+        c = res(300, 7.0)    # dominated by b
+        d = res(100, 12.0)   # dominated by a
+        front = pareto_front([a, b, c, d])
+        assert front == [a, b]
+
+    def test_front_on_real_grid(self, books_keys):
+        results = grid_search(books_keys, layer2_sizes=[8, 64, 512])
+        front = pareto_front(results)
+        assert 1 <= len(front) <= len(results)
+        # No member may dominate another front member.
+        for r in front:
+            assert not any(o.dominates(r) for o in front if o is not r)
+        # Front must be sorted by size.
+        sizes = [r.size_bytes for r in front]
+        assert sizes == sorted(sizes)
+
+
+class TestCostProxy:
+    def test_accurate_rmi_has_lower_cost(self, books_keys):
+        accurate = RMIConfig(layer_sizes=(512,)).build(books_keys)
+        coarse = RMIConfig(layer_sizes=(4,)).build(books_keys)
+        cost_a, med_a = lookup_cost_proxy(accurate)
+        cost_c, med_c = lookup_cost_proxy(coarse)
+        assert cost_a < cost_c
+        assert med_a <= med_c

@@ -1,0 +1,111 @@
+"""Tests for the PGM-index and the shared ε-PLA segmentation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.pgm import PGMIndex, PlaSegment, build_pla_segments
+
+
+class TestPlaSegments:
+    def test_eps_guarantee_on_every_point(self, books_keys):
+        unique = np.unique(books_keys)
+        targets = np.arange(len(unique), dtype=np.float64)
+        for eps in (1, 8, 64):
+            segments = build_pla_segments(unique, targets, eps)
+            firsts = np.asarray([s.first_key for s in segments], dtype=np.uint64)
+            idx = np.searchsorted(firsts, unique, side="right") - 1
+            for i in range(0, len(unique), 37):
+                seg = segments[idx[i]]
+                assert abs(seg.predict(int(unique[i])) - targets[i]) <= eps + 1e-6
+
+    def test_smaller_eps_more_segments(self, osmc_keys):
+        unique = np.unique(osmc_keys)
+        targets = np.arange(len(unique), dtype=np.float64)
+        tight = build_pla_segments(unique, targets, 2)
+        loose = build_pla_segments(unique, targets, 256)
+        assert len(tight) > len(loose)
+
+    def test_linear_data_single_segment(self):
+        keys = np.arange(0, 10_000, 7, dtype=np.uint64)
+        targets = np.arange(len(keys), dtype=np.float64)
+        assert len(build_pla_segments(keys, targets, 1)) == 1
+
+    def test_empty_and_singleton(self):
+        assert build_pla_segments(np.array([], dtype=np.uint64),
+                                  np.array([]), 4) == []
+        segs = build_pla_segments(np.array([9], dtype=np.uint64),
+                                  np.array([0.0]), 4)
+        assert len(segs) == 1
+        assert segs[0].predict(9) == 0.0
+
+    def test_rejects_non_increasing_keys(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            build_pla_segments(np.array([5, 5], dtype=np.uint64),
+                               np.array([0.0, 1.0]), 4)
+        with pytest.raises(ValueError, match="non-negative"):
+            build_pla_segments(np.array([1], dtype=np.uint64),
+                               np.array([0.0]), -1)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        values=st.lists(st.integers(0, 2**48), min_size=1, max_size=300,
+                        unique=True),
+        eps=st.sampled_from([1, 4, 32]),
+    )
+    def test_eps_property(self, values, eps):
+        keys = np.sort(np.asarray(values, dtype=np.uint64))
+        targets = np.arange(len(keys), dtype=np.float64)
+        segments = build_pla_segments(keys, targets, eps)
+        firsts = np.asarray([s.first_key for s in segments], dtype=np.uint64)
+        idx = np.searchsorted(firsts, keys, side="right") - 1
+        for i, key in enumerate(keys):
+            seg = segments[idx[i]]
+            assert abs(seg.predict(int(key)) - targets[i]) <= eps + 1e-6
+
+
+class TestPGMIndex:
+    @pytest.mark.parametrize("dataset", ["books", "fb", "osmc", "wiki"])
+    @pytest.mark.parametrize("eps", [4, 64])
+    def test_matches_oracle(self, small_datasets, mixed_queries, oracle,
+                            dataset, eps):
+        keys = small_datasets[dataset]
+        index = PGMIndex(keys, eps=eps)
+        queries = mixed_queries(keys)
+        got = index.lower_bound_batch(queries)
+        np.testing.assert_array_equal(got, oracle(keys, queries))
+
+    def test_recursion_reaches_single_root(self, books_keys):
+        index = PGMIndex(books_keys, eps=16)
+        assert len(index.levels[-1]) == 1
+        assert index.height >= 1
+
+    def test_smaller_eps_larger_index(self, osmc_keys):
+        small = PGMIndex(osmc_keys, eps=8).size_in_bytes()
+        large = PGMIndex(osmc_keys, eps=512).size_in_bytes()
+        assert small > large
+
+    def test_bounds_width_capped(self, books_keys):
+        """The PGM property the paper contrasts with RMIs: the maximum
+        error is capped, so every lookup interval has bounded width."""
+        index = PGMIndex(books_keys, eps=32)
+        for q in books_keys[::499]:
+            b = index.search_bounds(int(q))
+            assert b.width <= 2 * 32 + 1
+
+    def test_equal_path_lengths(self, books_keys):
+        """Unlike ALEX, every root-to-data path has the same length."""
+        index = PGMIndex(books_keys, eps=16)
+        steps = {index.search_bounds(int(q)).evaluation_steps
+                 for q in books_keys[::997]}
+        assert len(steps) == 1
+
+    def test_invalid_eps(self, books_keys):
+        with pytest.raises(ValueError):
+            PGMIndex(books_keys, eps=0)
+
+    def test_stats(self, books_keys):
+        stats = PGMIndex(books_keys, eps=32).stats()
+        assert stats["name"] == "pgm-index"
+        assert stats["segments_per_level"][-1] == 1

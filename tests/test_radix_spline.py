@@ -1,0 +1,106 @@
+"""Tests for RadixSpline and the greedy spline corridor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.radix_spline import RadixSpline, greedy_spline_corridor
+
+
+def interpolate(xs, ys, q):
+    """Reference linear interpolation between surrounding knots."""
+    idx = int(np.searchsorted(xs, q, side="right"))
+    left = max(idx - 1, 0)
+    right = min(idx, len(xs) - 1)
+    x0, x1 = float(xs[left]), float(xs[right])
+    y0, y1 = float(ys[left]), float(ys[right])
+    if x1 == x0:
+        return y0
+    return y0 + (y1 - y0) * (q - x0) / (x1 - x0)
+
+
+class TestGreedySplineCorridor:
+    def test_error_guarantee(self, books_keys):
+        unique = np.unique(books_keys)
+        targets = np.arange(len(unique), dtype=np.float64)
+        for max_error in (2, 16, 128):
+            xs, ys = greedy_spline_corridor(unique, targets, max_error)
+            sample = unique[::29]
+            truths = np.searchsorted(unique, sample).astype(np.float64)
+            for q, truth in zip(sample, truths):
+                assert abs(interpolate(xs, ys, int(q)) - truth) <= max_error + 1e-6
+
+    def test_knots_are_subset_and_sorted(self, osmc_keys):
+        unique = np.unique(osmc_keys)
+        targets = np.arange(len(unique), dtype=np.float64)
+        xs, ys = greedy_spline_corridor(unique, targets, 32)
+        assert np.all(np.diff(xs.astype(np.float64)) > 0)
+        assert xs[0] == unique[0]
+        assert xs[-1] == unique[-1]
+        assert set(xs.tolist()) <= set(unique.tolist())
+
+    def test_tighter_corridor_more_knots(self, osmc_keys):
+        unique = np.unique(osmc_keys)
+        targets = np.arange(len(unique), dtype=np.float64)
+        tight, _ = greedy_spline_corridor(unique, targets, 2)
+        loose, _ = greedy_spline_corridor(unique, targets, 256)
+        assert len(tight) > len(loose)
+
+    def test_degenerate_inputs(self):
+        xs, ys = greedy_spline_corridor(np.array([], dtype=np.uint64),
+                                        np.array([]), 4)
+        assert len(xs) == 0
+        xs, ys = greedy_spline_corridor(np.array([5], dtype=np.uint64),
+                                        np.array([3.0]), 4)
+        assert list(xs) == [5]
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        values=st.lists(st.integers(0, 2**40), min_size=2, max_size=200,
+                        unique=True),
+        max_error=st.sampled_from([1, 8, 64]),
+    )
+    def test_corridor_property(self, values, max_error):
+        keys = np.sort(np.asarray(values, dtype=np.uint64))
+        targets = np.arange(len(keys), dtype=np.float64)
+        xs, ys = greedy_spline_corridor(keys, targets, max_error)
+        for i, key in enumerate(keys):
+            assert abs(interpolate(xs, ys, int(key)) - targets[i]) <= max_error + 1e-6
+
+
+class TestRadixSpline:
+    @pytest.mark.parametrize("dataset", ["books", "fb", "osmc", "wiki"])
+    def test_matches_oracle(self, small_datasets, mixed_queries, oracle,
+                            dataset):
+        keys = small_datasets[dataset]
+        index = RadixSpline(keys, max_error=16, radix_bits=8)
+        queries = mixed_queries(keys)
+        got = index.lower_bound_batch(queries)
+        np.testing.assert_array_equal(got, oracle(keys, queries))
+
+    def test_radix_table_monotone(self, books_keys):
+        index = RadixSpline(books_keys, max_error=32, radix_bits=10)
+        assert np.all(np.diff(index._table) >= 0)
+
+    def test_interval_width_capped(self, books_keys):
+        index = RadixSpline(books_keys, max_error=24, radix_bits=10)
+        for q in books_keys[::499]:
+            b = index.search_bounds(int(q))
+            assert b.width <= 2 * 24 + 1
+
+    def test_more_radix_bits_bigger_table(self, books_keys):
+        small = RadixSpline(books_keys, max_error=32, radix_bits=6)
+        large = RadixSpline(books_keys, max_error=32, radix_bits=12)
+        assert len(large._table) > len(small._table)
+
+    def test_parameter_validation(self, books_keys):
+        with pytest.raises(ValueError):
+            RadixSpline(books_keys, max_error=0)
+        with pytest.raises(ValueError):
+            RadixSpline(books_keys, radix_bits=0)
+
+    def test_stats(self, books_keys):
+        stats = RadixSpline(books_keys, max_error=32, radix_bits=8).stats()
+        assert stats["name"] == "radix-spline"
+        assert stats["spline_points"] >= 2

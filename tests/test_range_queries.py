@@ -1,0 +1,92 @@
+"""Tests for range-query support across indexes."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BinarySearchIndex,
+    BTreeIndex,
+    PGMIndex,
+    RadixSpline,
+    RMIAsIndex,
+)
+from repro.core.rmi import RMI
+from repro.workload import make_range_workload, run_range_workload
+
+
+def reference_range(keys, low, high):
+    start = int(np.searchsorted(keys, low, side="left"))
+    end = int(np.searchsorted(keys, high, side="left"))
+    return start, end - start
+
+
+class TestRangeQuery:
+    @pytest.mark.parametrize("factory", [
+        lambda k: RMIAsIndex(k, layer2_size=64),
+        lambda k: PGMIndex(k, eps=16),
+        lambda k: RadixSpline(k, max_error=16, radix_bits=8),
+        lambda k: BTreeIndex(k, sparsity=4),
+        lambda k: BinarySearchIndex(k),
+    ])
+    def test_matches_reference(self, osmc_keys, rng, factory):
+        index = factory(osmc_keys)
+        for _ in range(50):
+            i, j = sorted(rng.integers(0, len(osmc_keys), 2))
+            low, high = int(osmc_keys[i]), int(osmc_keys[j])
+            assert index.range_query(low, high) == reference_range(
+                osmc_keys, low, high
+            )
+
+    def test_rmi_range_query(self, books_keys):
+        rmi = RMI(books_keys, layer_sizes=[64])
+        low, high = int(books_keys[100]), int(books_keys[200])
+        start, count = rmi.range_query(low, high)
+        assert start == 100
+        assert count == 100  # keys are unique on books
+
+    def test_empty_range(self, books_keys):
+        rmi = RMI(books_keys, layer_sizes=[64])
+        k = int(books_keys[50])
+        assert rmi.range_query(k, k) == (50, 0)
+
+    def test_invalid_range_rejected(self, books_keys):
+        rmi = RMI(books_keys, layer_sizes=[64])
+        with pytest.raises(ValueError):
+            rmi.range_query(10, 5)
+        with pytest.raises(ValueError):
+            BinarySearchIndex(books_keys).range_query(10, 5)
+
+    def test_duplicates_counted(self, wiki_keys):
+        rmi = RMI(wiki_keys, layer_sizes=[64])
+        dup_pos = int(np.flatnonzero(wiki_keys[1:] == wiki_keys[:-1])[0])
+        key = int(wiki_keys[dup_pos])
+        start, count = rmi.range_query(key, key + 1)
+        assert count >= 2  # the duplicate run is fully counted
+
+
+class TestRangeWorkload:
+    def test_generation_deterministic(self, books_keys):
+        a = make_range_workload(books_keys, num_queries=100, seed=3)
+        b = make_range_workload(books_keys, num_queries=100, seed=3)
+        np.testing.assert_array_equal(a.lows, b.lows)
+        assert a.checksum == b.checksum
+        assert a.num_queries == 100
+
+    def test_expected_counts_nonnegative(self, osmc_keys):
+        wl = make_range_workload(osmc_keys, num_queries=200, seed=4)
+        assert np.all(wl.expected_counts >= 0)
+        assert np.all(wl.lows <= wl.highs)
+
+    def test_run_range_workload(self, books_keys):
+        wl = make_range_workload(books_keys, num_queries=300, seed=5)
+        rmi = RMI(books_keys, layer_sizes=[64])
+        seconds, ok = run_range_workload(rmi, wl)
+        assert ok
+        assert seconds > 0
+        index = BinarySearchIndex(books_keys)
+        seconds, ok = run_range_workload(index, wl)
+        assert ok
+
+    def test_empty_keys_rejected(self):
+        with pytest.raises(ValueError):
+            make_range_workload(np.array([], dtype=np.uint64))

@@ -1,0 +1,125 @@
+"""Tests for outlier detection and the outlier-robust RMI extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analysis import prediction_errors
+from repro.core.rmi import RMI
+from repro.core.robust import OutlierSplit, RobustRMI, detect_outliers
+from repro.data import sosd
+
+
+class TestDetectOutliers:
+    def test_finds_exactly_the_21_fb_outliers(self, fb_keys):
+        split = detect_outliers(fb_keys)
+        assert split.num_high == sosd.FB_NUM_OUTLIERS == 21
+        assert split.num_low == 0
+
+    def test_clean_datasets_have_no_outliers(self, small_datasets):
+        for name in ("books", "wiki"):
+            split = detect_outliers(small_datasets[name])
+            assert split.num_outliers == 0, name
+
+    def test_low_end_outliers(self):
+        body = np.arange(10**9, 10**9 + 50_000, 7, dtype=np.uint64)
+        keys = np.concatenate(([np.uint64(3), np.uint64(14)], body))
+        split = detect_outliers(keys)
+        assert split.num_low == 2
+        assert split.num_high == 0
+
+    def test_both_ends(self):
+        body = np.arange(2**40, 2**40 + 10_000, dtype=np.uint64)
+        keys = np.sort(np.concatenate((
+            [np.uint64(1)], body, [np.uint64(2**62), np.uint64(2**63)]
+        )))
+        split = detect_outliers(keys)
+        assert split.num_low == 1
+        assert split.num_high == 2
+
+    def test_max_fraction_caps_detection(self):
+        # Half the keys are "outliers": the cap must refuse to strip
+        # more than max_fraction per end.
+        keys = np.concatenate([
+            np.arange(1000, dtype=np.uint64),
+            (2**50 + np.arange(1000, dtype=np.uint64) * 2**40),
+        ])
+        split = detect_outliers(np.sort(keys), max_fraction=0.01)
+        assert split.num_outliers <= 0.02 * len(keys) + 2
+
+    def test_tiny_arrays(self):
+        assert detect_outliers(np.array([1], dtype=np.uint64)).num_outliers == 0
+        assert detect_outliers(np.array([1, 2**60], dtype=np.uint64)
+                               ).num_outliers == 0
+
+    def test_split_properties(self):
+        s = OutlierSplit(lo=2, hi=95, n=100)
+        assert s.num_low == 2
+        assert s.num_high == 5
+        assert s.num_outliers == 7
+
+
+class TestRobustRMI:
+    def test_correct_on_fb(self, fb_keys, mixed_queries, oracle):
+        robust = RobustRMI(fb_keys, layer_sizes=[256])
+        queries = mixed_queries(fb_keys)
+        got = robust.lookup_batch(queries)
+        np.testing.assert_array_equal(got, oracle(fb_keys, queries))
+        for q in queries[:60]:
+            assert robust.lookup(int(q)) == oracle(fb_keys, np.array([q]))[0]
+
+    def test_rescues_fb_accuracy(self, fb_keys):
+        """The headline: side-stepping the 21 outliers turns fb from
+        unapproximable into an ordinary dataset (paper Section 6.1's
+        sought-after robust solution)."""
+        plain = RMI(fb_keys, layer_sizes=[256])
+        robust = RobustRMI(fb_keys, layer_sizes=[256])
+        plain_err = float(np.median(prediction_errors(plain)))
+        robust_err = float(np.median(prediction_errors(robust.body)))
+        assert robust_err < plain_err / 10
+
+    def test_noop_on_clean_data(self, books_keys, oracle):
+        robust = RobustRMI(books_keys, layer_sizes=[128])
+        assert robust.split.num_outliers == 0
+        sample = books_keys[::97]
+        np.testing.assert_array_equal(
+            robust.lookup_batch(sample), oracle(books_keys, sample)
+        )
+
+    def test_queries_into_outlier_ranges(self, fb_keys, oracle):
+        robust = RobustRMI(fb_keys, layer_sizes=[64])
+        hi_start = robust.split.hi
+        outliers = fb_keys[hi_start:]
+        probes = np.concatenate([
+            outliers, outliers - np.uint64(1), outliers + np.uint64(1),
+            [np.uint64(2**64 - 1)],
+        ])
+        got = robust.lookup_batch(probes)
+        np.testing.assert_array_equal(got, oracle(fb_keys, probes))
+
+    def test_size_accounting(self, fb_keys):
+        robust = RobustRMI(fb_keys, layer_sizes=[64])
+        assert robust.size_in_bytes() >= robust.body.size_in_bytes()
+        assert "outliers side-stepped" in robust.describe()
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            RobustRMI(np.array([], dtype=np.uint64))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    body=st.lists(st.integers(2**30, 2**34), min_size=10, max_size=200,
+                  unique=True),
+    outliers=st.lists(st.integers(2**55, 2**60), min_size=0, max_size=5,
+                      unique=True),
+)
+def test_robust_rmi_oracle_property(body, outliers):
+    keys = np.sort(np.asarray(body + outliers, dtype=np.uint64))
+    robust = RobustRMI(keys, layer_sizes=[16])
+    queries = np.concatenate([keys, keys + np.uint64(1)])
+    got = robust.lookup_batch(queries)
+    np.testing.assert_array_equal(
+        got, np.searchsorted(keys, queries, side="left")
+    )

@@ -1,0 +1,93 @@
+"""Tests for the SVG plot renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.bench.report import FigureResult
+from repro.bench.svgplot import (
+    PLOT_SPECS,
+    LinePlot,
+    figure_to_svg,
+    plot_figure,
+)
+
+
+def sample_result():
+    r = FigureResult("fig99", "demo", ["dataset", "m", "value"])
+    for ds in ("a", "b"):
+        for m, v in ((16, 100.0), (64, 30.0), (256, 8.0)):
+            r.add(dataset=ds, m=m, value=v * (2 if ds == "b" else 1))
+    return r
+
+
+class TestLinePlot:
+    def test_renders_wellformed_svg(self):
+        p = LinePlot(title="t", x_label="x", y_label="y")
+        p.add_series("s1", [1, 2, 3], [3, 1, 2])
+        svg = p.render()
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+        assert "polyline" in svg
+
+    def test_log_axes_skip_nonpositive(self):
+        p = LinePlot(log_x=True, log_y=True)
+        p.add_series("s", [0, 1, 10, 100], [5, 0, 50, 500])
+        # (0, 5) and (1, 0) dropped: x>0 and y>0 required on log axes.
+        assert len(p.series[0].xs) == 2
+
+    def test_empty_plot_rejected(self):
+        with pytest.raises(ValueError):
+            LinePlot().render()
+
+    def test_series_sorted_by_x(self):
+        p = LinePlot()
+        p.add_series("s", [3, 1, 2], [30, 10, 20])
+        assert p.series[0].xs == [1.0, 2.0, 3.0]
+
+    def test_title_escaped(self):
+        p = LinePlot(title="a < b & c")
+        p.add_series("s", [1, 2], [1, 2])
+        svg = p.render()
+        assert "a &lt; b &amp; c" in svg
+        ET.fromstring(svg)  # must stay parseable
+
+
+class TestFigureToSvg:
+    def test_groups_series(self, tmp_path):
+        path = tmp_path / "demo.svg"
+        svg = figure_to_svg(sample_result(), x="m", y="value",
+                            series_by="dataset", log_x=True, path=path)
+        assert path.exists()
+        assert svg.count("<polyline") == 2
+        ET.fromstring(svg)
+
+    def test_multi_column_grouping(self):
+        r = sample_result()
+        svg = figure_to_svg(r, x="m", y="value",
+                            series_by=["dataset", "m"])
+        # 2 datasets x 3 m values = 6 one-point series.
+        assert svg.count("<polyline") == 6
+
+    def test_plot_specs_reference_real_columns(self):
+        from repro.bench import figures as figmod
+
+        # Every spec's figure id must be a registered experiment.
+        from repro.bench.registry import EXPERIMENTS
+
+        for fid in PLOT_SPECS:
+            assert fid in EXPERIMENTS
+
+    def test_plot_figure_with_spec(self, tmp_path):
+        from repro.bench.figures import fig04_empty_segments
+
+        result = fig04_empty_segments(n=4_000, segment_counts=[16, 64])
+        out = tmp_path / "fig04.svg"
+        svg = plot_figure(result, out)
+        assert svg is not None
+        assert out.exists()
+        ET.fromstring(svg)
+
+    def test_plot_figure_without_spec(self, tmp_path):
+        r = FigureResult("fig02", "no spec", ["a"], [{"a": 1}])
+        assert plot_figure(r, tmp_path / "x.svg") is None

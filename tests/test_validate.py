@@ -1,0 +1,53 @@
+"""Tests for the RMI invariant validator."""
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import LocalAbsoluteBounds
+from repro.core.models import LinearSpline
+from repro.core.rmi import RMI
+from repro.core.validate import validate_rmi
+
+
+class TestValidateRMI:
+    @pytest.mark.parametrize("dataset", ["books", "fb", "osmc", "wiki"])
+    def test_fresh_rmi_validates(self, small_datasets, dataset):
+        rmi = RMI(small_datasets[dataset], layer_sizes=[64])
+        report = validate_rmi(rmi)
+        assert report.ok, str(report)
+        assert all(report.checks.values())
+
+    def test_multilayer_validates(self, books_keys):
+        rmi = RMI(books_keys, layer_sizes=[8, 64],
+                  model_types=("cs", "ls", "lr"))
+        assert validate_rmi(rmi).ok
+
+    def test_nn_root_validates(self, books_keys):
+        rmi = RMI(books_keys, layer_sizes=[16], model_types=("nn", "lr"))
+        report = validate_rmi(rmi)
+        assert report.ok, str(report)
+
+    def test_detects_tampered_bounds(self, books_keys):
+        rmi = RMI(books_keys, layer_sizes=[64], bound_type="labs")
+        assert isinstance(rmi.bounds, LocalAbsoluteBounds)
+        rmi.bounds = LocalAbsoluteBounds(
+            np.zeros_like(rmi.bounds.abs_err)
+        )  # lie: zero error everywhere
+        report = validate_rmi(rmi)
+        assert not report.ok
+        assert not report.checks["bounds contain positions"]
+        assert "outside their error interval" in "\n".join(report.problems)
+
+    def test_detects_tampered_model(self, books_keys):
+        rmi = RMI(books_keys, layer_sizes=[64])
+        rmi.layers[0][0] = LinearSpline(slope=0.0, intercept=0.0)
+        rmi._cache_linear_leaves()
+        report = validate_rmi(rmi)
+        assert not report.ok
+        assert not report.checks["routing consistent"]
+
+    def test_report_rendering(self, books_keys):
+        rmi = RMI(books_keys, layer_sizes=[16])
+        text = str(validate_rmi(rmi))
+        assert "RMI validation: OK" in text
+        assert "[x] keys sorted" in text

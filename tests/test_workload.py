@@ -1,0 +1,120 @@
+"""Tests for workload generation and the measurement runner."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BinarySearchIndex, BTreeIndex, PGMIndex, RMIAsIndex
+from repro.core.rmi import RMI
+from repro.workload import (
+    Workload,
+    make_workload,
+    measure_build,
+    position_checksum,
+    run_workload,
+    trace_sample,
+)
+
+
+class TestWorkloadGeneration:
+    def test_deterministic(self, books_keys):
+        a = make_workload(books_keys, num_lookups=100, seed=5)
+        b = make_workload(books_keys, num_lookups=100, seed=5)
+        np.testing.assert_array_equal(a.queries, b.queries)
+        assert a.checksum == b.checksum
+
+    def test_queries_sampled_from_keys(self, books_keys):
+        wl = make_workload(books_keys, num_lookups=500, seed=1)
+        assert np.isin(wl.queries, books_keys).all()
+        assert wl.num_lookups == 500
+
+    def test_expected_positions_are_lower_bounds(self, osmc_keys):
+        wl = make_workload(osmc_keys, num_lookups=200, seed=2)
+        want = np.searchsorted(osmc_keys, wl.queries, side="left")
+        np.testing.assert_array_equal(wl.expected_positions, want)
+
+    def test_absent_fraction(self, books_keys):
+        wl = make_workload(books_keys, num_lookups=400, seed=3,
+                           include_absent=0.5)
+        present = np.isin(wl.queries, books_keys).sum()
+        assert present < 400  # some absent keys made it in
+
+    def test_zipf_access_is_skewed(self, books_keys):
+        wl = make_workload(books_keys, num_lookups=5_000, seed=9,
+                           access="zipf")
+        _, counts = np.unique(wl.queries, return_counts=True)
+        # Hot keys exist: the most popular key is queried far more
+        # often than under uniform access (expected max ~ a handful).
+        assert counts.max() > 20
+        # And still verifiable against the oracle.
+        want = np.searchsorted(books_keys, wl.queries, side="left")
+        np.testing.assert_array_equal(wl.expected_positions, want)
+
+    def test_zipf_deterministic(self, books_keys):
+        a = make_workload(books_keys, num_lookups=500, seed=3, access="zipf")
+        b = make_workload(books_keys, num_lookups=500, seed=3, access="zipf")
+        np.testing.assert_array_equal(a.queries, b.queries)
+
+    def test_validation(self, books_keys):
+        with pytest.raises(ValueError):
+            make_workload(np.array([], dtype=np.uint64))
+        with pytest.raises(ValueError):
+            make_workload(books_keys, include_absent=2.0)
+        with pytest.raises(ValueError, match="access pattern"):
+            make_workload(books_keys, access="sequentialish")
+
+    def test_checksum(self):
+        assert position_checksum(np.array([1, 2, 3])) == 6
+
+
+class TestRunner:
+    def test_rmi_checksum_ok(self, books_keys):
+        rmi = RMI(books_keys, layer_sizes=[64])
+        wl = make_workload(books_keys, num_lookups=500, seed=4)
+        res = run_workload(rmi, wl, runs=2)
+        assert res.checksum_ok
+        assert res.wall_seconds > 0
+        assert res.estimated_ns_per_lookup > 0
+        assert res.counters.num_lookups > 0
+        assert "rmi[" in res.index_name
+
+    @pytest.mark.parametrize("factory", [
+        lambda k: BinarySearchIndex(k),
+        lambda k: BTreeIndex(k, sparsity=4),
+        lambda k: PGMIndex(k, eps=32),
+        lambda k: RMIAsIndex(k, layer2_size=64),
+    ])
+    def test_baseline_checksums_ok(self, osmc_keys, factory):
+        index = factory(osmc_keys)
+        wl = make_workload(osmc_keys, num_lookups=300, seed=6)
+        res = run_workload(index, wl, runs=1)
+        assert res.checksum_ok
+
+    def test_estimated_split_sums(self, books_keys):
+        rmi = RMI(books_keys, layer_sizes=[64])
+        wl = make_workload(books_keys, num_lookups=200, seed=7)
+        res = run_workload(rmi, wl, runs=1)
+        assert res.estimated_ns_per_lookup == pytest.approx(
+            res.estimated_eval_ns + res.estimated_search_ns
+        )
+
+    def test_trace_sample_counts(self, books_keys):
+        rmi = RMI(books_keys, layer_sizes=[64])
+        wl = make_workload(books_keys, num_lookups=1000, seed=8)
+        counters = trace_sample(rmi, wl.queries, sample=64)
+        assert counters.num_lookups <= 65
+        assert counters.mean_evaluation_steps == 2.0  # two-layer RMI
+
+    def test_measure_build(self, books_keys):
+        index, seconds = measure_build(
+            lambda: BTreeIndex(books_keys, sparsity=8), runs=2
+        )
+        assert seconds > 0
+        assert index.n == len(books_keys)
+
+    def test_wall_ns_per_lookup(self):
+        res_fields = Workload(
+            queries=np.array([1], dtype=np.uint64),
+            expected_positions=np.array([0]),
+            seed=0,
+        )
+        assert res_fields.num_lookups == 1
