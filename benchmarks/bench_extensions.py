@@ -70,7 +70,7 @@ def test_fast_batch_lookup(benchmark, books):
     index = FASTIndex(books, sparsity=4)
     rng = np.random.default_rng(BENCH_SEED)
     queries = books[rng.integers(0, len(books), 5_000)]
-    got = benchmark(lambda: index.lower_bound_batch(queries))
+    got = benchmark(lambda: index.lookup_batch(queries))
     np.testing.assert_array_equal(
         got, np.searchsorted(books, queries, side="left")
     )

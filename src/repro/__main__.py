@@ -72,12 +72,12 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         except UnsupportedDataError as exc:
             print(f"{name}: skipped ({exc})")
             continue
-        res = run_workload(index, wl, runs=1)
+        res = run_workload(index, wl, runs=1, chunk_size=args.chunk_size)
         rows.append({
             "index": name,
             "size": format_bytes(res.index_bytes),
             "est lookup": format_ns(res.estimated_ns_per_lookup),
-            "checksum": "ok" if res.checksum_ok else "WRONG",
+            "checksum": "ok" if res.valid else "WRONG",
         })
     print(render_table(["index", "size", "est lookup", "checksum"], rows))
     return 0
@@ -127,6 +127,8 @@ def main(argv: list[str] | None = None) -> int:
     compare.add_argument("--n", type=int, default=100_000)
     compare.add_argument("--seed", type=int, default=42)
     compare.add_argument("--lookups", type=int, default=5_000)
+    compare.add_argument("--chunk-size", type=int, default=None,
+                         help="split the batch lookup path into chunks")
     compare.set_defaults(func=_cmd_compare)
 
     rec = sub.add_parser("recommend",

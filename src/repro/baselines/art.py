@@ -29,6 +29,7 @@ from typing import Any
 
 import numpy as np
 
+from ..core.search import batch_lower_bound_window
 from .interfaces import OrderedIndex, SearchBounds, UnsupportedDataError
 
 __all__ = ["ARTIndex"]
@@ -91,6 +92,7 @@ class ARTIndex(OrderedIndex):
         self.sparsity = sparsity
         self._positions = np.arange(0, self.n, sparsity, dtype=np.int64)
         sampled = self.keys[self._positions]
+        self._sampled_keys = sampled
         # Big-endian byte matrix: column d is the d-th most significant
         # byte, so lexicographic byte order equals numeric order.
         self._bytes = (
@@ -196,6 +198,30 @@ class ARTIndex(OrderedIndex):
         # lower bound lies in the gap since the previous sampled key.
         lo = max(pos - (self.sparsity - 1), 0)
         return SearchBounds(lo=lo, hi=pos, hint=pos, evaluation_steps=steps[0])
+
+    def lookup_batch(self, queries: np.ndarray) -> np.ndarray:
+        """Vectorized lookup over the bulk-loaded key sample.
+
+        The trie's leaves enumerate the sampled keys in sorted order,
+        so the batch path amortizes the byte-wise descent into a single
+        ``searchsorted`` over that directory (batch result identical to
+        the per-query trie walk; the conformance suite cross-checks).
+        Covers the bulk-loaded positional contract only -- keys added
+        via :meth:`insert` extend the trie for :meth:`lower_bound_key`,
+        not the positional array this answers over.
+        """
+        q = np.asarray(queries, dtype=np.uint64)
+        idx = np.searchsorted(self._sampled_keys, q, side="left")
+        found = idx < len(self._sampled_keys)
+        safe = np.clip(idx, 0, len(self._positions) - 1)
+        pos = self._positions[safe]
+        hi = np.where(found, pos, self.n - 1)
+        lo = np.where(
+            found,
+            np.maximum(pos - (self.sparsity - 1), 0),
+            int(self._positions[-1]),
+        )
+        return batch_lower_bound_window(self.keys, q, lo, hi)
 
     # ------------------------------------------------------------------
     # Inserts (the adaptive part of the Adaptive Radix Tree)

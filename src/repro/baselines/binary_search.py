@@ -27,7 +27,7 @@ class BinarySearchIndex(OrderedIndex):
     def lower_bound(self, key: int) -> int:
         return binary_search(self.keys, int(key), 0, self.n - 1).position
 
-    def lower_bound_batch(self, queries: np.ndarray) -> np.ndarray:
+    def lookup_batch(self, queries: np.ndarray) -> np.ndarray:
         return np.searchsorted(
             self.keys, np.asarray(queries, dtype=np.uint64), side="left"
         ).astype(np.int64)

@@ -24,6 +24,7 @@ from typing import Any
 
 import numpy as np
 
+from ..core.search import batch_lower_bound_window
 from .interfaces import OrderedIndex, SearchBounds
 
 __all__ = ["BulkLoadedBPlusTree", "BTreeIndex"]
@@ -243,8 +244,9 @@ class BTreeIndex(OrderedIndex):
         self.fanout = fanout
         positions = np.arange(0, self.n, sparsity, dtype=np.int64)
         self._positions = positions
+        self._sampled_keys = self.keys[positions]
         self._tree = BulkLoadedBPlusTree(
-            self.keys[positions], positions, fanout=fanout
+            self._sampled_keys, positions, fanout=fanout
         )
 
     def search_bounds(self, key: int) -> SearchBounds:
@@ -260,6 +262,32 @@ class BTreeIndex(OrderedIndex):
         else:
             hi = self.n - 1
         return SearchBounds(lo=lo, hi=hi, hint=lo, evaluation_steps=steps)
+
+    def lookup_batch(self, queries: np.ndarray) -> np.ndarray:
+        """Vectorized lookup over the flattened leaf directory.
+
+        Bulk loading packs the sampled ``(key, position)`` entries into
+        leaves in order, so the leaf level as a whole *is* the sorted
+        sampled-key array: a batched predecessor query over it yields
+        the same gap the node-by-node descent finds, with the tree
+        traversal amortized into one vectorized ``searchsorted`` (what
+        a SIMD-batched B-tree achieves within nodes).  The data-page
+        scan then runs as a window-restricted batch binary search.
+        """
+        q = np.asarray(queries, dtype=np.uint64)
+        entry = np.searchsorted(self._sampled_keys, q, side="right") - 1
+        found = entry >= 0
+        safe = np.clip(entry, 0, len(self._positions) - 1)
+        lo = np.where(found, self._positions[safe], 0)
+        nxt = safe + 1
+        has_next = nxt < len(self._positions)
+        hi = np.where(
+            has_next, self._positions[np.clip(nxt, 0, len(self._positions) - 1)],
+            self.n - 1,
+        )
+        # Queries preceding every indexed key search the first gap.
+        hi = np.where(found, hi, int(self._positions[0]))
+        return batch_lower_bound_window(self.keys, q, lo, hi)
 
     def size_in_bytes(self) -> int:
         return self._tree.size_in_bytes()

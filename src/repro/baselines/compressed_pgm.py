@@ -75,13 +75,13 @@ class CompressedPGMIndex(PGMIndex):
             evaluation_steps=b.evaluation_steps,
         )
 
-    def lower_bound_batch(self, queries: np.ndarray) -> np.ndarray:
+    def lookup_batch(self, queries: np.ndarray) -> np.ndarray:
         # The vectorized PGM path uses self.eps for the bottom window;
         # temporarily widening keeps it correct without duplication.
         original = self.eps
         try:
             self.eps = self._effective_eps
-            return super().lower_bound_batch(queries)
+            return super().lookup_batch(queries)
         finally:
             self.eps = original
 

@@ -20,6 +20,10 @@ Operations:
   its PGM (so lookups exercise the learned structure, not plain binary
   search).
 * ``contains(key)`` -- membership with the same semantics.
+* ``lower_bound_batch(queries)`` / ``contains_batch(queries)`` --
+  vectorized variants answering a whole query array against a merged
+  snapshot of the live keys (cached between updates), the batch
+  execution path the workload runner drives.
 
 This is a set-of-keys index (like the rest of the repository); payloads
 would ride along the key arrays unchanged.
@@ -82,6 +86,9 @@ class DynamicPGMIndex:
         self._buffer_ops: list[np.int8] = []
         #: Runs ordered newest (index 0) to oldest.
         self._runs: list[_Run] = []
+        #: Merged sorted live-key snapshot for batch queries; rebuilt
+        #: lazily after any update.
+        self._snapshot: np.ndarray | None = None
         initial = np.unique(np.asarray(list(keys), dtype=np.uint64))
         if len(initial):
             self._runs.append(
@@ -101,6 +108,7 @@ class DynamicPGMIndex:
         self._push(int(key), _TOMBSTONE)
 
     def _push(self, key: int, op: np.int8) -> None:
+        self._snapshot = None  # any update invalidates the batch view
         # Same-key updates within the buffer: newest wins immediately.
         try:
             pos = self._buffer_keys.index(key)
@@ -215,6 +223,60 @@ class DynamicPGMIndex:
                 if pos < len(run.keys):
                     next_cursors.append([run, pos])
             cursors = next_cursors
+
+    def _live_keys(self) -> np.ndarray:
+        """Sorted array of currently live keys (cached between updates).
+
+        Newest-wins merge of the buffer and all runs: entries are
+        concatenated newest-first, stably sorted by key, and only the
+        first (newest) entry per key survives -- the vectorized
+        generalization of :meth:`_merge_runs` across every level at
+        once.  Tombstoned keys are then dropped.
+        """
+        if self._snapshot is None:
+            keys = np.concatenate(
+                [np.asarray(self._buffer_keys, dtype=np.uint64)]
+                + [r.keys for r in self._runs]
+            )
+            ops = np.concatenate(
+                [np.asarray(self._buffer_ops, dtype=np.int8)]
+                + [r.ops for r in self._runs]
+            )
+            order = np.argsort(keys, kind="stable")
+            keys, ops = keys[order], ops[order]
+            first = np.ones(len(keys), dtype=bool)
+            first[1:] = keys[1:] != keys[:-1]
+            live = first & (ops == _INSERT)
+            self._snapshot = keys[live]
+        return self._snapshot
+
+    def lower_bound_batch(
+        self, queries: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`lower_bound`: ``(keys, found)`` arrays.
+
+        ``keys[i]`` is the smallest live key >= ``queries[i]`` wherever
+        ``found[i]`` is true (and 0 where false -- the scalar method's
+        ``None``).  One ``searchsorted`` over the merged snapshot
+        replaces the per-query multi-run cursor walk.
+        """
+        live = self._live_keys()
+        q = np.asarray(queries, dtype=np.uint64)
+        pos = np.searchsorted(live, q, side="left")
+        found = pos < len(live)
+        out = np.zeros(len(q), dtype=np.uint64)
+        out[found] = live[pos[found]]
+        return out, found
+
+    def contains_batch(self, queries: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`contains` over the merged live snapshot."""
+        live = self._live_keys()
+        q = np.asarray(queries, dtype=np.uint64)
+        pos = np.clip(np.searchsorted(live, q, side="left"), 0,
+                      max(len(live) - 1, 0))
+        if not len(live):
+            return np.zeros(len(q), dtype=bool)
+        return live[pos] == q
 
     def __len__(self) -> int:
         """Number of live keys (O(n): walks all runs)."""

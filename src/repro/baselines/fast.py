@@ -24,6 +24,7 @@ from typing import Any
 
 import numpy as np
 
+from ..core.search import batch_lower_bound_window
 from .interfaces import OrderedIndex, SearchBounds
 
 __all__ = ["FASTIndex"]
@@ -116,7 +117,7 @@ class FASTIndex(OrderedIndex):
         lo = max(pos - (self.sparsity - 1), 0)
         return SearchBounds(lo=lo, hi=pos, hint=pos, evaluation_steps=steps)
 
-    def lower_bound_batch(self, queries: np.ndarray) -> np.ndarray:
+    def lookup_batch(self, queries: np.ndarray) -> np.ndarray:
         """Vectorized traversal: all queries descend in lock-step."""
         q = np.asarray(queries, dtype=np.uint64)
         size = len(self._tree_keys)
@@ -143,17 +144,7 @@ class FASTIndex(OrderedIndex):
         if valid.any():
             hi = pos[valid]
             lo = np.maximum(hi - (self.sparsity - 1), 0)
-            from ..core.search import batch_binary_search
-
-            res = batch_binary_search(self.keys, q[valid], lo, hi)
-            # Repair duplicate runs crossing the gap edge.
-            bad = (res == lo) & (lo > 0) & (
-                self.keys[np.maximum(lo - 1, 0)] >= q[valid]
-            )
-            if bad.any():
-                fixed = np.searchsorted(self.keys, q[valid][bad], side="left")
-                res[bad] = fixed
-            out[valid] = res
+            out[valid] = batch_lower_bound_window(self.keys, q[valid], lo, hi)
         return out
 
     def size_in_bytes(self) -> int:

@@ -27,6 +27,7 @@ from typing import Any
 
 import numpy as np
 
+from ..core.search import batch_lower_bound_window
 from .btree import BulkLoadedBPlusTree
 from .interfaces import OrderedIndex, SearchBounds
 from .pgm import build_pla_segments
@@ -80,6 +81,25 @@ class FITingTree(OrderedIndex):
         lo = max(center - self.error, 0)
         hi = min(center + self.error, self.n - 1)
         return SearchBounds(lo=lo, hi=hi, hint=center, evaluation_steps=steps + 1)
+
+    def lookup_batch(self, queries: np.ndarray) -> np.ndarray:
+        """Vectorized lookup: route all queries to their segment with
+        one predecessor ``searchsorted`` over the segment table (the
+        directory the B+-tree indexes), interpolate every estimate,
+        and finish with a window-restricted batch binary search."""
+        q = np.asarray(queries, dtype=np.uint64)
+        seg = np.searchsorted(self._first_keys, q, side="right") - 1
+        before = seg < 0  # query precedes every segment
+        seg = np.clip(seg, 0, len(self._first_keys) - 1)
+        estimate = self._first_values[seg] + self._slopes[seg] * (
+            q.astype(np.float64) - self._first_keys[seg].astype(np.float64)
+        )
+        center = np.clip(np.nan_to_num(estimate), 0, self.n - 1).astype(np.int64)
+        lo = np.maximum(center - self.error, 0)
+        hi = np.minimum(center + self.error, self.n - 1)
+        lo[before] = 0
+        hi[before] = 0
+        return batch_lower_bound_window(self.keys, q, lo, hi)
 
     def size_in_bytes(self) -> int:
         """Segment table (24 B per segment) plus the B+-tree directory."""

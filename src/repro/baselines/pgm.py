@@ -34,7 +34,7 @@ from typing import Any
 
 import numpy as np
 
-from ..core.search import batch_binary_search
+from ..core.search import batch_binary_search, batch_lower_bound_window
 from .interfaces import OrderedIndex, SearchBounds
 
 __all__ = ["PGMIndex", "build_pla_segments", "PlaSegment"]
@@ -72,16 +72,18 @@ def build_pla_segments(
     if n == 0:
         return []
     segments: list[PlaSegment] = []
-    x0 = float(keys[0])
     y0 = float(values[0])
     k0 = int(keys[0])
     slope_lo = -np.inf
     slope_hi = np.inf
     for i in range(1, n):
-        x = float(keys[i])
+        ki = int(keys[i])
         y = float(values[i])
-        dx = x - x0
-        if dx <= 0:
+        # Subtract in exact integer space: near 2**64 adjacent keys
+        # collapse to the same float64 (the ULP there is 4096), which
+        # would make strictly increasing keys look equal.
+        dx = float(ki - k0)
+        if ki <= k0:
             raise ValueError("keys must be strictly increasing for PLA")
         lo = (y - eps - y0) / dx
         hi = (y + eps - y0) / dx
@@ -90,7 +92,7 @@ def build_pla_segments(
         if new_lo > new_hi:
             # Cone emptied: close the current segment, start a new one.
             segments.append(PlaSegment(k0, _pick_slope(slope_lo, slope_hi), y0))
-            x0, y0, k0 = x, y, int(keys[i])
+            y0, k0 = y, ki
             slope_lo, slope_hi = -np.inf, np.inf
         else:
             slope_lo, slope_hi = new_lo, new_hi
@@ -205,7 +207,7 @@ class PGMIndex(OrderedIndex):
         # key; clamp for queries preceding the whole key space.
         return max(idx, 0)
 
-    def lower_bound_batch(self, queries: np.ndarray) -> np.ndarray:
+    def lookup_batch(self, queries: np.ndarray) -> np.ndarray:
         """Vectorized lookup: descend all levels for the whole batch.
 
         Each level performs the same ±eps_internal window search as the
@@ -238,15 +240,7 @@ class PGMIndex(OrderedIndex):
         center = np.clip(np.nan_to_num(pred), 0, self.n - 1).astype(np.int64)
         lo = np.maximum(center - self.eps, 0)
         hi = np.minimum(center + self.eps, self.n - 1)
-        out = batch_binary_search(self.keys, q, lo, hi)
-        bad_left = (out == lo) & (lo > 0) & (
-            self.keys[np.maximum(lo - 1, 0)] >= q
-        )
-        bad_right = (out == hi + 1) & (hi + 1 < self.n)
-        bad = bad_left | bad_right
-        if bad.any():
-            out[bad] = np.searchsorted(self.keys, q[bad], side="left")
-        return out
+        return batch_lower_bound_window(self.keys, q, lo, hi)
 
     def size_in_bytes(self) -> int:
         return sum(len(level) for level in self.levels) * SEGMENT_BYTES

@@ -22,7 +22,7 @@ from typing import Any
 
 import numpy as np
 
-from ..core.search import batch_binary_search
+from ..core.search import batch_lower_bound_window
 from .interfaces import OrderedIndex, SearchBounds
 
 __all__ = ["RadixSpline", "greedy_spline_corridor"]
@@ -165,7 +165,7 @@ class RadixSpline(OrderedIndex):
         hi = min(center + self.max_error, self.n - 1)
         return SearchBounds(lo=lo, hi=hi, hint=center, evaluation_steps=steps)
 
-    def lower_bound_batch(self, queries: np.ndarray) -> np.ndarray:
+    def lookup_batch(self, queries: np.ndarray) -> np.ndarray:
         """Vectorized lookup: interpolate all estimates, then perform a
         window-restricted batch binary search (same per-query work as
         the scalar path, amortized across the batch)."""
@@ -183,15 +183,7 @@ class RadixSpline(OrderedIndex):
         center = np.clip(y0 + (y1 - y0) * frac, 0, self.n - 1).astype(np.int64)
         lo = np.maximum(center - self.max_error, 0)
         hi = np.minimum(center + self.max_error, self.n - 1)
-        out = batch_binary_search(self.keys, q, lo, hi)
-        bad_left = (out == lo) & (lo > 0) & (
-            self.keys[np.maximum(lo - 1, 0)] >= q
-        )
-        bad_right = (out == hi + 1) & (hi + 1 < self.n)
-        bad = bad_left | bad_right
-        if bad.any():
-            out[bad] = np.searchsorted(self.keys, q[bad], side="left")
-        return out
+        return batch_lower_bound_window(self.keys, q, lo, hi)
 
     def size_in_bytes(self) -> int:
         """Spline knots (16 B each) plus the radix table (8 B slots)."""

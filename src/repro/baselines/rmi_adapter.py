@@ -44,7 +44,7 @@ class RMIAsIndex(OrderedIndex):
             evaluation_steps=len(self.rmi.layer_sizes),
         )
 
-    def lower_bound_batch(self, queries: np.ndarray) -> np.ndarray:
+    def lookup_batch(self, queries: np.ndarray) -> np.ndarray:
         return self.rmi.lookup_batch(np.asarray(queries, dtype=np.uint64))
 
     def size_in_bytes(self) -> int:

@@ -84,7 +84,7 @@ def ext_multilayer(
                 median_err=float(np.median(prediction_errors(rmi))),
                 est_ns=round(res.estimated_ns_per_lookup, 1),
                 build_s=round(rmi.build_stats.total_seconds, 6),
-                checksum_ok=res.checksum_ok,
+                checksum_ok=res.valid,
             )
     result.note("a third layer re-segments each segment, paying one "
                 "extra evaluation per lookup; it pays off only when the "
@@ -117,7 +117,7 @@ def ext_robust(
     base = run_workload(BinarySearchIndex(keys), wl, runs=1, cost_model=cm)
     result.add(variant="binary-search", index_bytes=0, median_err=0.0,
                est_ns=round(base.estimated_ns_per_lookup, 1),
-               checksum_ok=base.checksum_ok)
+               checksum_ok=base.valid)
 
     plain = RMI(keys, layer_sizes=[layer2])
     res = run_workload(plain, wl, runs=1, cost_model=cm)
@@ -125,7 +125,7 @@ def ext_robust(
                index_bytes=plain.size_in_bytes(),
                median_err=float(np.median(prediction_errors(plain))),
                est_ns=round(res.estimated_ns_per_lookup, 1),
-               checksum_ok=res.checksum_ok)
+               checksum_ok=res.valid)
 
     robust = RobustRMI(keys, layer_sizes=[layer2])
     res = run_workload(robust.body,
@@ -296,7 +296,7 @@ def ext_baselines(
                 index=index.name,
                 index_bytes=index.size_in_bytes(),
                 est_ns=round(res.estimated_ns_per_lookup, 1),
-                checksum_ok=res.checksum_ok,
+                checksum_ok=res.valid,
             )
     result.note("compressed PGM trades a wider window for ~1/3 smaller "
                 "segments; FITing-tree behaves like an eps-capped "
@@ -392,7 +392,7 @@ def ext_distributions(
             dataset=name,
             median_err=float(np.median(prediction_errors(rmi))),
             est_ns=round(res.estimated_ns_per_lookup, 1),
-            checksum_ok=res.checksum_ok,
+            checksum_ok=res.valid,
         )
     result.note("statistical distributions are uniformly easy -- the "
                 "reason the paper evaluates on real-world data (§4.3)")

@@ -340,7 +340,7 @@ def _rmi_lookup_row(
         "eval_ns": round(res.estimated_eval_ns, 1),
         "search_ns": round(res.estimated_search_ns, 1),
         "wall_ns": round(res.wall_ns_per_lookup, 0),
-        "checksum_ok": res.checksum_ok,
+        "checksum_ok": res.valid,
     }
 
 
@@ -372,7 +372,7 @@ def fig08_lookup_models(
                    index_bytes=0,
                    est_ns=round(bs.estimated_ns_per_lookup, 1),
                    wall_ns=round(bs.wall_ns_per_lookup, 0),
-                   checksum_ok=bs.checksum_ok)
+                   checksum_ok=bs.valid)
         for root in roots:
             for leaf in leaves:
                 for m in counts:
@@ -478,7 +478,7 @@ def fig10_search_algorithms(
                         index_bytes=rmi.size_in_bytes(),
                         est_ns=round(res.estimated_ns_per_lookup, 1),
                         mean_comparisons=round(res.counters.mean_comparisons, 1),
-                        checksum_ok=res.checksum_ok,
+                        checksum_ok=res.valid,
                     )
     result.note("MExp overtakes Bin once predictions are accurate (books, "
                 "wiki, larger sizes); Bin stays best on osmc (Section 6.3)")
@@ -626,7 +626,7 @@ def fig12_index_comparison(
                     eval_ns=round(res.estimated_eval_ns, 1),
                     search_ns=round(res.estimated_search_ns, 1),
                     wall_ns=round(res.wall_ns_per_lookup, 0),
-                    checksum_ok=res.checksum_ok,
+                    checksum_ok=res.valid,
                 )
     return result
 

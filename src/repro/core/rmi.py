@@ -37,7 +37,7 @@ import numpy as np
 
 from .bounds import ErrorBounds, NoBounds, compute_bounds, resolve_bound_type
 from .models import ConstantModel, CubicSpline, Model, resolve_model_type
-from .search import batch_binary_search, resolve_search_algorithm
+from .search import batch_lower_bound_window, resolve_search_algorithm
 
 __all__ = ["RMI", "BuildStats", "LookupTrace", "build_rmi_layers"]
 
@@ -426,15 +426,24 @@ class RMI:
         lo, hi = self.bounds.intervals(preds, model_ids)
         lo = np.clip(lo, 0, self.n - 1)
         hi = np.clip(hi, 0, self.n - 1)
-        out = batch_binary_search(self.keys, queries, lo, hi)
-        # Repair misses that escaped their interval (absent keys or
-        # duplicate runs crossing the interval edge).
-        bad_left = (out == lo) & (lo > 0) & (self.keys[np.maximum(lo - 1, 0)] >= queries)
-        bad_right = (out == hi + 1) & (hi + 1 < self.n)
-        bad = bad_left | bad_right
-        if bad.any():
-            out[bad] = np.searchsorted(self.keys, queries[bad], side="left")
-        return out
+        # The shared completion repairs misses that escaped their
+        # interval (absent keys or duplicate runs crossing the edge),
+        # the batch counterpart of _escape_interval.
+        return batch_lower_bound_window(self.keys, queries, lo, hi)
+
+    def range_query_batch(
+        self, lows: np.ndarray, highs: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`range_query`: ``(start positions, counts)``."""
+        lows = np.asarray(lows, dtype=np.uint64)
+        highs = np.asarray(highs, dtype=np.uint64)
+        if len(lows) != len(highs):
+            raise ValueError("range_query_batch needs equal-length bounds")
+        if np.any(highs < lows):
+            raise ValueError("range_query_batch requires low <= high")
+        starts = self.lookup_batch(lows)
+        ends = self.lookup_batch(highs)
+        return starts, ends - starts
 
     # ------------------------------------------------------------------
     # Introspection

@@ -50,6 +50,7 @@ __all__ = [
     "resolve_search_algorithm",
     "batch_binary_search",
     "batch_exponential_search",
+    "batch_lower_bound_window",
     "expected_comparisons",
 ]
 
@@ -365,6 +366,41 @@ def batch_exponential_search(
     result = batch_binary_search(keys, queries, np.maximum(blo, 0), bhi)
     # Exact hit at the probe position for overestimates that never moved.
     return result
+
+
+def batch_lower_bound_window(
+    keys: np.ndarray,
+    queries: np.ndarray,
+    lo: np.ndarray,
+    hi: np.ndarray,
+) -> np.ndarray:
+    """Window-restricted batch lower bound with interval-escape repair.
+
+    The shared completion step of every index's batch lookup path:
+    binary search each query inside its candidate window ``[lo, hi]``
+    (inclusive, already clamped to the array), then repair the rare
+    escapes -- a result pinned to the window's left edge while the key
+    left of the window still satisfies the query (duplicate runs or
+    absent keys spilling left), or a result one past the window's right
+    edge (everything inside was smaller).  Escaped queries fall back to
+    an unrestricted ``searchsorted``, exactly like the scalar
+    interval-escape repair in ``OrderedIndex.lower_bound`` and
+    ``RMI._escape_interval``, so the result always equals
+    ``np.searchsorted(keys, queries, side="left")``.
+    """
+    queries = np.asarray(queries, dtype=keys.dtype)
+    lo = np.asarray(lo, dtype=np.int64)
+    hi = np.asarray(hi, dtype=np.int64)
+    n = len(keys)
+    out = batch_binary_search(keys, queries, lo, hi)
+    bad_left = (out == lo) & (lo > 0) & (
+        keys[np.maximum(lo - 1, 0)] >= queries
+    )
+    bad_right = (out == hi + 1) & (hi + 1 < n)
+    bad = bad_left | bad_right
+    if bad.any():
+        out[bad] = np.searchsorted(keys, queries[bad], side="left")
+    return out
 
 
 def expected_comparisons(interval_sizes: np.ndarray, algorithm: str) -> np.ndarray:

@@ -11,6 +11,8 @@ from .generator import (
 )
 from .runner import (
     WorkloadResult,
+    crosscheck_scalar,
+    execute_lookup_batch,
     measure_build,
     run_range_workload,
     run_workload,
@@ -24,6 +26,8 @@ __all__ = [
     "RangeWorkload",
     "make_range_workload",
     "WorkloadResult",
+    "execute_lookup_batch",
+    "crosscheck_scalar",
     "run_workload",
     "run_range_workload",
     "measure_build",

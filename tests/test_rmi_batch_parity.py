@@ -1,0 +1,111 @@
+"""Regression: ``RMI.lookup_batch`` is pinned to ``RMI.lookup``.
+
+The scalar path repairs interval-escaping misses in
+``RMI._escape_interval``; the batch path routes the same repair through
+``batch_lower_bound_window``.  These tests pin the two paths to each
+other (and to the searchsorted oracle) on exactly the inputs where the
+repair logic fires: empty second-layer segments, keys on segment
+boundaries, absent keys under tight error bounds, and duplicate runs
+crossing interval edges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.rmi import RMI
+
+from .conftest import lower_bound_oracle
+
+
+def assert_parity(rmi: RMI, queries: np.ndarray) -> None:
+    queries = np.asarray(queries, dtype=np.uint64)
+    batch = rmi.lookup_batch(queries)
+    scalar = np.array([rmi.lookup(int(q)) for q in queries], dtype=np.int64)
+    np.testing.assert_array_equal(batch, scalar)
+    np.testing.assert_array_equal(
+        batch, lower_bound_oracle(rmi.keys, queries)
+    )
+
+
+def boundary_queries(keys: np.ndarray) -> np.ndarray:
+    """Present keys, their +-1 neighbours, and the domain extremes."""
+    keys = np.asarray(keys, dtype=np.uint64)
+    return np.concatenate([
+        keys,
+        np.minimum(keys, np.uint64(2**64 - 2)) + np.uint64(1),
+        np.maximum(keys, np.uint64(1)) - np.uint64(1),
+        np.array([0, 2**63, 2**64 - 1], dtype=np.uint64),
+    ])
+
+
+class TestEmptySegments:
+    def test_more_models_than_keys(self):
+        """Most leaf models own zero keys (ConstantModel(0) leaves)."""
+        keys = np.array([3, 9, 27, 81, 243], dtype=np.uint64)
+        rmi = RMI(keys, layer_sizes=[64])
+        assert_parity(rmi, boundary_queries(keys))
+
+    def test_clustered_keys_leave_gaps(self):
+        """Two far-apart clusters leave a band of empty mid segments."""
+        keys = np.concatenate([
+            np.arange(10**6, 10**6 + 300, dtype=np.uint64),
+            np.arange(2**50, 2**50 + 300, dtype=np.uint64),
+        ])
+        rmi = RMI(keys, layer_sizes=[128])
+        queries = np.concatenate([
+            boundary_queries(keys[::17]),
+            # Probe the empty middle of the key space.
+            np.linspace(10**6 + 400, 2**50 - 1, 200).astype(np.uint64),
+        ])
+        assert_parity(rmi, queries)
+
+    @pytest.mark.parametrize("bound_type", ["labs", "lind", "gabs", "gind", "nb"])
+    def test_empty_segments_under_every_bound_type(self, bound_type):
+        keys = (np.arange(40, dtype=np.uint64) ** 3) * np.uint64(7) + np.uint64(5)
+        rmi = RMI(keys, layer_sizes=[256], bound_type=bound_type)
+        assert_parity(rmi, boundary_queries(keys))
+
+
+class TestBoundaryKeys:
+    def test_segment_boundary_neighbours(self, books_keys):
+        """Queries hugging leaf-segment boundaries exercise the escape
+        repair: the true lower bound of an absent key can sit one
+        segment to the left of where the model routes it."""
+        rmi = RMI(books_keys, layer_sizes=[128])
+        ids = rmi.leaf_model_ids
+        # First key of every populated segment, plus its neighbours.
+        firsts = np.flatnonzero(np.diff(ids) > 0) + 1
+        anchors = books_keys[firsts]
+        assert_parity(rmi, boundary_queries(anchors))
+
+    def test_duplicate_runs_crossing_intervals(self):
+        """A duplicate run wider than the error interval forces the
+        left-escape branch (result pinned at the window edge with
+        keys[lo-1] >= q)."""
+        keys = np.sort(np.concatenate([
+            np.repeat(np.array([10**4, 10**7, 2**33], dtype=np.uint64), 400),
+            np.arange(10**5, 10**5 + 200, dtype=np.uint64),
+        ]))
+        rmi = RMI(keys, layer_sizes=[64])
+        assert_parity(rmi, boundary_queries(np.unique(keys)))
+
+    def test_absent_keys_under_tight_bounds(self, fb_keys):
+        """fb's outliers make leaf models wildly wrong for absent keys,
+        so misses routinely escape their stored interval on both
+        sides."""
+        rmi = RMI(fb_keys, layer_sizes=[64])
+        rng = np.random.default_rng(31337)
+        absent = rng.integers(0, 2**64, 500, dtype=np.uint64)
+        assert_parity(rmi, np.concatenate([absent, boundary_queries(fb_keys[::97])]))
+
+    def test_first_and_last_key_windows(self, osmc_keys):
+        """Queries outside the key span clamp to interval ends, the
+        boundary case of the right-escape condition (hi + 1 == n)."""
+        rmi = RMI(osmc_keys, layer_sizes=[128])
+        lo, hi = int(osmc_keys[0]), int(osmc_keys[-1])
+        queries = np.array([
+            0, 1, lo - 1, lo, lo + 1, hi - 1, hi, hi + 1, 2**64 - 1
+        ], dtype=np.uint64)
+        assert_parity(rmi, queries)
