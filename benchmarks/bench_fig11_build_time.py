@@ -26,6 +26,20 @@ def test_build_per_bound_type(benchmark, books, bounds):
     assert rmi.bounds.abbreviation == bounds
 
 
+@pytest.mark.parametrize("grouped_fit", [True, False],
+                         ids=["grouped", "per-segment"])
+def test_build_fit_path_ablation(benchmark, books, grouped_fit):
+    """Grouped closed-form leaf fit vs the per-segment reference loop.
+
+    Compare the two benchmark rows: grouped should win by >5x at this
+    scale (CI pins the floor via ``python -m repro.bench build``)."""
+    cfg = RMIConfig(layer_sizes=(SEGMENTS,), bound_type="labs",
+                    grouped_fit=grouped_fit)
+    rmi = benchmark(lambda: cfg.build(books))
+    expected = "grouped" if grouped_fit else "per_segment"
+    assert rmi.build_stats.fit_path == expected
+
+
 @pytest.mark.parametrize("copy_keys", [False, True],
                          ids=["no-copy", "copy"])
 def test_build_copy_ablation(benchmark, books, copy_keys):
@@ -56,3 +70,10 @@ def test_fig11_driver_shape(benchmark):
     for bounds in ("labs", "lind", "gabs", "gind"):
         row = result.series(panel="bounds", variant=bounds)[0]
         assert row["bounds_s"] > nb["bounds_s"], bounds
+    # Fit-path ablation: the grouped closed-form fit beats the
+    # per-segment Python loop at benchmark scale.
+    grouped = result.series(panel="fit", variant="grouped")[0]
+    per_segment = result.series(panel="fit", variant="per_segment")[0]
+    assert grouped["fit"] == "grouped"
+    assert per_segment["fit"] == "per_segment"
+    assert grouped["build_s"] < per_segment["build_s"]

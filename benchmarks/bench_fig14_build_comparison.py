@@ -12,10 +12,17 @@ from repro.baselines import (
     RMIAsIndex,
 )
 from repro.bench.figures import fig14_build_comparison
+from repro.core.builder import RMIConfig
 from .conftest import BENCH_N, BENCH_SEED
 
 BUILDERS = {
     "rmi": lambda keys: RMIAsIndex(keys, layer2_size=max(len(keys) // 100, 64)),
+    # The per-segment reference trainer (Listing 1 semantics): compare
+    # against the "rmi" row above, which uses the grouped fit.
+    "rmi-per-segment": lambda keys: RMIAsIndex(
+        keys, layer2_size=max(len(keys) // 100, 64),
+        config=RMIConfig(grouped_fit=False),
+    ),
     "pgm": lambda keys: PGMIndex(keys, eps=64),
     "radix-spline": lambda keys: RadixSpline(keys, max_error=64, radix_bits=10),
     "alex": lambda keys: ALEXIndex(keys, sparsity=4),
@@ -50,3 +57,19 @@ def test_fig14_driver_shape(benchmark):
         assert fastest(ds, "b-tree") < fastest(ds, "rmi"), ds
         assert fastest(ds, "b-tree") < fastest(ds, "pgm-index"), ds
         assert fastest(ds, "b-tree") < fastest(ds, "radix-spline"), ds
+
+
+def test_fig14_driver_parallel_matches_sequential(benchmark):
+    """``jobs > 1`` must not change fig14's rows or their order."""
+    sequential = fig14_build_comparison(
+        n=min(BENCH_N, 10_000), seed=BENCH_SEED, datasets=["books"], runs=1,
+    )
+    parallel = benchmark.pedantic(
+        lambda: fig14_build_comparison(
+            n=min(BENCH_N, 10_000), seed=BENCH_SEED, datasets=["books"],
+            runs=1, jobs=2,
+        ),
+        rounds=1, iterations=1,
+    )
+    assert [(r["index"], r["variant"]) for r in sequential.rows] == \
+           [(r["index"], r["variant"]) for r in parallel.rows]

@@ -1,11 +1,23 @@
 """Per-figure experiment drivers and the experiment registry."""
 
 from . import figures
+from .parallel import (
+    build_report,
+    default_jobs,
+    pool_map,
+    pool_map_keys,
+    run_build_sweep,
+)
 from .registry import EXPERIMENTS, Experiment, experiment_ids, run_experiment
 from .report import FigureResult, format_bytes, format_ns, render_table
 
 __all__ = [
     "figures",
+    "pool_map",
+    "pool_map_keys",
+    "run_build_sweep",
+    "build_report",
+    "default_jobs",
     "EXPERIMENTS",
     "Experiment",
     "experiment_ids",

@@ -4,7 +4,9 @@ Usage::
 
     python -m repro.bench list
     python -m repro.bench fig04 [--n 200000] [--seed 7]
-    python -m repro.bench all [--n 50000]
+    python -m repro.bench all [--n 50000] [--jobs 8]
+    python -m repro.bench build --n 1000000 --layer2-size 16384 \\
+        --out BENCH_build.json --min-speedup 20
 """
 
 from __future__ import annotations
@@ -37,6 +39,20 @@ def main(argv: list[str] | None = None) -> int:
                         help="additionally write <figure>.json files here")
     parser.add_argument("--svg", metavar="DIR", default=None,
                         help="additionally render <figure>.svg plots here")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for build sweeps (drivers "
+                        "that support it; default 1 = in-process)")
+    parser.add_argument("--layer2-size", type=int, default=2**14,
+                        help="[build] second-layer size")
+    parser.add_argument("--dataset", default="books",
+                        help="[build] dataset name")
+    parser.add_argument("--runs", type=int, default=1,
+                        help="[build] best-of-N timing runs")
+    parser.add_argument("--out", metavar="FILE", default=None,
+                        help="[build] write the JSON report here")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="[build] exit 1 unless every config's grouped "
+                        "build is at least this much faster than reference")
     args = parser.parse_args(argv)
 
     if args.figure == "list":
@@ -51,11 +67,38 @@ def main(argv: list[str] | None = None) -> int:
         print(render_outcomes(outcomes))
         return 1 if any(o.status in ("FAIL", "ERROR") for o in outcomes) else 0
 
+    if args.figure == "build":
+        from .parallel import build_report, render_build_report, \
+            write_build_report
+
+        report = build_report(
+            n=args.n or 1_000_000,
+            layer2_size=args.layer2_size,
+            dataset=args.dataset,
+            seed=args.seed or 42,
+            jobs=args.jobs,
+            runs=args.runs,
+        )
+        print(render_build_report(report))
+        if args.out:
+            write_build_report(report, args.out)
+            print(f"[report written to {args.out}]")
+        if args.min_speedup is not None:
+            if report["min_speedup"] < args.min_speedup:
+                print(f"FAIL: min speedup {report['min_speedup']:.1f}x is "
+                      f"below the required {args.min_speedup:.1f}x")
+                return 1
+            print(f"OK: min speedup {report['min_speedup']:.1f}x >= "
+                  f"{args.min_speedup:.1f}x")
+        return 0
+
     kwargs = {}
     if args.n is not None:
         kwargs["n"] = args.n
     if args.seed is not None:
         kwargs["seed"] = args.seed
+    if args.jobs and args.jobs > 1:
+        kwargs["jobs"] = args.jobs
 
     targets = list(EXPERIMENTS) if args.figure == "all" else [args.figure]
     for figure_id in targets:

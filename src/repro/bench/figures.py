@@ -43,6 +43,7 @@ from ..cost.model import CostModel
 from ..data import cdf as cdf_utils
 from ..data import sosd
 from ..workload import make_workload, measure_build, run_workload
+from .parallel import pool_map_keys
 from .report import FigureResult
 
 __all__ = [
@@ -490,44 +491,57 @@ def fig10_search_algorithms(
 # ---------------------------------------------------------------------------
 
 
+def _fig11_row(keys: np.ndarray, entry: tuple) -> dict:
+    """Build one fig11 configuration (module-level: pool-picklable)."""
+    panel, variant, cfg, runs = entry
+    rmi, build_s = measure_build(lambda: cfg.build(keys), runs=runs)
+    st = rmi.build_stats
+    return dict(
+        panel=panel, variant=variant, segments=cfg.layer_sizes[0],
+        index_bytes=rmi.size_in_bytes(),
+        build_s=round(build_s, 6),
+        train_root_s=round(st.train_root_seconds, 6),
+        segment_s=round(st.segment_seconds, 6),
+        train_leaves_s=round(st.train_leaves_seconds, 6),
+        bounds_s=round(st.bounds_seconds, 6),
+        fit=st.fit_path,
+    )
+
+
 def fig11_build_time(
     n: int = DEFAULT_N,
     seed: int = DEFAULT_SEED,
     segment_counts: Sequence[int] | None = None,
     dataset: str = "books",
     runs: int = 1,
+    jobs: int = 1,
 ) -> FigureResult:
-    """Build-time analysis on books (Figure 11a-c) plus the copy ablation.
+    """Build-time analysis on books (Figure 11a-c) plus two ablations.
 
     ``panel`` column: ``root`` varies the root type (leaf LR, NB);
     ``leaf`` varies the leaf type (root LS, NB); ``bounds`` varies the
     bound type (LS→LR); ``ablation`` compares the reference copying
-    trainer with the paper's no-copy optimization (Section 4.1/7).
+    trainer with the paper's no-copy optimization (Section 4.1/7);
+    ``fit`` compares the grouped closed-form leaf fit with the
+    per-segment reference loop (same LS→LR configuration).  The ``fit``
+    column reports which path trained each row.  ``jobs > 1`` builds
+    the configurations in a process pool.
     """
     result = FigureResult(
         "fig11",
-        f"Build times on {dataset} by root type, leaf type, bounds, and "
-        "copy ablation",
+        f"Build times on {dataset} by root type, leaf type, bounds, "
+        "copy ablation, and fit-path ablation",
         ["panel", "variant", "segments", "index_bytes", "build_s",
-         "train_root_s", "segment_s", "train_leaves_s", "bounds_s"],
+         "train_root_s", "segment_s", "train_leaves_s", "bounds_s", "fit"],
     )
     keys = sosd.generate(dataset, n=n, seed=seed)
     counts = list(segment_counts or _segment_sweep(n))
 
+    entries: list[tuple] = []
+
     def record(panel: str, variant: str, config: RMIConfig) -> None:
         for m in counts:
-            cfg = config.with_layer2_size(m)
-            rmi, build_s = measure_build(lambda: cfg.build(keys), runs=runs)
-            st = rmi.build_stats
-            result.add(
-                panel=panel, variant=variant, segments=m,
-                index_bytes=rmi.size_in_bytes(),
-                build_s=round(build_s, 6),
-                train_root_s=round(st.train_root_seconds, 6),
-                segment_s=round(st.segment_seconds, 6),
-                train_leaves_s=round(st.train_leaves_seconds, 6),
-                bounds_s=round(st.bounds_seconds, 6),
-            )
+            entries.append((panel, variant, config.with_layer2_size(m), runs))
 
     for root in ROOTS:  # Figure 11a
         record("root", root, RMIConfig(model_types=(root, "lr"),
@@ -546,8 +560,16 @@ def fig11_build_time(
         record("ablation", variant,
                RMIConfig(model_types=("ls", "lr"), layer_sizes=(counts[0],),
                          bound_type="labs", copy_keys=copy))
+    # Fit-path ablation: grouped closed-form fit vs per-segment loop.
+    for variant, grouped in (("grouped", True), ("per_segment", False)):
+        record("fit", variant,
+               RMIConfig(model_types=("ls", "lr"), layer_sizes=(counts[0],),
+                         bound_type="labs", grouped_fit=grouped))
+    for row in pool_map_keys(_fig11_row, keys, entries, jobs=jobs):
+        result.add(**row)
     result.note("LR roots train slowest (they touch all keys); bounds add "
-                "a full evaluation pass; no-copy beats copy (Section 7)")
+                "a full evaluation pass; no-copy beats copy (Section 7); "
+                "the grouped fit beats the per-segment loop")
     return result
 
 
@@ -667,13 +689,40 @@ def fig13_eval_vs_search(
     return result
 
 
+def _fig14_row(keys: np.ndarray, entry: tuple) -> dict:
+    """Build one fig14 index variant (module-level: pool-picklable).
+
+    The sweep factories close over lambdas and cannot cross a process
+    boundary, so workers reconstruct the (deterministic) sweep from
+    ``n`` and pick their factory by ``(index_name, variant)``.
+    """
+    n, index_name, variant, runs = entry
+    factory = _comparison_sweeps(n)[index_name][variant]
+    try:
+        index, build_s = measure_build(lambda: factory(keys), runs=runs)
+    except UnsupportedDataError:
+        return dict(index=index_name, variant=variant, unsupported=True)
+    return dict(
+        index=index_name,
+        variant=variant,
+        index_bytes=index.size_in_bytes(),
+        build_s=round(build_s, 6),
+        keys_per_s=round(len(keys) / max(build_s, 1e-9), 0),
+    )
+
+
 def fig14_build_comparison(
     n: int = DEFAULT_N,
     seed: int = DEFAULT_SEED,
     datasets: Sequence[str] | None = None,
     runs: int = 1,
+    jobs: int = 1,
 ) -> FigureResult:
-    """Build time vs index size for all Table 5 indexes (Figure 14)."""
+    """Build time vs index size for all Table 5 indexes (Figure 14).
+
+    ``jobs > 1`` builds each dataset's index variants in a process
+    pool; rows come back in the same deterministic order either way.
+    """
     result = FigureResult(
         "fig14",
         "Build time with respect to index size, all indexes",
@@ -683,6 +732,24 @@ def fig14_build_comparison(
     sweeps = _comparison_sweeps(n)
     sweeps.pop("binary-search")  # nothing to build
     for name, keys in _datasets(n, seed, names=datasets).items():
+        if jobs > 1:
+            entries = [
+                (n, index_name, variant, runs)
+                for index_name, factories in sweeps.items()
+                for variant in range(len(factories))
+            ]
+            unsupported: set[str] = set()
+            for row in pool_map_keys(_fig14_row, keys, entries, jobs=jobs):
+                index_name = row["index"]
+                if index_name in unsupported:
+                    continue
+                if row.get("unsupported"):
+                    unsupported.add(index_name)
+                    result.note(f"{index_name} did not work on {name} "
+                                "(duplicates), as in the paper")
+                    continue
+                result.add(dataset=name, **row)
+            continue
         for index_name, factories in sweeps.items():
             for variant, factory in enumerate(factories):
                 try:
@@ -698,8 +765,8 @@ def fig14_build_comparison(
                     index=index_name,
                     variant=variant,
                     index_bytes=index.size_in_bytes(),
-                    build_s=round(build_s, 6),
                     keys_per_s=round(len(keys) / max(build_s, 1e-9), 0),
+                    build_s=round(build_s, 6),
                 )
     result.note("B-tree/ART build fastest (subset + no training); learned "
                 "indexes train on all keys (Section 8.2). Wall times are "

@@ -1,0 +1,241 @@
+"""Process-pool execution of build sweeps, and the build benchmark.
+
+RMI builds are pure CPU-bound functions of ``(keys, config)``, so a
+hyperparameter sweep (Section 4.2 trains thousands of configurations)
+parallelizes trivially across processes.  :func:`pool_map_keys` ships
+the key array to each worker once (via the pool initializer) instead of
+once per task, which matters when one 8-byte-per-key array backs
+hundreds of configurations.
+
+Results always come back in the order of the input items, regardless of
+``jobs`` — sweeps are reproducible modulo wall-clock noise.
+
+:func:`build_report` is the grouped-vs-reference build benchmark behind
+``python -m repro.bench build`` and the committed ``BENCH_build.json``:
+it times every configuration once with the grouped closed-form fit and
+once with the per-segment reference path (``grouped_fit=False``) and
+reports the speedups.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Callable, Iterable, Sequence, TypeVar
+
+import numpy as np
+
+from ..core.builder import RMIConfig
+from ..cost.counters import BuildCounters
+from ..data import sosd
+
+__all__ = [
+    "default_jobs",
+    "pool_map",
+    "pool_map_keys",
+    "run_build_sweep",
+    "build_report",
+    "write_build_report",
+    "render_build_report",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Key array shared with pool workers (set by the pool initializer).
+_WORKER_KEYS: "np.ndarray | None" = None
+
+
+def default_jobs() -> int:
+    """Number of worker processes to use by default (the CPU count)."""
+    return max(os.cpu_count() or 1, 1)
+
+
+def _init_worker(keys: np.ndarray) -> None:
+    global _WORKER_KEYS
+    _WORKER_KEYS = keys
+
+
+def _call_with_keys(payload: "tuple[Callable, T]") -> R:
+    fn, item = payload
+    return fn(_WORKER_KEYS, item)
+
+
+def pool_map(
+    fn: "Callable[[T], R]", items: Iterable[T], jobs: int = 1
+) -> "list[R]":
+    """``[fn(x) for x in items]``, optionally across worker processes.
+
+    ``jobs <= 1`` runs in-process (no pickling, exact tracebacks).
+    ``fn`` must be picklable (a module-level function) when ``jobs > 1``.
+    Output order always matches input order.
+    """
+    items = list(items)
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+        return list(pool.map(fn, items))
+
+
+def pool_map_keys(
+    fn: "Callable[[np.ndarray, T], R]",
+    keys: np.ndarray,
+    items: Iterable[T],
+    jobs: int = 1,
+) -> "list[R]":
+    """``[fn(keys, x) for x in items]`` with ``keys`` shared per worker.
+
+    The key array crosses the process boundary once per worker (pool
+    initializer), not once per item.  ``jobs <= 1`` runs in-process.
+    Output order always matches input order.
+    """
+    items = list(items)
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(keys, item) for item in items]
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(items)),
+        initializer=_init_worker,
+        initargs=(keys,),
+    ) as pool:
+        return list(pool.map(_call_with_keys, [(fn, item) for item in items]))
+
+
+def _timed_build(keys: np.ndarray, config: RMIConfig) -> dict:
+    """Build one configuration and report timings + work counters."""
+    t0 = time.perf_counter()
+    rmi = config.build(keys)
+    wall = time.perf_counter() - t0
+    st = rmi.build_stats
+    counters = BuildCounters.from_rmi(rmi)
+    return {
+        "config": config.describe(),
+        "model_types": list(config.model_types),
+        "layer2_size": int(config.layer_sizes[0]),
+        "bound_type": config.bound_type,
+        "grouped_fit": bool(config.grouped_fit),
+        "fit_path": counters.fit_path,
+        "build_s": wall,
+        "train_root_s": st.train_root_seconds,
+        "segment_s": st.segment_seconds,
+        "train_leaves_s": st.train_leaves_seconds,
+        "bounds_s": st.bounds_seconds,
+        "index_bytes": int(rmi.size_in_bytes()),
+        "models_trained": counters.models_trained,
+        "keys_touched": counters.keys_touched,
+    }
+
+
+def run_build_sweep(
+    keys: np.ndarray,
+    configs: Sequence[RMIConfig],
+    jobs: int = 1,
+    runs: int = 1,
+) -> "list[dict]":
+    """Time a build per configuration; best-of-``runs`` wall clock.
+
+    Returns one dict per config, in config order.  With ``runs > 1``
+    each configuration is rebuilt that many times and the fastest run's
+    record is kept (standard best-of-N timing hygiene).
+    """
+    configs = list(configs)
+    best: "list[dict | None]" = [None] * len(configs)
+    for _ in range(max(runs, 1)):
+        rows = pool_map_keys(_timed_build, keys, configs, jobs=jobs)
+        for i, row in enumerate(rows):
+            if best[i] is None or row["build_s"] < best[i]["build_s"]:
+                best[i] = row
+    return [row for row in best if row is not None]
+
+
+#: Default configurations of the build benchmark.  ``ls -> lr`` is the
+#: paper's Section 8 comparison config; ``ls -> cs`` exercises the
+#: CS fit + fallback, whose reference path is the slowest of all.
+_REPORT_MODEL_TYPES: "tuple[tuple[str, str], ...]" = (("ls", "lr"), ("ls", "cs"))
+
+
+def build_report(
+    n: int = 1_000_000,
+    layer2_size: int = 2**14,
+    dataset: str = "books",
+    seed: int = 42,
+    model_types: "Sequence[tuple[str, str]]" = _REPORT_MODEL_TYPES,
+    bound_type: str = "labs",
+    jobs: int = 1,
+    runs: int = 1,
+) -> dict:
+    """Grouped vs per-segment build times, as a JSON-ready dict.
+
+    Each (root, leaf) combination is built with ``grouped_fit=True``
+    and with ``grouped_fit=False`` (the per-segment reference path) on
+    the same keys; ``speedup`` is reference / grouped wall time.  The
+    grouped builds additionally assert structural parity with their
+    reference twin: identical leaf sizes and error-bound payloads.
+    """
+    keys = sosd.generate(dataset, n=n, seed=seed)
+    pairs = [tuple(mt) for mt in model_types]
+    grouped_cfgs = [
+        RMIConfig(model_types=mt, layer_sizes=(int(layer2_size),),
+                  bound_type=bound_type, grouped_fit=True)
+        for mt in pairs
+    ]
+    reference_cfgs = [
+        RMIConfig(model_types=mt, layer_sizes=(int(layer2_size),),
+                  bound_type=bound_type, grouped_fit=False)
+        for mt in pairs
+    ]
+    grouped_rows = run_build_sweep(keys, grouped_cfgs, jobs=jobs, runs=runs)
+    reference_rows = run_build_sweep(keys, reference_cfgs, jobs=jobs,
+                                     runs=runs)
+    entries = []
+    for mt, g, r in zip(pairs, grouped_rows, reference_rows):
+        if g["index_bytes"] != r["index_bytes"]:
+            raise AssertionError(
+                f"{mt}: grouped and reference builds disagree on index "
+                f"size ({g['index_bytes']} vs {r['index_bytes']} bytes)"
+            )
+        entries.append({
+            "model_types": list(mt),
+            "grouped": g,
+            "reference": r,
+            "speedup": r["build_s"] / max(g["build_s"], 1e-12),
+        })
+    speedups = [e["speedup"] for e in entries]
+    return {
+        "benchmark": "grouped vs per-segment RMI build",
+        "dataset": dataset,
+        "n": int(n),
+        "layer2_size": int(layer2_size),
+        "bound_type": bound_type,
+        "seed": int(seed),
+        "runs": int(runs),
+        "jobs": int(jobs),
+        "cpu_count": os.cpu_count(),
+        "configs": entries,
+        "min_speedup": min(speedups) if speedups else None,
+        "max_speedup": max(speedups) if speedups else None,
+    }
+
+
+def write_build_report(report: dict, path: "str | os.PathLike") -> None:
+    """Write a :func:`build_report` dict as pretty-printed JSON."""
+    Path(path).write_text(json.dumps(report, indent=2) + "\n")
+
+
+def render_build_report(report: dict) -> str:
+    """Human-readable summary of a :func:`build_report` dict."""
+    lines = [
+        f"grouped vs per-segment RMI build -- {report['dataset']}, "
+        f"n={report['n']:,}, layer2=2^{int(np.log2(report['layer2_size']))}, "
+        f"{report['bound_type']}, best of {report['runs']}",
+    ]
+    for e in report["configs"]:
+        arrow = "->".join(e["model_types"])
+        lines.append(
+            f"  {arrow:8s} grouped {e['grouped']['build_s']:8.3f}s   "
+            f"reference {e['reference']['build_s']:8.3f}s   "
+            f"speedup {e['speedup']:6.1f}x"
+        )
+    return "\n".join(lines)

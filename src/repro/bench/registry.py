@@ -7,6 +7,7 @@ driver and prints its table (see :mod:`repro.bench.__main__`).
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
 from typing import Callable
 
@@ -95,10 +96,20 @@ def experiment_ids() -> list[str]:
 
 
 def run_experiment(figure_id: str, **kwargs) -> FigureResult:
-    """Run one experiment by id (e.g. ``"fig04"``)."""
+    """Run one experiment by id (e.g. ``"fig04"``).
+
+    Optional tuning kwargs (currently ``jobs``) are forwarded only to
+    drivers whose signature accepts them, so ``python -m repro.bench
+    all --jobs 8`` parallelizes the build figures without every driver
+    having to grow the parameter.
+    """
     try:
         exp = EXPERIMENTS[figure_id]
     except KeyError:
         known = ", ".join(EXPERIMENTS)
         raise ValueError(f"unknown experiment {figure_id!r}; known: {known}")
+    if "jobs" in kwargs:
+        accepted = inspect.signature(exp.driver).parameters
+        if "jobs" not in accepted:
+            kwargs = {k: v for k, v in kwargs.items() if k != "jobs"}
     return exp.driver(**kwargs)

@@ -55,6 +55,11 @@ class RMIConfig:
     copy_keys: bool = False
     train_on_model_index: bool = True
     cs_fallback: bool = True
+    #: Train multi-model layers with the grouped closed-form fitters and
+    #: store them as struct-of-arrays tables.  ``False`` selects the
+    #: per-segment reference path (Listing 1 semantics): one ``fit``
+    #: call per segment and object-mode layers.
+    grouped_fit: bool = True
 
     def __post_init__(self) -> None:
         # Fail fast on invalid names/shapes; the resolvers raise
@@ -98,6 +103,7 @@ class RMIConfig:
             copy_keys=self.copy_keys,
             train_on_model_index=self.train_on_model_index,
             cs_fallback=self.cs_fallback,
+            grouped_fit=self.grouped_fit,
         )
 
 

@@ -23,12 +23,27 @@ Models are fitted via :meth:`Model.fit` on ``(keys, targets)`` pairs where
 ``targets`` is typically either the position of the key in the sorted
 array (classic RMI training) or the pre-scaled next-layer model index
 (the paper's optimized inner-layer training, Section 4.1).
+
+Two representations coexist:
+
+* **per-model objects** -- one :class:`Model` instance per segment, the
+  reference (Listing 1) representation; and
+* **struct-of-arrays (SoA) parameter tables** -- one parameter matrix
+  per layer.  Closed-form model families additionally provide
+  ``fit_grouped(keys, targets, offsets)``, which fits *every* segment
+  of a layer in a handful of array operations (sufficient statistics
+  via ``np.add.reduceat``, endpoint gathers for the splines) instead of
+  a Python loop over segments.  The SoA registry
+  (:data:`SOA_MODEL_CODES`, :meth:`Model.soa_row`,
+  :meth:`Model.eval_soa`) lets layer tables materialize individual
+  model objects lazily and evaluate whole layers with gathers.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import ClassVar, Type
+from typing import Callable, ClassVar, Type
 
 import numpy as np
 
@@ -42,6 +57,12 @@ __all__ = [
     "AutoModel",
     "MODEL_TYPES",
     "resolve_model_type",
+    "SOA_PARAM_COLUMNS",
+    "SOA_MODEL_CODES",
+    "SOA_CODE_MODELS",
+    "GROUPED_FITTERS",
+    "register_soa_model",
+    "grouped_fitter",
 ]
 
 #: Number of bits in the key type.  The paper (and SOSD) use 64-bit
@@ -52,6 +73,84 @@ KEY_BITS = 64
 def _as_float(keys: np.ndarray) -> np.ndarray:
     """Convert a key array to float64 for arithmetic model evaluation."""
     return np.asarray(keys, dtype=np.float64)
+
+
+#: Width of a struct-of-arrays parameter row, in float64 columns.  Wide
+#: enough for the largest registered model (CubicSpline: 6 fields) and
+#: identical to ``_PARAM_COLUMNS`` in ``core/serialize.py``.
+SOA_PARAM_COLUMNS = 6
+
+#: Model class -> small integer code used in SoA layer tables.  The
+#: first five codes mirror ``core/serialize.py``'s on-disk codes.
+SOA_MODEL_CODES: dict[Type["Model"], int] = {}
+
+#: Inverse of :data:`SOA_MODEL_CODES`.
+SOA_CODE_MODELS: dict[int, Type["Model"]] = {}
+
+#: Code -> per-instance parameter size in bytes (Table 2 accounting).
+SOA_MODEL_SIZES: dict[int, int] = {}
+
+#: Model class -> grouped closed-form fitter.  Keyed by *exact* class so
+#: subclasses with overridden ``fit`` never silently inherit a grouped
+#: path that disagrees with their per-segment semantics.
+GROUPED_FITTERS: dict[Type["Model"], Callable] = {}
+
+
+def register_soa_model(cls: Type["Model"], code: int) -> None:
+    """Register ``cls`` for struct-of-arrays layer storage.
+
+    Requires a frozen-dataclass model with at most
+    :data:`SOA_PARAM_COLUMNS` fields and an ``eval_soa`` implementation.
+    """
+    if code in SOA_CODE_MODELS and SOA_CODE_MODELS[code] is not cls:
+        raise ValueError(f"SoA code {code} already taken by {SOA_CODE_MODELS[code]}")
+    SOA_MODEL_CODES[cls] = code
+    SOA_CODE_MODELS[code] = cls
+    SOA_MODEL_SIZES[code] = cls().size_in_bytes()
+
+
+def grouped_fitter(model_type: Type["Model"], cs_fallback: bool = True) -> "Callable | None":
+    """Return the grouped fitter for ``model_type``, or ``None``.
+
+    ``CubicSpline`` with the reference fallback enabled dispatches to
+    :meth:`CubicSpline.fit_grouped_with_fallback`, matching what the
+    per-segment path does via ``fit_with_fallback``.
+    """
+    if model_type is CubicSpline and cs_fallback:
+        return CubicSpline.fit_grouped_with_fallback
+    return GROUPED_FITTERS.get(model_type)
+
+
+def _segment_sums(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Per-segment sums of ``values`` under the ``offsets`` segmentation.
+
+    ``offsets`` has one entry per segment boundary (``fanout + 1``
+    entries, ``offsets[-1] == len(values)``); empty segments sum to 0.
+
+    ``np.add.reduceat`` alone cannot express empty segments (for
+    ``idx[i] == idx[i+1]`` it returns ``values[idx[i]]``, and clipping
+    a trailing ``len(values)`` start corrupts the preceding segment),
+    so we reduce only at the starts of non-empty segments: consecutive
+    non-empty starts are exact segment boundaries, and the last
+    non-empty segment runs to ``len(values)`` — exactly reduceat's
+    final-segment rule.
+    """
+    counts = np.diff(offsets)
+    out = np.zeros(len(counts), dtype=np.float64)
+    nonempty = counts > 0
+    if np.any(nonempty):
+        out[nonempty] = np.add.reduceat(values, offsets[:-1][nonempty])
+    return out
+
+
+def _segment_max(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Per-segment maxima of ``values``; empty segments yield 0."""
+    counts = np.diff(offsets)
+    out = np.zeros(len(counts), dtype=np.float64)
+    nonempty = counts > 0
+    if np.any(nonempty):
+        out[nonempty] = np.maximum.reduceat(values, offsets[:-1][nonempty])
+    return out
 
 
 class Model:
@@ -97,6 +196,41 @@ class Model:
         """Whether the fitted model is monotonically non-decreasing."""
         raise NotImplementedError
 
+    # -- struct-of-arrays interface ------------------------------------
+    #
+    # Registered dataclass model types (see ``register_soa_model``) can
+    # round-trip through a fixed-width float64 parameter row and be
+    # evaluated straight from a parameter matrix without materializing
+    # per-segment objects.  The row layout is the dataclass field order,
+    # zero-padded to ``SOA_PARAM_COLUMNS`` — identical to the on-disk
+    # layout of ``core/serialize.py``.
+
+    def soa_row(self) -> np.ndarray:
+        """This model's parameters as a zero-padded float64 row."""
+        row = np.zeros(SOA_PARAM_COLUMNS, dtype=np.float64)
+        for i, field in enumerate(dataclasses.fields(self)):
+            row[i] = float(getattr(self, field.name))
+        return row
+
+    @classmethod
+    def from_soa_row(cls, row: np.ndarray) -> "Model":
+        """Rebuild a model instance from its parameter row."""
+        values = []
+        for i, field in enumerate(dataclasses.fields(cls)):
+            raw = float(row[i])
+            values.append(int(raw) if field.type == "int" else raw)
+        return cls(*values)
+
+    @classmethod
+    def eval_soa(cls, rows: np.ndarray, keys: np.ndarray) -> np.ndarray:
+        """Evaluate one model *per key*: ``rows[i]`` applied to ``keys[i]``.
+
+        ``rows`` is a ``(len(keys), SOA_PARAM_COLUMNS)`` float64 gather
+        of the layer's parameter table.  Must match ``predict_batch``
+        bit for bit on every row/key pair.
+        """
+        raise NotImplementedError
+
 
 @dataclass(frozen=True)
 class ConstantModel(Model):
@@ -116,6 +250,24 @@ class ConstantModel(Model):
         if len(targets) == 0:
             return cls(0.0)
         return cls(float(np.mean(targets)))
+
+    @classmethod
+    def fit_grouped(
+        cls, keys: np.ndarray, targets: np.ndarray, offsets: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Fit every segment at once; returns ``(codes, params)``."""
+        counts = np.diff(offsets)
+        y = np.asarray(targets, dtype=np.float64)
+        sums = _segment_sums(y, offsets)
+        params = np.zeros((len(counts), SOA_PARAM_COLUMNS), dtype=np.float64)
+        nonempty = counts > 0
+        params[nonempty, 0] = sums[nonempty] / counts[nonempty]
+        codes = np.full(len(counts), SOA_MODEL_CODES[cls], dtype=np.int8)
+        return codes, params
+
+    @classmethod
+    def eval_soa(cls, rows: np.ndarray, keys: np.ndarray) -> np.ndarray:
+        return rows[:, 0].copy()
 
     def predict_batch(self, keys: np.ndarray) -> np.ndarray:
         return np.full(len(keys), self.value, dtype=np.float64)
@@ -180,6 +332,52 @@ class LinearRegression(Model):
         intercept = my - slope * mx
         return cls(slope, intercept)
 
+    @classmethod
+    def fit_grouped(
+        cls, keys: np.ndarray, targets: np.ndarray, offsets: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Least-squares fit of every segment from grouped statistics.
+
+        Uses the same centered normal equations as :meth:`fit`, with all
+        per-segment sums taken by ``np.add.reduceat``.  Parameters agree
+        with the per-segment path up to summation order (``np.mean`` /
+        ``np.dot`` use pairwise summation; reduceat is sequential), i.e.
+        to within a few ulp — cumsum differencing is deliberately *not*
+        used because cancellation on ~2^63-magnitude keys would bias the
+        OLS denominator.
+        """
+        counts = np.diff(offsets)
+        fanout = len(counts)
+        x = _as_float(keys)
+        y = np.asarray(targets, dtype=np.float64)
+        nonempty = counts > 0
+        codes = np.where(
+            nonempty, SOA_MODEL_CODES[cls], SOA_MODEL_CODES[ConstantModel]
+        ).astype(np.int8)
+        params = np.zeros((fanout, SOA_PARAM_COLUMNS), dtype=np.float64)
+        if not np.any(nonempty):
+            return codes, params
+        safe = np.maximum(counts, 1).astype(np.float64)
+        mx = _segment_sums(x, offsets) / safe
+        my = _segment_sums(y, offsets) / safe
+        seg = np.repeat(np.arange(fanout), counts)
+        dx = x - mx[seg]
+        dy = y - my[seg]
+        denom = _segment_sums(dx * dx, offsets)
+        num = _segment_sums(dx * dy, offsets)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            slope = np.where(denom > 0.0, num / denom, 0.0)
+        # All-duplicate (denom == 0) and single-key segments collapse to
+        # slope 0, intercept my — exactly the scalar path's fallbacks.
+        intercept = my - slope * mx
+        params[nonempty, 0] = slope[nonempty]
+        params[nonempty, 1] = intercept[nonempty]
+        return codes, params
+
+    @classmethod
+    def eval_soa(cls, rows: np.ndarray, keys: np.ndarray) -> np.ndarray:
+        return rows[:, 0] * _as_float(keys) + rows[:, 1]
+
     def predict_batch(self, keys: np.ndarray) -> np.ndarray:
         return self.slope * _as_float(keys) + self.intercept
 
@@ -218,6 +416,42 @@ class LinearSpline(Model):
         y1 = float(targets[-1])
         slope = (y1 - y0) / (x1 - x0)
         return cls(slope, y0 - slope * x0)
+
+    @classmethod
+    def fit_grouped(
+        cls, keys: np.ndarray, targets: np.ndarray, offsets: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Endpoint fit of every segment via two gathers.
+
+        Elementwise identical formulas to :meth:`fit`, so the grouped
+        parameters are bit-exact equal to the per-segment ones.
+        """
+        counts = np.diff(offsets)
+        fanout = len(counts)
+        x = _as_float(keys)
+        y = np.asarray(targets, dtype=np.float64)
+        nonempty = counts > 0
+        codes = np.where(
+            nonempty, SOA_MODEL_CODES[cls], SOA_MODEL_CODES[ConstantModel]
+        ).astype(np.int8)
+        params = np.zeros((fanout, SOA_PARAM_COLUMNS), dtype=np.float64)
+        if not np.any(nonempty):
+            return codes, params
+        first = offsets[:-1][nonempty]
+        last = offsets[1:][nonempty] - 1
+        x0, y0 = x[first], y[first]
+        x1, y1 = x[last], y[last]
+        degenerate = x1 == x0  # single-key and all-duplicate segments
+        with np.errstate(divide="ignore", invalid="ignore"):
+            slope = np.where(degenerate, 0.0, (y1 - y0) / (x1 - x0))
+        intercept = np.where(degenerate, y0, y0 - slope * x0)
+        params[nonempty, 0] = slope
+        params[nonempty, 1] = intercept
+        return codes, params
+
+    @classmethod
+    def eval_soa(cls, rows: np.ndarray, keys: np.ndarray) -> np.ndarray:
+        return rows[:, 0] * _as_float(keys) + rows[:, 1]
 
     def predict_batch(self, keys: np.ndarray) -> np.ndarray:
         return self.slope * _as_float(keys) + self.intercept
@@ -326,6 +560,120 @@ class CubicSpline(Model):
         err_linear = float(np.max(np.abs(linear.predict_batch(keys) - y)))
         return cubic if err_cubic <= err_linear else linear
 
+    @classmethod
+    def fit_grouped(
+        cls, keys: np.ndarray, targets: np.ndarray, offsets: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Monotone Hermite fit of every segment via endpoint gathers.
+
+        Replicates :meth:`fit` operation for operation (endpoint-slope
+        estimates, whole-segment secant fallback, Fritsch–Carlson
+        limiting, Hermite coefficients), so parameters are bit-exact
+        equal to the per-segment path.
+        """
+        counts = np.diff(offsets)
+        fanout = len(counts)
+        x = _as_float(keys)
+        y = np.asarray(targets, dtype=np.float64)
+        nonempty = counts > 0
+        codes = np.where(
+            nonempty, SOA_MODEL_CODES[cls], SOA_MODEL_CODES[ConstantModel]
+        ).astype(np.int8)
+        params = np.zeros((fanout, SOA_PARAM_COLUMNS), dtype=np.float64)
+        if not np.any(nonempty):
+            return codes, params
+        first = offsets[:-1][nonempty]
+        last = offsets[1:][nonempty] - 1
+        x0, y0 = x[first], y[first]
+        x1, y1 = x[last], y[last]
+        # Degenerate (single-key / all-duplicate) segments: constant
+        # cubic ``a0 = y0`` anchored at x0 with zero scale, like fit().
+        rows = np.zeros((len(first), SOA_PARAM_COLUMNS), dtype=np.float64)
+        rows[:, 3] = y0
+        rows[:, 4] = x0
+        proper = x1 != x0
+        if np.any(proper):
+            pf, pl = first[proper], last[proper]
+            px0, py0 = x0[proper], y0[proper]
+            px1, py1 = x1[proper], y1[proper]
+            scale = 1.0 / (px1 - px0)
+            dy = py1 - py0
+            # Endpoint tangents from the adjacent interior points, with
+            # the whole-segment secant (in t-space) as the duplicate-key
+            # fallback — cf. _endpoint_slope().
+            xb0, yb0 = x[pf + 1], y[pf + 1]
+            xb1, yb1 = x[pl - 1], y[pl - 1]
+            with np.errstate(divide="ignore", invalid="ignore"):
+                m0 = np.where(
+                    px0 == xb0, py1 - py0, ((yb0 - py0) / (xb0 - px0)) / scale
+                )
+                m1 = np.where(
+                    px1 == xb1, py1 - py0, ((yb1 - py1) / (xb1 - px1)) / scale
+                )
+            limit = 3.0 * dy
+            rising = dy > 0.0
+            m0 = np.where(
+                dy == 0.0,
+                0.0,
+                np.where(
+                    rising,
+                    np.minimum(np.maximum(m0, 0.0), limit),
+                    np.maximum(np.minimum(m0, 0.0), limit),
+                ),
+            )
+            m1 = np.where(
+                dy == 0.0,
+                0.0,
+                np.where(
+                    rising,
+                    np.minimum(np.maximum(m1, 0.0), limit),
+                    np.maximum(np.minimum(m1, 0.0), limit),
+                ),
+            )
+            rows[proper, 0] = 2.0 * py0 + m0 - 2.0 * py1 + m1
+            rows[proper, 1] = -3.0 * py0 - 2.0 * m0 + 3.0 * py1 - m1
+            rows[proper, 2] = m0
+            rows[proper, 3] = py0
+            rows[proper, 4] = px0
+            rows[proper, 5] = scale
+        params[nonempty] = rows
+        return codes, params
+
+    @classmethod
+    def fit_grouped_with_fallback(
+        cls, keys: np.ndarray, targets: np.ndarray, offsets: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Grouped :meth:`fit_with_fallback`: per-segment CS-vs-LS choice.
+
+        Both families are fit grouped, evaluated on the training keys
+        with one gather each, and compared on per-segment maximum
+        absolute error (``np.maximum.reduceat``) — the same tie-break
+        (``err_cubic <= err_linear`` keeps the cubic) as the scalar
+        path.  Max is order-independent, so the choice is exact.
+        """
+        codes_c, params_c = cls.fit_grouped(keys, targets, offsets)
+        codes_l, params_l = LinearSpline.fit_grouped(keys, targets, offsets)
+        counts = np.diff(offsets)
+        if len(keys) == 0:
+            return codes_c, params_c
+        seg = np.repeat(np.arange(len(counts)), counts)
+        y = np.asarray(targets, dtype=np.float64)
+        err_c = _segment_max(
+            np.abs(cls.eval_soa(params_c[seg], keys) - y), offsets
+        )
+        err_l = _segment_max(
+            np.abs(LinearSpline.eval_soa(params_l[seg], keys) - y), offsets
+        )
+        keep_cubic = err_c <= err_l
+        codes = np.where(keep_cubic, codes_c, codes_l).astype(np.int8)
+        params = np.where(keep_cubic[:, None], params_c, params_l)
+        return codes, params
+
+    @classmethod
+    def eval_soa(cls, rows: np.ndarray, keys: np.ndarray) -> np.ndarray:
+        t = (_as_float(keys) - rows[:, 4]) * rows[:, 5]
+        return ((rows[:, 0] * t + rows[:, 1]) * t + rows[:, 2]) * t + rows[:, 3]
+
     def predict_batch(self, keys: np.ndarray) -> np.ndarray:
         t = (_as_float(keys) - self.x_offset) * self.x_scale
         return ((self.a3 * t + self.a2) * t + self.a1) * t + self.a0
@@ -391,6 +739,20 @@ class Radix(Model):
         if bits <= 0:
             return cls(0, KEY_BITS)
         return cls(prefix_bits, KEY_BITS - bits)
+
+    @classmethod
+    def eval_soa(cls, rows: np.ndarray, keys: np.ndarray) -> np.ndarray:
+        x = np.asarray(keys, dtype=np.uint64)
+        out = np.zeros(len(x), dtype=np.float64)
+        # Rows with right_shift >= 64 predict 0 (see predict_batch);
+        # masking them out also keeps the uint64 shifts well-defined.
+        active = rows[:, 1] < float(KEY_BITS)
+        if np.any(active):
+            shifted = np.left_shift(x[active], rows[active, 0].astype(np.uint64))
+            out[active] = np.right_shift(
+                shifted, rows[active, 1].astype(np.uint64)
+            ).astype(np.float64)
+        return out
 
     def predict_batch(self, keys: np.ndarray) -> np.ndarray:
         x = np.asarray(keys, dtype=np.uint64)
@@ -460,6 +822,23 @@ MODEL_TYPES: dict[str, Type[Model]] = {
     "const": ConstantModel,
     "auto": AutoModel,
 }
+
+
+# SoA codes 0..4 mirror the serialization codes of ``core/serialize.py``;
+# extension modules (models_more) register codes from 5 upward.
+register_soa_model(ConstantModel, 0)
+register_soa_model(LinearRegression, 1)
+register_soa_model(LinearSpline, 2)
+register_soa_model(CubicSpline, 3)
+register_soa_model(Radix, 4)
+
+# Radix deliberately has no grouped fitter: its training is two integer
+# bit_length computations per segment — already O(1), awkward to
+# vectorize, and only ever used for fanout-1 root layers in practice.
+GROUPED_FITTERS[ConstantModel] = ConstantModel.fit_grouped
+GROUPED_FITTERS[LinearRegression] = LinearRegression.fit_grouped
+GROUPED_FITTERS[LinearSpline] = LinearSpline.fit_grouped
+GROUPED_FITTERS[CubicSpline] = CubicSpline.fit_grouped
 
 
 def resolve_model_type(spec: "str | Type[Model]") -> Type[Model]:

@@ -33,9 +33,94 @@ from typing import ClassVar
 
 import numpy as np
 
-from .models import MODEL_TYPES, Model
+from .models import (
+    GROUPED_FITTERS,
+    MODEL_TYPES,
+    SOA_MODEL_CODES,
+    SOA_PARAM_COLUMNS,
+    ConstantModel,
+    Model,
+    _segment_sums,
+    register_soa_model,
+)
 
 __all__ = ["LogLinear", "NormalCdf", "LogNormalCdf"]
+
+
+def _grouped_ols(
+    x: np.ndarray, targets: np.ndarray, offsets: np.ndarray, code: int
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Grouped centered least squares on a pre-transformed regressor.
+
+    Shared by :class:`LogLinear` (``x = log1p(keys)``); mirrors
+    ``LinearRegression.fit_grouped`` in ``core/models.py``.
+    """
+    counts = np.diff(offsets)
+    fanout = len(counts)
+    y = np.asarray(targets, dtype=np.float64)
+    nonempty = counts > 0
+    codes = np.where(
+        nonempty, code, SOA_MODEL_CODES[ConstantModel]
+    ).astype(np.int8)
+    params = np.zeros((fanout, SOA_PARAM_COLUMNS), dtype=np.float64)
+    if not np.any(nonempty):
+        return codes, params
+    safe = np.maximum(counts, 1).astype(np.float64)
+    mx = _segment_sums(x, offsets) / safe
+    my = _segment_sums(y, offsets) / safe
+    seg = np.repeat(np.arange(fanout), counts)
+    dx = x - mx[seg]
+    dy = y - my[seg]
+    denom = _segment_sums(dx * dx, offsets)
+    num = _segment_sums(dx * dy, offsets)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        slope = np.where(denom > 0.0, num / denom, 0.0)
+    intercept = my - slope * mx
+    params[nonempty, 0] = slope[nonempty]
+    params[nonempty, 1] = intercept[nonempty]
+    return codes, params
+
+
+def _grouped_moments_cdf(
+    x: np.ndarray, targets: np.ndarray, offsets: np.ndarray, code: int
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Grouped method-of-moments fit for the scaled CDF models.
+
+    ``x`` is the (possibly log-transformed) float64 key array.  Row
+    layout matches the dataclass field order: mu, sigma, scale, offset.
+    """
+    counts = np.diff(offsets)
+    fanout = len(counts)
+    y = np.asarray(targets, dtype=np.float64)
+    nonempty = counts > 0
+    codes = np.where(
+        nonempty, code, SOA_MODEL_CODES[ConstantModel]
+    ).astype(np.int8)
+    params = np.zeros((fanout, SOA_PARAM_COLUMNS), dtype=np.float64)
+    if not np.any(nonempty):
+        return codes, params
+    safe = np.maximum(counts, 1).astype(np.float64)
+    mx = _segment_sums(x, offsets) / safe
+    my = _segment_sums(y, offsets) / safe
+    seg = np.repeat(np.arange(fanout), counts)
+    dx = x - mx[seg]
+    sigma = np.sqrt(_segment_sums(dx * dx, offsets) / safe)
+    first = offsets[:-1]
+    last = offsets[1:] - 1
+    degenerate = (counts <= 1) | (sigma == 0.0)
+    rows = np.zeros((fanout, SOA_PARAM_COLUMNS), dtype=np.float64)
+    rows[:, 0] = mx
+    rows[:, 1] = np.where(degenerate, 1.0, sigma)
+    ok = nonempty & ~degenerate
+    if np.any(ok):
+        rows[ok, 2] = y[last[ok]] - y[first[ok]]
+        rows[ok, 3] = y[first[ok]]
+    deg = nonempty & degenerate
+    if np.any(deg):
+        rows[deg, 0] = x[first[deg]]
+        rows[deg, 3] = my[deg]
+    params[nonempty] = rows[nonempty]
+    return codes, params
 
 _SQRT2 = math.sqrt(2.0)
 
@@ -90,6 +175,18 @@ class LogLinear(Model):
         slope = float(np.dot(dx, y - my) / denom)
         return cls(slope, my - slope * mx)
 
+    @classmethod
+    def fit_grouped(
+        cls, keys: np.ndarray, targets: np.ndarray, offsets: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        x = np.log1p(np.asarray(keys, dtype=np.float64))
+        return _grouped_ols(x, targets, offsets, SOA_MODEL_CODES[cls])
+
+    @classmethod
+    def eval_soa(cls, rows: np.ndarray, keys: np.ndarray) -> np.ndarray:
+        x = np.log1p(np.asarray(keys, dtype=np.float64))
+        return rows[:, 0] * x + rows[:, 1]
+
     def predict_batch(self, keys: np.ndarray) -> np.ndarray:
         x = np.log1p(np.asarray(keys, dtype=np.float64))
         return self.slope * x + self.intercept
@@ -127,6 +224,20 @@ class NormalCdf(Model):
         span = float(y[-1] - y[0])
         return cls(mu=float(x.mean()), sigma=sigma, scale=span,
                    offset=float(y[0]))
+
+    @classmethod
+    def fit_grouped(
+        cls, keys: np.ndarray, targets: np.ndarray, offsets: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        x = np.asarray(keys, dtype=np.float64)
+        return _grouped_moments_cdf(x, targets, offsets, SOA_MODEL_CODES[cls])
+
+    @classmethod
+    def eval_soa(cls, rows: np.ndarray, keys: np.ndarray) -> np.ndarray:
+        x = np.asarray(keys, dtype=np.float64)
+        z = (x - rows[:, 0]) / rows[:, 1]
+        out = rows[:, 3] + rows[:, 2] * _phi(z)
+        return np.where(rows[:, 2] == 0.0, rows[:, 3], out)
 
     def predict_batch(self, keys: np.ndarray) -> np.ndarray:
         if self.scale == 0.0:
@@ -168,6 +279,20 @@ class LogNormalCdf(Model):
         return cls(mu=float(x.mean()), sigma=sigma, scale=span,
                    offset=float(y[0]))
 
+    @classmethod
+    def fit_grouped(
+        cls, keys: np.ndarray, targets: np.ndarray, offsets: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        x = np.log1p(np.asarray(keys, dtype=np.float64))
+        return _grouped_moments_cdf(x, targets, offsets, SOA_MODEL_CODES[cls])
+
+    @classmethod
+    def eval_soa(cls, rows: np.ndarray, keys: np.ndarray) -> np.ndarray:
+        x = np.log1p(np.asarray(keys, dtype=np.float64))
+        z = (x - rows[:, 0]) / rows[:, 1]
+        out = rows[:, 3] + rows[:, 2] * _phi(z)
+        return np.where(rows[:, 2] == 0.0, rows[:, 3], out)
+
     def predict_batch(self, keys: np.ndarray) -> np.ndarray:
         if self.scale == 0.0:
             return np.full(len(keys), self.offset, dtype=np.float64)
@@ -184,3 +309,12 @@ class LogNormalCdf(Model):
 MODEL_TYPES["logl"] = LogLinear
 MODEL_TYPES["normal"] = NormalCdf
 MODEL_TYPES["lognorm"] = LogNormalCdf
+
+# SoA codes continue past the serialization codes 0..4 of core models.
+register_soa_model(LogLinear, 5)
+register_soa_model(NormalCdf, 6)
+register_soa_model(LogNormalCdf, 7)
+
+GROUPED_FITTERS[LogLinear] = LogLinear.fit_grouped
+GROUPED_FITTERS[NormalCdf] = NormalCdf.fit_grouped
+GROUPED_FITTERS[LogNormalCdf] = LogNormalCdf.fit_grouped

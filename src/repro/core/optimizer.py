@@ -64,39 +64,57 @@ def lookup_cost_proxy(rmi: RMI) -> tuple[float, float]:
     return eval_units + comparisons, med
 
 
+def _evaluate_config(keys: np.ndarray, config: RMIConfig) -> OptimizerResult:
+    """Build one configuration and measure its size/cost proxies.
+
+    Module-level (not a closure) so :func:`grid_search` can dispatch it
+    to worker processes via :mod:`repro.bench.parallel`.
+    """
+    rmi = config.build(keys)
+    cost, med = lookup_cost_proxy(rmi)
+    return OptimizerResult(
+        config=config,
+        size_bytes=rmi.size_in_bytes(),
+        lookup_cost=cost,
+        median_interval=med,
+        build_seconds=rmi.build_stats.total_seconds,
+    )
+
+
 def grid_search(
     keys: np.ndarray,
     layer2_sizes: Sequence[int],
     root_types: Iterable[str] = ROOT_MODEL_TYPES,
     leaf_types: Iterable[str] = LEAF_MODEL_TYPES,
     bound_type: str = "labs",
+    jobs: int = 1,
+    grouped_fit: bool = True,
 ) -> list[OptimizerResult]:
     """Evaluate the full (root, leaf, size) grid on ``keys``.
 
-    Returns every evaluated configuration; feed the result through
-    :func:`pareto_front` for the CDFShop-style recommendation set.
+    Returns every evaluated configuration in deterministic
+    (root, leaf, size) order regardless of ``jobs``; feed the result
+    through :func:`pareto_front` for the CDFShop-style recommendation
+    set.  ``jobs > 1`` builds configurations in a process pool (the
+    keys array is shared with workers once, not per task).
     """
-    results = []
-    for root in root_types:
-        for leaf in leaf_types:
-            for size in layer2_sizes:
-                config = RMIConfig(
-                    model_types=(root, leaf),
-                    layer_sizes=(int(size),),
-                    bound_type=bound_type,
-                )
-                rmi = config.build(keys)
-                cost, med = lookup_cost_proxy(rmi)
-                results.append(
-                    OptimizerResult(
-                        config=config,
-                        size_bytes=rmi.size_in_bytes(),
-                        lookup_cost=cost,
-                        median_interval=med,
-                        build_seconds=rmi.build_stats.total_seconds,
-                    )
-                )
-    return results
+    configs = [
+        RMIConfig(
+            model_types=(root, leaf),
+            layer_sizes=(int(size),),
+            bound_type=bound_type,
+            grouped_fit=grouped_fit,
+        )
+        for root in root_types
+        for leaf in leaf_types
+        for size in layer2_sizes
+    ]
+    if jobs > 1:
+        # Imported lazily: core must stay importable without bench.
+        from repro.bench.parallel import pool_map_keys
+
+        return pool_map_keys(_evaluate_config, keys, configs, jobs=jobs)
+    return [_evaluate_config(keys, config) for config in configs]
 
 
 def pareto_front(results: Sequence[OptimizerResult]) -> list[OptimizerResult]:

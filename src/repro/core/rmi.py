@@ -36,7 +36,8 @@ from typing import Sequence
 import numpy as np
 
 from .bounds import ErrorBounds, NoBounds, compute_bounds, resolve_bound_type
-from .models import ConstantModel, CubicSpline, Model, resolve_model_type
+from .layers import LayerTable
+from .models import ConstantModel, CubicSpline, Model, grouped_fitter, resolve_model_type
 from .search import batch_lower_bound_window, resolve_search_algorithm
 
 __all__ = ["RMI", "BuildStats", "LookupTrace", "build_rmi_layers"]
@@ -58,6 +59,10 @@ class BuildStats:
     bounds_seconds: float = 0.0
     keys_copied: int = 0  # keys physically copied (reference algorithm only)
     keys_touched: int = 0  # model-evaluation count during the build
+    #: Which code path trained the (multi-model) leaf layer:
+    #: ``"grouped"`` for the closed-form all-segments-at-once fit,
+    #: ``"per_segment"`` for the Listing-1 style Python loop.
+    fit_path: str = "grouped"
 
     @property
     def total_seconds(self) -> float:
@@ -66,6 +71,16 @@ class BuildStats:
             + self.segment_seconds
             + self.train_leaves_seconds
             + self.bounds_seconds
+        )
+
+    def describe(self) -> str:
+        """One-line summary, e.g. ``0.012s total (grouped fit)``."""
+        return (
+            f"{self.total_seconds:.4f}s total "
+            f"(root {self.train_root_seconds:.4f}s, "
+            f"segment {self.segment_seconds:.4f}s, "
+            f"leaves {self.train_leaves_seconds:.4f}s, "
+            f"bounds {self.bounds_seconds:.4f}s; {self.fit_path} fit)"
         )
 
 
@@ -88,6 +103,25 @@ def _fit_model(model_type: type[Model], keys: np.ndarray, targets: np.ndarray,
     if model_type is CubicSpline and cs_fallback:
         return CubicSpline.fit_with_fallback(keys, targets)
     return model_type.fit(keys, targets)
+
+
+def _predict_routed(layer, queries: np.ndarray,
+                    model_ids: np.ndarray) -> np.ndarray:
+    """Evaluate ``layer[model_ids[i]]`` on ``queries[i]`` for all i.
+
+    Dispatches to :meth:`LayerTable.predict_routed` (SoA gathers) when
+    available; plain model lists (e.g. deserialized RMIs from older
+    code paths) fall back to the per-model loop.
+    """
+    if hasattr(layer, "predict_routed"):
+        return layer.predict_routed(queries, model_ids)
+    if len(layer) == 1:
+        return layer[0].predict_batch(queries)
+    out = np.empty(len(queries), dtype=np.float64)
+    for j in np.unique(model_ids):
+        mask = model_ids == j
+        out[mask] = layer[j].predict_batch(queries[mask])
+    return out
 
 
 def _assignments(predictions: np.ndarray, fanout: int, n: int,
@@ -132,6 +166,13 @@ class RMI:
     ``cs_fallback``
         Replace a cubic-spline model by a linear spline when the linear
         spline has the lower maximum training error (footnote 1).
+    ``grouped_fit``
+        Train multi-model layers with the grouped closed-form fitters
+        (all segments at once, NumPy reductions) instead of the
+        per-segment Python loop.  Both paths produce the same models —
+        bit-exact for the spline families, up to summation order (a few
+        ulp) for the mean-based ones; disable for the per-segment
+        Listing-1 reference semantics.
     """
 
     def __init__(
@@ -144,6 +185,7 @@ class RMI:
         copy_keys: bool = False,
         train_on_model_index: bool = True,
         cs_fallback: bool = True,
+        grouped_fit: bool = True,
     ) -> None:
         keys = np.ascontiguousarray(keys, dtype=np.uint64)
         if len(keys) == 0:
@@ -168,8 +210,9 @@ class RMI:
         self.copy_keys = copy_keys
         self.train_on_model_index = train_on_model_index
         self.cs_fallback = cs_fallback
+        self.grouped_fit = grouped_fit
 
-        self.layers: list[list[Model]] = []
+        self.layers: list[LayerTable] = []
         self.bounds: ErrorBounds = NoBounds(self.n)
         self.build_stats = BuildStats()
         self._leaf_model_ids: np.ndarray | None = None
@@ -181,7 +224,9 @@ class RMI:
     # ------------------------------------------------------------------
 
     def _build(self) -> None:
-        stats = BuildStats()
+        stats = BuildStats(
+            fit_path="grouped" if self.grouped_fit else "per_segment"
+        )
         n = self.n
         positions = np.arange(n, dtype=np.float64)
         num_layers = len(self.layer_sizes)
@@ -189,9 +234,12 @@ class RMI:
         # Current key->model assignment, non-decreasing when the no-copy
         # path applies.  ``order`` maps the training order back to array
         # positions (identity unless a non-monotonic model interleaved
-        # segments or copy_keys forced the reference path).
+        # segments or copy_keys forced the reference path).  While it
+        # stays the identity, the per-layer gathers/scatters through it
+        # are skipped entirely.
         assign = np.zeros(n, dtype=np.int64)
         order = np.arange(n, dtype=np.int64)
+        identity_order = True
 
         for depth in range(num_layers):
             fanout = self.layer_sizes[depth]
@@ -201,41 +249,84 @@ class RMI:
 
             # --- gather keys per model -------------------------------
             t0 = time.perf_counter()
-            if self.copy_keys or np.any(np.diff(assign) < 0):
+            # A monotonic single-model previous layer produces
+            # non-decreasing assignments by construction, letting both
+            # the O(n) ordering scan and the stable argsort be skipped.
+            # Multi-model layers do not qualify even when every model
+            # is monotone: independently fitted neighbours can still
+            # cross at segment boundaries.
+            ordered_known = depth == 0 or (
+                len(self.layers[depth - 1]) == 1
+                and self.layers[depth - 1][0].is_monotonic()
+            )
+            if self.copy_keys or (
+                not ordered_known and np.any(np.diff(assign) < 0)
+            ):
                 perm = np.argsort(assign, kind="stable")
                 order = order[perm]
                 assign = assign[perm]
-            ordered_keys = self.keys[order]
+                identity_order = False
+            ordered_keys = self.keys if identity_order else self.keys[order]
             if self.copy_keys:
                 # Reference algorithm: physically materialize per-model
                 # key arrays (Listing 1, line 11).
                 ordered_keys = ordered_keys.copy()
                 stats.keys_copied += n
-            counts = np.bincount(assign, minlength=fanout)
+            if fanout == 1:
+                counts = np.asarray([n], dtype=np.int64)
+            else:
+                counts = np.bincount(assign, minlength=fanout)
             offsets = np.concatenate(([0], np.cumsum(counts)))
             t1 = time.perf_counter()
             if depth > 0:
                 stats.segment_seconds += t1 - t0
 
             # --- choose targets --------------------------------------
+            ordered_positions = (
+                positions if identity_order else positions[order]
+            )
             if last_layer:
-                targets = positions[order]
+                targets = ordered_positions
             elif self.train_on_model_index:
-                targets = positions[order] * (next_fanout / n)
+                targets = ordered_positions * (next_fanout / n)
             else:
-                targets = positions[order]
+                targets = ordered_positions
 
             # --- train models ----------------------------------------
             t2 = time.perf_counter()
-            layer = [
-                _fit_model(
-                    model_type,
-                    ordered_keys[offsets[j] : offsets[j + 1]],
-                    targets[offsets[j] : offsets[j + 1]],
-                    self.cs_fallback,
+            fitter = (
+                grouped_fitter(model_type, self.cs_fallback)
+                if self.grouped_fit and fanout > 1
+                else None
+            )
+            if fitter is not None:
+                codes, params = fitter(ordered_keys, targets, offsets)
+                layer = LayerTable(codes, params)
+                layer_fit_path = "grouped"
+            else:
+                # Per-segment reference path: fanout-1 layers (nothing
+                # to group — and fitting the root per segment keeps it
+                # bit-identical to the reference, so downstream segment
+                # assignments match exactly), model families without a
+                # grouped fitter, and the grouped_fit=False escape.
+                # grouped_fit=False also keeps the layer in object form,
+                # so whole-layer evaluation runs the reference per-model
+                # loops rather than the SoA gathers.
+                layer = LayerTable.from_models(
+                    [
+                        _fit_model(
+                            model_type,
+                            ordered_keys[offsets[j] : offsets[j + 1]],
+                            targets[offsets[j] : offsets[j + 1]],
+                            self.cs_fallback,
+                        )
+                        for j in range(fanout)
+                    ],
+                    soa=self.grouped_fit,
                 )
-                for j in range(fanout)
-            ]
+                layer_fit_path = "per_segment"
+            if fanout > 1:
+                stats.fit_path = layer_fit_path
             self.layers.append(layer)
             t3 = time.perf_counter()
             if depth == 0:
@@ -246,18 +337,20 @@ class RMI:
             # --- assign keys to the next layer ------------------------
             if not last_layer:
                 t4 = time.perf_counter()
-                nxt = np.empty(n, dtype=np.int64)
-                for j in range(fanout):
-                    lo, hi = offsets[j], offsets[j + 1]
-                    if lo == hi:
-                        continue
-                    preds = layer[j].predict_batch(ordered_keys[lo:hi])
-                    stats.keys_touched += hi - lo
-                    nxt[lo:hi] = _assignments(
-                        preds, next_fanout, n, self.train_on_model_index
+                if fanout == 1:
+                    preds = _predict_routed(layer, ordered_keys, None)
+                else:
+                    seg_ids = np.repeat(
+                        np.arange(fanout, dtype=np.int64), counts
                     )
-                assign = nxt
+                    preds = _predict_routed(layer, ordered_keys, seg_ids)
+                stats.keys_touched += n
+                assign = _assignments(
+                    preds, next_fanout, n, self.train_on_model_index
+                )
                 stats.segment_seconds += time.perf_counter() - t4
+            elif identity_order:
+                self._leaf_model_ids = assign
             else:
                 leaf_ids = np.empty(n, dtype=np.int64)
                 leaf_ids[order] = assign
@@ -292,13 +385,20 @@ class RMI:
 
         The paper restricts last-layer models to LR and LS (both linear),
         so batch lookups can evaluate the whole last layer with two
-        gathers and a fused multiply-add.
+        gathers and a fused multiply-add.  Only models that are linear
+        *in the key* qualify — LogLinear also carries a slope/intercept
+        pair but is linear in ``log1p(x)`` and must not be fused here.
         """
         leaves = self.layers[-1]
+        if hasattr(leaves, "linear_params"):
+            self._leaf_linear = leaves.linear_params()
+            return
+        from .models import LinearRegression, LinearSpline
+
         slopes = np.empty(len(leaves), dtype=np.float64)
         intercepts = np.empty(len(leaves), dtype=np.float64)
         for j, m in enumerate(leaves):
-            if hasattr(m, "slope") and hasattr(m, "intercept"):
+            if isinstance(m, (LinearRegression, LinearSpline)):
                 slopes[j] = m.slope
                 intercepts[j] = m.intercept
             elif isinstance(m, ConstantModel):
@@ -319,13 +419,7 @@ class RMI:
         for depth in range(len(self.layer_sizes) - 1):
             layer = self.layers[depth]
             next_fanout = self.layer_sizes[depth + 1]
-            preds = np.empty(len(queries), dtype=np.float64)
-            if len(layer) == 1:
-                preds = layer[0].predict_batch(queries)
-            else:
-                for j in np.unique(assign):
-                    mask = assign == j
-                    preds[mask] = layer[j].predict_batch(queries[mask])
+            preds = _predict_routed(layer, queries, assign)
             assign = _assignments(
                 preds, next_fanout, self.n, self.train_on_model_index
             )
@@ -341,10 +435,7 @@ class RMI:
                 model_ids
             ]
         else:
-            est = np.empty(len(queries), dtype=np.float64)
-            for j in np.unique(model_ids):
-                mask = model_ids == j
-                est[mask] = self.layers[-1][j].predict_batch(queries[mask])
+            est = _predict_routed(self.layers[-1], queries, model_ids)
         est = np.clip(np.nan_to_num(est), 0.0, float(self.n - 1))
         return est.astype(np.int64)
 
@@ -461,7 +552,12 @@ class RMI:
         Matches the paper's accounting: the sorted data array itself is
         not part of the index.
         """
-        model_bytes = sum(m.size_in_bytes() for layer in self.layers for m in layer)
+        model_bytes = sum(
+            layer.size_in_bytes()
+            if hasattr(layer, "size_in_bytes")
+            else sum(m.size_in_bytes() for m in layer)
+            for layer in self.layers
+        )
         return model_bytes + self.bounds.size_in_bytes()
 
     def describe(self) -> str:

@@ -92,6 +92,26 @@ def save_rmi(rmi: RMI, path: "str | os.PathLike",
         "bound_abbrev": np.array([rmi.bounds.abbreviation]),
     }
     for i, layer in enumerate(rmi.layers):
+        soa_codes = getattr(layer, "codes", None)
+        if soa_codes is not None:
+            # SoA layer tables share this module's code/param layout,
+            # so they serialize without materializing model objects.
+            # Codes beyond the Table 2 families (extension models) are
+            # rejected like their object counterparts below.
+            if np.any(soa_codes > max(_MODEL_CODES.values())):
+                bad = int(np.max(soa_codes))
+                from .models import SOA_CODE_MODELS
+
+                raise TypeError(
+                    f"{SOA_CODE_MODELS[bad].__name__} is not serializable; "
+                    "only the Table 2 model families (and ConstantModel) "
+                    "are supported"
+                )
+            payload[f"layer{i}_codes"] = np.asarray(soa_codes, dtype=np.int8)
+            payload[f"layer{i}_params"] = np.asarray(
+                layer.params, dtype=np.float64
+            )
+            continue
         for m in layer:
             if type(m) not in _MODEL_CODES:
                 raise TypeError(
@@ -156,16 +176,25 @@ def load_rmi(path: "str | os.PathLike",
         rmi.train_on_model_index = bool(int(data["train_on_model_index"][0]))
         rmi.copy_keys = False
         rmi.cs_fallback = True
+        rmi.grouped_fit = True
         from .rmi import BuildStats
 
         rmi.build_stats = BuildStats()
+
+        from .layers import LayerTable
 
         rmi.layers = []
         for i in range(len(rmi.layer_sizes)):
             codes = data[f"layer{i}_codes"]
             params = data[f"layer{i}_params"]
+            # The on-disk codes/params layout is exactly the SoA layer
+            # layout (shared dataclass-field convention), so layers are
+            # restored without materializing per-segment objects.
             rmi.layers.append(
-                [_model_from_params(c, p) for c, p in zip(codes, params)]
+                LayerTable(
+                    codes.astype(np.int8),
+                    np.ascontiguousarray(params, dtype=np.float64),
+                )
             )
         rmi.model_types = [type(layer[0]) for layer in rmi.layers]
 

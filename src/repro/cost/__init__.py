@@ -1,11 +1,12 @@
 """Operation counting and the analytic latency model."""
 
 from .calibrate import calibrate_machine, measure_chase_latency
-from .counters import OperationCounters
+from .counters import BuildCounters, OperationCounters
 from .model import XEON_E5_2620V4, CostModel, MachineModel
 
 __all__ = [
     "OperationCounters",
+    "BuildCounters",
     "CostModel",
     "MachineModel",
     "XEON_E5_2620V4",

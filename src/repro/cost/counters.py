@@ -15,7 +15,43 @@ from typing import Iterable
 
 import numpy as np
 
-__all__ = ["OperationCounters"]
+__all__ = ["OperationCounters", "BuildCounters"]
+
+
+@dataclass(frozen=True)
+class BuildCounters:
+    """Machine-independent work counters of one RMI build.
+
+    Complements the wall-clock timings in
+    :class:`repro.core.rmi.BuildStats` with quantities that are stable
+    across machines: how many keys were indexed, how many models were
+    trained, how many model evaluations the build performed
+    (``keys_touched``), how many keys were physically copied (reference
+    algorithm only), and which fit path produced the leaf layer.
+    """
+
+    num_keys: int
+    models_trained: int
+    keys_touched: int
+    keys_copied: int
+    fit_path: str
+
+    @classmethod
+    def from_rmi(cls, rmi) -> "BuildCounters":
+        """Extract counters from a trained RMI (duck-typed)."""
+        stats = rmi.build_stats
+        return cls(
+            num_keys=int(rmi.n),
+            models_trained=int(sum(len(layer) for layer in rmi.layers)),
+            keys_touched=int(stats.keys_touched),
+            keys_copied=int(stats.keys_copied),
+            fit_path=str(stats.fit_path),
+        )
+
+    @property
+    def touches_per_key(self) -> float:
+        """Model evaluations per indexed key (layers visited per key)."""
+        return self.keys_touched / max(self.num_keys, 1)
 
 
 @dataclass(frozen=True)

@@ -70,6 +70,34 @@ class TestBenchCli:
         with pytest.raises(ValueError):
             bench_cli(["fig99"])
 
+    def test_build_benchmark_subcommand(self, tmp_path, capsys):
+        out_file = tmp_path / "BENCH_build.json"
+        assert bench_cli(["build", "--n", "5000", "--layer2-size", "256",
+                          "--out", str(out_file),
+                          "--min-speedup", "1.0"]) == 0
+        text = capsys.readouterr().out
+        assert "grouped vs per-segment" in text and "speedup" in text
+        import json
+
+        report = json.loads(out_file.read_text())
+        assert report["n"] == 5000
+        assert {e["grouped"]["fit_path"] for e in report["configs"]} \
+            == {"grouped"}
+        assert {e["reference"]["fit_path"] for e in report["configs"]} \
+            == {"per_segment"}
+        assert report["min_speedup"] > 0
+
+    def test_build_benchmark_min_speedup_gate(self, capsys):
+        # An absurd floor must fail the gate with exit code 1.
+        assert bench_cli(["build", "--n", "5000", "--layer2-size", "256",
+                          "--min-speedup", "1e9"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_jobs_flag_forwarded_only_where_accepted(self, capsys):
+        # fig02's driver takes no ``jobs``; the registry must drop it
+        # rather than crash.
+        assert bench_cli(["fig02", "--n", "3000", "--jobs", "2"]) == 0
+
     def test_csv_and_json_export(self, tmp_path, capsys):
         assert bench_cli(["fig02", "--n", "3000",
                           "--csv", str(tmp_path / "csv"),

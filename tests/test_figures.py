@@ -167,7 +167,11 @@ class TestFig11:
     def test_panels_present_and_ablation_direction(self):
         r = figures.fig11_build_time(segment_counts=[64], **TINY)
         panels = {row["panel"] for row in r.rows}
-        assert panels == {"root", "leaf", "bounds", "ablation"}
+        assert panels == {"root", "leaf", "bounds", "ablation", "fit"}
+        # The fit-path ablation reports which trainer produced each row.
+        fits = {row["variant"]: row["fit"] for row in r.series(panel="fit")}
+        assert fits == {"grouped": "grouped",
+                        "per_segment": "per_segment"}
         nocopy = r.series(panel="ablation", variant="no-copy")[0]["build_s"]
         copy = r.series(panel="ablation", variant="copy")[0]["build_s"]
         # The paper's 2x claim holds at benchmark scale (see

@@ -1,0 +1,227 @@
+"""Parity suite: grouped closed-form fits vs the per-segment reference.
+
+The grouped fitters (``fit_grouped``) must reproduce the per-segment
+``fit`` results for every model family:
+
+* LinearSpline and CubicSpline use elementwise-identical formulas, so
+  their grouped parameters are **bit-exact** equal to the per-segment
+  ones;
+* ConstantModel and LinearRegression differ only in summation order
+  (``np.mean`` / ``np.dot`` sum pairwise, ``np.add.reduceat``
+  sequentially), so parameters and predictions agree to a few ulp --
+  the documented tolerance here is relative 1e-10;
+* whole-RMI builds must be **structurally identical** either way:
+  same leaf assignments, same error-bound payloads, same size, same
+  lookup results.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import data
+from repro.core.builder import RMIConfig
+from repro.core.models import (
+    GROUPED_FITTERS,
+    SOA_MODEL_CODES,
+    ConstantModel,
+    CubicSpline,
+    LinearRegression,
+    LinearSpline,
+    Radix,
+    grouped_fitter,
+)
+from repro.core.rmi import _fit_model
+
+DATASETS = ("books", "fb", "osmc", "wiki")
+MODEL_TYPES = (ConstantModel, LinearRegression, LinearSpline, CubicSpline)
+
+
+def _reference_rows(model_type, keys, targets, offsets, cs_fallback=True):
+    """Per-segment fits, expressed as (codes, params) SoA arrays."""
+    codes, rows = [], []
+    for s, e in zip(offsets[:-1], offsets[1:]):
+        model = _fit_model(model_type, keys[s:e], targets[s:e], cs_fallback)
+        codes.append(SOA_MODEL_CODES[type(model)])
+        rows.append(model.soa_row())
+    return np.asarray(codes, dtype=np.int8), np.asarray(rows)
+
+
+def _offsets_with_edge_cases(n: int, fanout: int, seed: int = 0):
+    """Segment boundaries exercising empty and single-key segments."""
+    rng = np.random.default_rng(seed)
+    cuts = np.sort(rng.integers(0, n + 1, size=fanout - 1))
+    offsets = np.concatenate(([0], cuts, [n])).astype(np.int64)
+    # Force at least one empty and one single-key segment.
+    if fanout >= 4:
+        offsets[2] = offsets[1]          # empty segment
+        offsets[3] = min(offsets[2] + 1, n)  # single-key segment
+        offsets[3:] = np.maximum.accumulate(offsets[3:])
+        offsets[-1] = n
+    return offsets
+
+
+class TestGroupedParameterParity:
+    @pytest.mark.parametrize("dataset", DATASETS)
+    @pytest.mark.parametrize("model_type", MODEL_TYPES,
+                             ids=lambda t: t.__name__)
+    def test_params_match_per_segment(self, small_datasets, dataset,
+                                      model_type):
+        keys = small_datasets[dataset]
+        targets = np.arange(len(keys), dtype=np.float64)
+        offsets = _offsets_with_edge_cases(len(keys), fanout=64, seed=7)
+        fitter = grouped_fitter(model_type)
+        codes, params = fitter(keys, targets, offsets)
+        ref_codes, ref_params = _reference_rows(
+            model_type, keys, targets, offsets
+        )
+        np.testing.assert_array_equal(codes, ref_codes)
+        if model_type in (LinearSpline, CubicSpline):
+            # Elementwise-identical formulas: bit-exact.
+            np.testing.assert_array_equal(params, ref_params)
+        else:
+            # Summation-order difference only: a few ulp.
+            np.testing.assert_allclose(params, ref_params, rtol=1e-10,
+                                       atol=1e-8)
+
+    @pytest.mark.parametrize("model_type", MODEL_TYPES,
+                             ids=lambda t: t.__name__)
+    def test_predictions_match_per_segment(self, books_keys, model_type):
+        keys = books_keys
+        targets = np.arange(len(keys), dtype=np.float64)
+        offsets = _offsets_with_edge_cases(len(keys), fanout=32, seed=3)
+        fitter = grouped_fitter(model_type)
+        codes, params = fitter(keys, targets, offsets)
+        for j, (s, e) in enumerate(zip(offsets[:-1], offsets[1:])):
+            if s == e:
+                continue
+            model = _fit_model(model_type, keys[s:e], targets[s:e], True)
+            from repro.core.models import SOA_CODE_MODELS
+
+            cls = SOA_CODE_MODELS[int(codes[j])]
+            got = cls.eval_soa(
+                np.broadcast_to(params[j], (e - s, params.shape[1])),
+                keys[s:e],
+            )
+            want = model.predict_batch(keys[s:e])
+            np.testing.assert_allclose(got, want, rtol=1e-10,
+                                       atol=1e-8 * max(len(keys), 1))
+
+    def test_all_equal_keys_segment(self):
+        """Duplicate-only segments hit every family's degenerate path."""
+        keys = np.full(32, 1000, dtype=np.uint64)
+        targets = np.arange(32, dtype=np.float64)
+        offsets = np.asarray([0, 32], dtype=np.int64)
+        for model_type in MODEL_TYPES:
+            codes, params = grouped_fitter(model_type)(keys, targets, offsets)
+            ref_codes, ref_params = _reference_rows(
+                model_type, keys, targets, offsets
+            )
+            np.testing.assert_array_equal(codes, ref_codes)
+            np.testing.assert_allclose(params, ref_params, rtol=1e-12,
+                                       atol=1e-12)
+
+    def test_empty_and_single_key_segments(self):
+        keys = np.asarray([10, 20, 30], dtype=np.uint64)
+        targets = np.asarray([0.0, 1.0, 2.0])
+        offsets = np.asarray([0, 0, 1, 1, 3, 3], dtype=np.int64)
+        for model_type in MODEL_TYPES:
+            codes, params = grouped_fitter(model_type)(keys, targets, offsets)
+            ref_codes, ref_params = _reference_rows(
+                model_type, keys, targets, offsets
+            )
+            np.testing.assert_array_equal(codes, ref_codes)
+            np.testing.assert_allclose(params, ref_params, rtol=1e-12,
+                                       atol=1e-12)
+
+    def test_registry_is_exact_class_keyed(self):
+        """Subclasses never silently inherit a mismatched grouped path."""
+
+        class TweakedLR(LinearRegression):
+            pass
+
+        assert grouped_fitter(TweakedLR) is None
+        assert LinearRegression in GROUPED_FITTERS
+        # Radix is root-only (never trained per-segment on a sliced
+        # layer), so it deliberately has no grouped fitter.
+        assert grouped_fitter(Radix) is None
+
+
+def _bounds_payload(bounds):
+    abbrev = bounds.abbreviation
+    if abbrev == "lind":
+        return bounds.min_err, bounds.max_err
+    if abbrev == "labs":
+        return (bounds.abs_err,)
+    if abbrev == "gind":
+        return (bounds.min_err, bounds.max_err)
+    if abbrev == "gabs":
+        return (bounds.abs_err,)
+    return ()
+
+
+class TestStructuralBuildParity:
+    @pytest.mark.parametrize("dataset", DATASETS)
+    @pytest.mark.parametrize("model_types", [("ls", "lr"), ("lr", "cs"),
+                                             ("rx", "lr"), ("cs", "ls")])
+    def test_grouped_build_equals_reference(self, small_datasets, dataset,
+                                            model_types):
+        keys = small_datasets[dataset]
+        base = dict(model_types=model_types, layer_sizes=(128,),
+                    bound_type="lind")
+        grouped = RMIConfig(grouped_fit=True, **base).build(keys)
+        reference = RMIConfig(grouped_fit=False, **base).build(keys)
+        np.testing.assert_array_equal(
+            grouped.leaf_model_ids, reference.leaf_model_ids
+        )
+        for g, r in zip(_bounds_payload(grouped.bounds),
+                        _bounds_payload(reference.bounds)):
+            np.testing.assert_array_equal(g, r)
+        assert grouped.size_in_bytes() == reference.size_in_bytes()
+        rng = np.random.default_rng(99)
+        queries = rng.choice(keys, size=512)
+        np.testing.assert_array_equal(
+            grouped.lookup_batch(queries), reference.lookup_batch(queries)
+        )
+
+    def test_fit_path_reported(self, books_keys):
+        grouped = RMIConfig(grouped_fit=True).build(books_keys)
+        reference = RMIConfig(grouped_fit=False).build(books_keys)
+        assert grouped.build_stats.fit_path == "grouped"
+        assert reference.build_stats.fit_path == "per_segment"
+        assert "grouped fit" in grouped.build_stats.describe()
+        assert "per_segment fit" in reference.build_stats.describe()
+
+    def test_config_flag_round_trip(self, books_keys):
+        cfg = RMIConfig(grouped_fit=False)
+        assert cfg.build(books_keys).grouped_fit is False
+        assert RMIConfig().grouped_fit is True
+
+
+class TestGroupedSpeedup:
+    def test_grouped_at_least_5x_faster_at_100k(self):
+        """The CI floor: grouped >= 5x per-segment at 100k keys.
+
+        Measured headroom is >10x (see BENCH_build.json for the 1M
+        numbers), so the 5x floor stays robust to CI jitter.
+        """
+        keys = data.generate("books", n=100_000)
+        base = dict(model_types=("ls", "lr"), layer_sizes=(8192,),
+                    bound_type="labs")
+
+        def best_of(cfg, runs=2):
+            times = []
+            for _ in range(runs):
+                t0 = time.perf_counter()
+                cfg.build(keys)
+                times.append(time.perf_counter() - t0)
+            return min(times)
+
+        grouped_s = best_of(RMIConfig(grouped_fit=True, **base))
+        reference_s = best_of(RMIConfig(grouped_fit=False, **base))
+        assert reference_s >= 5.0 * grouped_s, (
+            f"grouped {grouped_s:.4f}s vs per-segment {reference_s:.4f}s"
+        )
