@@ -351,6 +351,15 @@ class ALEXIndex(OrderedIndex):
             leaves.extend(self._collect_leaves(child))
         return leaves
 
+    def _after_restore(self) -> None:
+        # ``_leaf_rank`` maps leaves by object identity; the ids in a
+        # snapshotted dict belong to the builder process's objects, so
+        # re-derive it from the restored leaf chain (whose identities
+        # the tree shares -- serialization preserves aliasing).
+        self._leaf_rank = {
+            id(leaf): i for i, leaf in enumerate(self._leaves_chain)
+        }
+
     def _find_leaf(self, key: int) -> tuple[GappedLeaf, int, int]:
         """Descend to the leaf for ``key``; returns (leaf, index, steps)."""
         node = self.root

@@ -32,10 +32,26 @@ correct scalar fallback (one :meth:`lower_bound` per query), so
 third-party subclasses only implementing the scalar contract still
 work everywhere the runner and benchmarks drive the batch path.
 :meth:`range_query_batch` vectorizes :meth:`range_query` on top of it.
+
+Snapshots
+---------
+Building an index is pure CPU work over an immutable key array, so a
+built structure is a cacheable artifact (SOSD and *Benchmarking Learned
+Indexes* both persist built indexes between runs).
+:meth:`OrderedIndex.snapshot_state` captures the built structure --
+everything except the key array itself -- as a dict of NumPy arrays,
+and :meth:`OrderedIndex.restore_state` reattaches it to the keys
+without rebuilding.  The default implementation serializes the
+instance ``__dict__`` into a single byte array, which every in-repo
+baseline supports; subclasses with derived, non-serializable state
+override :meth:`_after_restore` (e.g. ALEX's identity-keyed leaf
+ranks), and :class:`~repro.baselines.rmi_adapter.RMIAsIndex` overrides
+the pair entirely to reuse :mod:`repro.core.serialize`'s array layout.
 """
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass
 from typing import Any
 
@@ -168,6 +184,43 @@ class OrderedIndex:
         starts = self.lookup_batch(lows)
         ends = self.lookup_batch(highs)
         return starts, ends - starts
+
+    # -- snapshots -------------------------------------------------------
+
+    def snapshot_state(self) -> "dict[str, np.ndarray]":
+        """The built structure as a dict of arrays (keys excluded).
+
+        The payload must round-trip through ``np.savez`` /
+        ``np.load(allow_pickle=False)``; the default serializes the
+        instance ``__dict__`` (minus ``keys``/``n``, which the restore
+        side re-derives from the key array) into one ``uint8`` blob.
+        Raises ``TypeError`` when some attribute cannot be serialized
+        -- such indexes are simply rebuilt instead of cached.
+        """
+        state = {k: v for k, v in self.__dict__.items()
+                 if k not in ("keys", "n")}
+        blob = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+        return {"pickled_state": np.frombuffer(blob, dtype=np.uint8)}
+
+    @classmethod
+    def restore_state(
+        cls, keys: np.ndarray, state: "dict[str, np.ndarray]"
+    ) -> "OrderedIndex":
+        """Reattach a :meth:`snapshot_state` payload to ``keys``.
+
+        Skips the subclass constructor (and therefore the build) but
+        runs the base-class key validation, then :meth:`_after_restore`
+        for state that cannot cross a serialization boundary.
+        """
+        obj = cls.__new__(cls)
+        OrderedIndex.__init__(obj, keys)
+        blob = np.asarray(state["pickled_state"], dtype=np.uint8)
+        obj.__dict__.update(pickle.loads(blob.tobytes()))
+        obj._after_restore()
+        return obj
+
+    def _after_restore(self) -> None:
+        """Hook: rebuild derived state after :meth:`restore_state`."""
 
     # -- accounting ------------------------------------------------------
 

@@ -11,6 +11,7 @@ indexes.
 
 from __future__ import annotations
 
+import pickle
 from typing import Any
 
 import numpy as np
@@ -49,6 +50,32 @@ class RMIAsIndex(OrderedIndex):
 
     def size_in_bytes(self) -> int:
         return self.rmi.size_in_bytes()
+
+    def snapshot_state(self) -> "dict[str, np.ndarray]":
+        # Reuse core/serialize.py's array layout for the trained RMI
+        # (keys excluded -- restore reattaches them); only the small
+        # frozen config rides along as a byte blob.
+        from ..core.serialize import rmi_payload
+
+        state = rmi_payload(self.rmi, include_keys=False)
+        state["config_pickle"] = np.frombuffer(
+            pickle.dumps(self.config, protocol=pickle.HIGHEST_PROTOCOL),
+            dtype=np.uint8,
+        )
+        return state
+
+    @classmethod
+    def restore_state(
+        cls, keys: np.ndarray, state: "dict[str, np.ndarray]"
+    ) -> "RMIAsIndex":
+        from ..core.serialize import rmi_from_payload
+
+        obj = cls.__new__(cls)
+        OrderedIndex.__init__(obj, keys)
+        blob = np.asarray(state["config_pickle"], dtype=np.uint8)
+        obj.config = pickle.loads(blob.tobytes())
+        obj.rmi = rmi_from_payload(state, keys=obj.keys)
+        return obj
 
     def stats(self) -> dict[str, Any]:
         base = super().stats()

@@ -3,8 +3,13 @@
 Usage::
 
     python -m repro.bench list
-    python -m repro.bench fig04 [--n 200000] [--seed 7]
+    python -m repro.bench fig04 [--n 200000] [--seed 7] [--cache-dir DIR]
     python -m repro.bench all [--n 50000] [--jobs 8]
+    python -m repro.bench figures --all --jobs 8 --cache-dir .artifact-cache
+    python -m repro.bench figures --all --cache-dir .bench-cache \\
+        --cold-warm --out BENCH_figures.json --min-speedup 5
+    python -m repro.bench cache stats --cache-dir .artifact-cache
+    python -m repro.bench cache gc --cache-dir .artifact-cache --max-age-days 30
     python -m repro.bench build --n 1000000 --layer2-size 16384 \\
         --out BENCH_build.json --min-speedup 20
 """
@@ -12,6 +17,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
@@ -19,7 +25,122 @@ from pathlib import Path
 from .registry import EXPERIMENTS, run_experiment
 
 
+def _figures_main(argv: "list[str]") -> int:
+    """``figures`` subcommand: the parallel, cached suite runner."""
+    from .suite import (
+        FIGURE_SUITE,
+        render_suite_report,
+        run_suite,
+        suite_report,
+        write_suite_report,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench figures",
+        description="Run the figure suite through the artifact cache",
+    )
+    parser.add_argument("--all", action="store_true",
+                        help="run every figure (figs 2-14; the default)")
+    parser.add_argument("--only", metavar="IDS", default=None,
+                        help="comma-separated figure ids, e.g. fig04,fig12")
+    parser.add_argument("--n", type=int, default=None,
+                        help="dataset size (keys per dataset)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="dataset / workload seed")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (default 1 = in-process)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="artifact cache directory (shared by workers)")
+    parser.add_argument("--cold-warm", action="store_true",
+                        help="empty the cache, run cold then warm, and "
+                        "verify warm results are cached and bit-identical")
+    parser.add_argument("--out", metavar="FILE", default=None,
+                        help="write the cold/warm JSON report here")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="exit 1 unless the warm suite is at least this "
+                        "much faster than cold (implies --cold-warm)")
+    args = parser.parse_args(argv)
+
+    figure_ids = list(FIGURE_SUITE)
+    if args.only:
+        figure_ids = [f.strip() for f in args.only.split(",") if f.strip()]
+    cold_warm = args.cold_warm or args.min_speedup is not None
+    if cold_warm:
+        if args.cache_dir is None:
+            parser.error("--cold-warm requires --cache-dir")
+        report = suite_report(figure_ids, n=args.n, seed=args.seed,
+                              jobs=args.jobs, cache_dir=args.cache_dir)
+        print(render_suite_report(report))
+        if args.out:
+            write_suite_report(report, args.out)
+            print(f"[report written to {args.out}]")
+        failed = []
+        if not report["bit_identical"]:
+            failed.append("warm results are not bit-identical to cold")
+        if not report["all_warm_from_cache"]:
+            failed.append("some warm figures were not served from the cache")
+        if (args.min_speedup is not None
+                and report["speedup"] < args.min_speedup):
+            failed.append(f"speedup {report['speedup']:.1f}x is below the "
+                          f"required {args.min_speedup:.1f}x")
+        for reason in failed:
+            print(f"FAIL: {reason}")
+        if not failed and args.min_speedup is not None:
+            print(f"OK: speedup {report['speedup']:.1f}x >= "
+                  f"{args.min_speedup:.1f}x, all warm results cached and "
+                  "bit-identical")
+        return 1 if failed else 0
+
+    run = run_suite(figure_ids, n=args.n, seed=args.seed, jobs=args.jobs,
+                    cache_dir=args.cache_dir)
+    for f in run["figures"]:
+        source = "cache" if f["from_cache"] else "computed"
+        print(f"{f['figure']}  {f['seconds']:8.3f}s  {f['rows']:4d} rows  "
+              f"[{source}]")
+    print(f"total {run['wall_s']:.3f}s across {len(run['figures'])} figures "
+          f"(jobs={args.jobs})")
+    return 0
+
+
+def _cache_main(argv: "list[str]") -> int:
+    """``cache`` subcommand: inspect and collect the artifact store."""
+    from .. import cache as artifact_cache
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench cache",
+        description="Artifact cache maintenance",
+    )
+    parser.add_argument("action", choices=["stats", "gc"])
+    parser.add_argument("--cache-dir", default=None,
+                        help="cache directory (default: $REPRO_CACHE_DIR)")
+    parser.add_argument("--all", action="store_true",
+                        help="[gc] drop every entry")
+    parser.add_argument("--max-age-days", type=float, default=None,
+                        help="[gc] additionally drop entries older than this")
+    args = parser.parse_args(argv)
+
+    if args.cache_dir is not None:
+        cache = artifact_cache.activate(args.cache_dir)
+    else:
+        cache = artifact_cache.active_cache()
+        if cache is None:
+            parser.error("no cache directory: pass --cache-dir or set "
+                         "REPRO_CACHE_DIR")
+
+    if args.action == "stats":
+        print(json.dumps(cache.stats(), indent=2))
+        return 0
+    outcome = cache.gc(max_age_days=args.max_age_days, drop_all=args.all)
+    print(f"gc: removed {outcome['removed']}, kept {outcome['kept']}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "figures":
+        return _figures_main(argv[1:])
+    if argv and argv[0] == "cache":
+        return _cache_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Reproduce figures of 'A Critical Analysis of "
@@ -42,6 +163,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for build sweeps (drivers "
                         "that support it; default 1 = in-process)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="serve datasets/indexes/results from this "
+                        "artifact cache directory")
     parser.add_argument("--layer2-size", type=int, default=2**14,
                         help="[build] second-layer size")
     parser.add_argument("--dataset", default="books",
@@ -54,6 +178,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="[build] exit 1 unless every config's grouped "
                         "build is at least this much faster than reference")
     args = parser.parse_args(argv)
+
+    if args.cache_dir is not None:
+        from .. import cache as artifact_cache
+
+        artifact_cache.activate(args.cache_dir)
 
     if args.figure == "list":
         for exp in EXPERIMENTS.values():

@@ -11,20 +11,30 @@ Timing figures (8-14) report both the analytic cost-model estimate in
 nanoseconds (``est_ns`` -- the paper-machine projection the figures'
 shapes are judged by) and, where cheap, measured Python wall time
 (``wall_ns`` -- honest but interpreter-dominated).
+
+Shared work flows through :mod:`repro.cache`: datasets are generated at
+most once per run (and mmap-loaded when a disk cache is active), one
+segmentation sweep feeds Figures 4-7, and one RMI build pool feeds
+Figures 8-10/13.  The build-time figures (11, 14) deliberately bypass
+the index cache -- a restored index has no build time to measure -- but
+still share the cached datasets and result entries.
 """
 
 from __future__ import annotations
 
+import functools
 from typing import Callable, Sequence
 
 import numpy as np
 
+from .. import cache as artifact_cache
 from ..baselines import (
     ALEXIndex,
     ARTIndex,
     BinarySearchIndex,
     BTreeIndex,
     HistTree,
+    INDEX_TYPES,
     PGMIndex,
     RadixSpline,
     RMIAsIndex,
@@ -38,7 +48,6 @@ from ..core.analysis import (
     segmentation_stats,
 )
 from ..core.builder import RMIConfig
-from ..core.rmi import RMI
 from ..cost.model import CostModel
 from ..data import cdf as cdf_utils
 from ..data import sosd
@@ -73,8 +82,14 @@ LEAVES = ("lr", "ls")
 def _datasets(
     n: int, seed: int, names: Sequence[str] | None = None
 ) -> dict[str, np.ndarray]:
+    """The named datasets, via the artifact cache.
+
+    Every driver used to call ``sosd.generate`` itself, so a suite run
+    regenerated each dataset once per figure; the cache's in-process
+    LRU makes it once per run even with the disk cache disabled.
+    """
     names = names or sosd.dataset_names()
-    return {name: sosd.generate(name, n=n, seed=seed) for name in names}
+    return {name: artifact_cache.dataset(name, n, seed) for name in names}
 
 
 def _segment_sweep(n: int) -> list[int]:
@@ -171,6 +186,18 @@ def fig03_root_approximations(
 # ---------------------------------------------------------------------------
 
 
+@functools.lru_cache(maxsize=512)
+def _segment_stats(name: str, n: int, seed: int, root: str, m: int):
+    """Segmentation statistics for one (dataset, root, size) point.
+
+    Figures 4 and 5 report different columns of the *same* sweep; this
+    memo runs each segmentation once and serves both (and any repeated
+    ``segment_counts`` across calls in one process).
+    """
+    keys = artifact_cache.dataset(name, n, seed)
+    return segmentation_stats(segment_keys(keys, root, m), m)
+
+
 def _segmentation_figure(
     figure_id: str,
     title: str,
@@ -182,11 +209,10 @@ def _segmentation_figure(
 ) -> FigureResult:
     result = FigureResult(figure_id, title, columns)
     counts = list(segment_counts or _segment_sweep(n))
-    for name, keys in _datasets(n, seed).items():
+    for name in _datasets(n, seed):
         for root in ROOTS:
             for m in counts:
-                assignment = segment_keys(keys, root, m)
-                stats = segmentation_stats(assignment, m)
+                stats = _segment_stats(name, n, seed, root, m)
                 result.add(dataset=name, root=root, segments=m, **value(stats))
     return result
 
@@ -253,12 +279,14 @@ def fig06_prediction_error(
         ["dataset", "combo", "segments", "median_err", "mean_err"],
     )
     counts = list(segment_counts or _segment_sweep(n))
-    for name, keys in _datasets(n, seed).items():
+    for name in _datasets(n, seed):
         for root in roots:
             for leaf in leaves:
                 for m in counts:
-                    rmi = RMI(keys, layer_sizes=[m], model_types=(root, leaf),
-                              bound_type="nb")
+                    rmi = artifact_cache.rmi_for(
+                        name, n, seed,
+                        RMIConfig(model_types=(root, leaf),
+                                  layer_sizes=(m,), bound_type="nb"))
                     err = prediction_errors(rmi)
                     result.add(
                         dataset=name,
@@ -300,12 +328,14 @@ def fig07_error_bounds(
     )
     counts = list(segment_counts or _segment_sweep(n))
     datasets = _datasets(n, seed, names=["books", "osmc", "wiki"])
-    for name, keys in datasets.items():
+    for name in datasets:
         for root, leaf in combos:
             for bounds in BOUNDS_ALL:
                 for m in counts:
-                    rmi = RMI(keys, layer_sizes=[m], model_types=(root, leaf),
-                              bound_type=bounds)
+                    rmi = artifact_cache.rmi_for(
+                        name, n, seed,
+                        RMIConfig(model_types=(root, leaf),
+                                  layer_sizes=(m,), bound_type=bounds))
                     stats = interval_stats(rmi)
                     result.add(
                         dataset=name,
@@ -326,14 +356,14 @@ def fig07_error_bounds(
 
 
 def _rmi_lookup_row(
-    keys: np.ndarray,
-    config: RMIConfig,
-    num_lookups: int,
+    name: str,
+    n: int,
     seed: int,
+    wl,
+    config: RMIConfig,
     cost_model: CostModel,
 ) -> dict[str, object]:
-    rmi = config.build(keys)
-    wl = make_workload(keys, num_lookups=num_lookups, seed=seed)
+    rmi = artifact_cache.rmi_for(name, n, seed, config)
     res = run_workload(rmi, wl, runs=1, cost_model=cost_model)
     return {
         "index_bytes": rmi.size_in_bytes(),
@@ -363,12 +393,10 @@ def fig08_lookup_models(
     cm = CostModel()
     counts = list(segment_counts or _segment_sweep(n))
     for name, keys in _datasets(n, seed).items():
+        # One workload per dataset, shared by every configuration row.
+        wl = make_workload(keys, num_lookups=num_lookups, seed=seed)
         # The paper's dashed line: binary search over the sorted array.
-        bs = run_workload(
-            BinarySearchIndex(keys),
-            make_workload(keys, num_lookups=num_lookups, seed=seed),
-            runs=1, cost_model=cm,
-        )
+        bs = run_workload(BinarySearchIndex(keys), wl, runs=1, cost_model=cm)
         result.add(dataset=name, combo="binary-search", segments=0,
                    index_bytes=0,
                    est_ns=round(bs.estimated_ns_per_lookup, 1),
@@ -380,7 +408,7 @@ def fig08_lookup_models(
                     config = RMIConfig(model_types=(root, leaf),
                                        layer_sizes=(m,), bound_type="labs",
                                        search="bin")
-                    row = _rmi_lookup_row(keys, config, num_lookups, seed, cm)
+                    row = _rmi_lookup_row(name, n, seed, wl, config, cm)
                     row.pop("eval_ns")
                     row.pop("search_ns")
                     result.add(dataset=name, combo=f"{root}->{leaf}",
@@ -410,13 +438,14 @@ def fig09_lookup_bounds(
     cm = CostModel()
     counts = list(segment_counts or _segment_sweep(n))
     for name, keys in _datasets(n, seed, names=["books", "osmc", "wiki"]).items():
+        wl = make_workload(keys, num_lookups=num_lookups, seed=seed)
         for root, leaf in combos:
             for bounds in BOUNDS_ALL:
                 for m in counts:
                     config = RMIConfig(model_types=(root, leaf),
                                        layer_sizes=(m,), bound_type=bounds,
                                        search="bin")
-                    row = _rmi_lookup_row(keys, config, num_lookups, seed, cm)
+                    row = _rmi_lookup_row(name, n, seed, wl, config, cm)
                     row.pop("eval_ns")
                     row.pop("search_ns")
                     result.add(dataset=name, combo=f"{root}->{leaf}",
@@ -461,14 +490,14 @@ def fig10_search_algorithms(
     cm = CostModel()
     counts = list(segment_counts or _segment_sweep(n))
     for name, keys in _datasets(n, seed, names=["books", "osmc", "wiki"]).items():
+        wl = make_workload(keys, num_lookups=num_lookups, seed=seed)
         for root, leaf in combos:
             for search, bounds in searches:
                 for m in counts:
                     config = RMIConfig(model_types=(root, leaf),
                                        layer_sizes=(m,), bound_type=bounds,
                                        search=search)
-                    rmi = config.build(keys)
-                    wl = make_workload(keys, num_lookups=num_lookups, seed=seed)
+                    rmi = artifact_cache.rmi_for(name, n, seed, config)
                     res = run_workload(rmi, wl, runs=1, cost_model=cm)
                     result.add(
                         dataset=name,
@@ -534,7 +563,9 @@ def fig11_build_time(
         ["panel", "variant", "segments", "index_bytes", "build_s",
          "train_root_s", "segment_s", "train_leaves_s", "bounds_s", "fit"],
     )
-    keys = sosd.generate(dataset, n=n, seed=seed)
+    # Dataset comes from the cache; the builds themselves bypass the
+    # index cache on purpose -- a restored RMI has no build time.
+    keys = artifact_cache.dataset(dataset, n, seed)
     counts = list(segment_counts or _segment_sweep(n))
 
     entries: list[tuple] = []
@@ -578,38 +609,54 @@ def fig11_build_time(
 # ---------------------------------------------------------------------------
 
 
-def _comparison_sweeps(n: int) -> dict[str, list[Callable[[np.ndarray], object]]]:
-    """Size-parameter sweeps per index (Table 5's hyperparameters)."""
+def _comparison_sweeps(
+    n: int,
+) -> "dict[str, list[tuple[dict, Callable[[np.ndarray], object]]]]":
+    """Size-parameter sweeps per index (Table 5's hyperparameters).
+
+    Each variant is a ``(hyperparameters, factory)`` pair.  The dict of
+    hyperparameters feeds the artifact cache's index fingerprint, so a
+    cached snapshot is keyed by the *actual* constructor arguments --
+    changing a sweep definition here invalidates its entries instead of
+    silently serving stale structures.
+    """
     rmi_sizes = _segment_sweep(n)
     errors = [2**e for e in range(3, 11)]  # 8 .. 1024
     sparsities = [64, 16, 4, 1]
     rbits = max(min(int(np.log2(max(n, 256))) - 4, 16), 6)
     return {
         "rmi": [
-            (lambda keys, m=m: RMIAsIndex(keys, layer2_size=m))
+            ({"layer2_size": m},
+             lambda keys, m=m: RMIAsIndex(keys, layer2_size=m))
             for m in rmi_sizes
         ],
         "pgm-index": [
-            (lambda keys, e=e: PGMIndex(keys, eps=e)) for e in errors
+            ({"eps": e}, lambda keys, e=e: PGMIndex(keys, eps=e))
+            for e in errors
         ],
         "radix-spline": [
-            (lambda keys, e=e: RadixSpline(keys, max_error=e, radix_bits=rbits))
+            ({"max_error": e, "radix_bits": rbits},
+             lambda keys, e=e: RadixSpline(keys, max_error=e, radix_bits=rbits))
             for e in errors
         ],
         "alex": [
-            (lambda keys, s=s: ALEXIndex(keys, sparsity=s)) for s in sparsities
+            ({"sparsity": s}, lambda keys, s=s: ALEXIndex(keys, sparsity=s))
+            for s in sparsities
         ],
         "b-tree": [
-            (lambda keys, s=s: BTreeIndex(keys, sparsity=s)) for s in sparsities
+            ({"sparsity": s}, lambda keys, s=s: BTreeIndex(keys, sparsity=s))
+            for s in sparsities
         ],
         "art": [
-            (lambda keys, s=s: ARTIndex(keys, sparsity=s)) for s in sparsities
+            ({"sparsity": s}, lambda keys, s=s: ARTIndex(keys, sparsity=s))
+            for s in sparsities
         ],
         "hist-tree": [
-            (lambda keys, e=e: HistTree(keys, num_bins=64, max_error=e))
+            ({"num_bins": 64, "max_error": e},
+             lambda keys, e=e: HistTree(keys, num_bins=64, max_error=e))
             for e in errors
         ],
-        "binary-search": [lambda keys: BinarySearchIndex(keys)],
+        "binary-search": [({}, lambda keys: BinarySearchIndex(keys))],
     }
 
 
@@ -630,10 +677,13 @@ def fig12_index_comparison(
     sweeps = _comparison_sweeps(n)
     for name, keys in _datasets(n, seed, names=datasets).items():
         wl = make_workload(keys, num_lookups=num_lookups, seed=seed)
-        for index_name, factories in sweeps.items():
-            for variant, factory in enumerate(factories):
+        for index_name, variants in sweeps.items():
+            for variant, (spec, factory) in enumerate(variants):
                 try:
-                    index = factory(keys)
+                    index = artifact_cache.index_for(
+                        name, n, seed, index_name, spec, factory,
+                        cls=INDEX_TYPES[index_name],
+                    )
                 except UnsupportedDataError:
                     result.note(f"{index_name} did not work on {name} "
                                 "(duplicates), as in the paper")
@@ -660,8 +710,14 @@ def fig13_eval_vs_search(
     datasets: Sequence[str] = ("books", "osmc"),
 ) -> FigureResult:
     """Evaluation vs search share for each index's best config (Figure 13)."""
-    comparison = fig12_index_comparison(
-        n=n, seed=seed, num_lookups=num_lookups, datasets=list(datasets)
+    # Through the registry so the fig12 sub-result is itself a cached
+    # artifact: a warm fig13 costs two cache reads, and a cold fig13
+    # right after fig12 reuses its rows (when datasets match).
+    from .registry import run_experiment
+
+    comparison = run_experiment(
+        "fig12", n=n, seed=seed, num_lookups=num_lookups,
+        datasets=list(datasets),
     )
     result = FigureResult(
         "fig13",
@@ -697,7 +753,7 @@ def _fig14_row(keys: np.ndarray, entry: tuple) -> dict:
     ``n`` and pick their factory by ``(index_name, variant)``.
     """
     n, index_name, variant, runs = entry
-    factory = _comparison_sweeps(n)[index_name][variant]
+    factory = _comparison_sweeps(n)[index_name][variant][1]
     try:
         index, build_s = measure_build(lambda: factory(keys), runs=runs)
     except UnsupportedDataError:
@@ -731,12 +787,14 @@ def fig14_build_comparison(
     )
     sweeps = _comparison_sweeps(n)
     sweeps.pop("binary-search")  # nothing to build
+    # Builds bypass the index cache (they are the measurement); the
+    # datasets still come from it.
     for name, keys in _datasets(n, seed, names=datasets).items():
         if jobs > 1:
             entries = [
                 (n, index_name, variant, runs)
-                for index_name, factories in sweeps.items()
-                for variant in range(len(factories))
+                for index_name, variants in sweeps.items()
+                for variant in range(len(variants))
             ]
             unsupported: set[str] = set()
             for row in pool_map_keys(_fig14_row, keys, entries, jobs=jobs):
@@ -750,8 +808,8 @@ def fig14_build_comparison(
                     continue
                 result.add(dataset=name, **row)
             continue
-        for index_name, factories in sweeps.items():
-            for variant, factory in enumerate(factories):
+        for index_name, variants in sweeps.items():
+            for variant, (_, factory) in enumerate(variants):
                 try:
                     index, build_s = measure_build(
                         lambda: factory(keys), runs=runs

@@ -65,18 +65,32 @@ def _call_with_keys(payload: "tuple[Callable, T]") -> R:
 
 
 def pool_map(
-    fn: "Callable[[T], R]", items: Iterable[T], jobs: int = 1
+    fn: "Callable[[T], R]",
+    items: Iterable[T],
+    jobs: int = 1,
+    initializer: "Callable[..., None] | None" = None,
+    initargs: tuple = (),
 ) -> "list[R]":
     """``[fn(x) for x in items]``, optionally across worker processes.
 
     ``jobs <= 1`` runs in-process (no pickling, exact tracebacks).
     ``fn`` must be picklable (a module-level function) when ``jobs > 1``.
     Output order always matches input order.
+
+    ``initializer(*initargs)`` runs once per worker before any item
+    (e.g. activating the artifact cache in each process); in-process
+    runs call it once directly, so the two paths see the same setup.
     """
     items = list(items)
     if jobs <= 1 or len(items) <= 1:
+        if initializer is not None:
+            initializer(*initargs)
         return [fn(item) for item in items]
-    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(items)),
+        initializer=initializer,
+        initargs=initargs,
+    ) as pool:
         return list(pool.map(fn, items))
 
 

@@ -14,7 +14,13 @@ from typing import Callable
 from . import extensions, figures
 from .report import FigureResult
 
-__all__ = ["Experiment", "EXPERIMENTS", "run_experiment", "experiment_ids"]
+__all__ = [
+    "Experiment",
+    "EXPERIMENTS",
+    "run_experiment",
+    "run_experiment_cached",
+    "experiment_ids",
+]
 
 
 @dataclass(frozen=True)
@@ -103,6 +109,21 @@ def run_experiment(figure_id: str, **kwargs) -> FigureResult:
     all --jobs 8`` parallelizes the build figures without every driver
     having to grow the parameter.
     """
+    return run_experiment_cached(figure_id, **kwargs)[0]
+
+
+def run_experiment_cached(
+    figure_id: str, **kwargs
+) -> "tuple[FigureResult, bool]":
+    """:func:`run_experiment`, consulting the active artifact cache.
+
+    Returns ``(result, from_cache)``.  The cache key binds the driver's
+    full signature with defaults applied, so ``fig04()`` and
+    ``fig04(n=1_000_000)`` share one entry while any explicit parameter
+    change produces a distinct one.  ``jobs`` only affects wall-clock,
+    not results, and is excluded from the key.  Without an active cache
+    this is exactly a driver call with ``from_cache=False``.
+    """
     try:
         exp = EXPERIMENTS[figure_id]
     except KeyError:
@@ -112,4 +133,17 @@ def run_experiment(figure_id: str, **kwargs) -> FigureResult:
         accepted = inspect.signature(exp.driver).parameters
         if "jobs" not in accepted:
             kwargs = {k: v for k, v in kwargs.items() if k != "jobs"}
-    return exp.driver(**kwargs)
+    try:
+        bound = inspect.signature(exp.driver).bind(**kwargs)
+        bound.apply_defaults()
+        fp_kwargs = {
+            k: v for k, v in bound.arguments.items() if k != "jobs"
+        }
+    except TypeError:
+        fp_kwargs = None  # unbindable -> uncacheable, run the driver
+
+    from .. import cache as artifact_cache
+
+    return artifact_cache.figure_result(
+        figure_id, fp_kwargs, lambda: exp.driver(**kwargs)
+    )

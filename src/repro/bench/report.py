@@ -16,7 +16,27 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterable
 
+import numpy as np
+
 __all__ = ["FigureResult", "render_table", "format_bytes", "format_ns"]
+
+
+def _plain(value: Any) -> Any:
+    """Reduce a cell value to a plain Python scalar/list.
+
+    Rows must survive a JSON round trip bit-identically (the artifact
+    cache persists figure results as JSON and serves them back), so
+    NumPy scalars are unwrapped at ``add`` time -- ``json`` would
+    otherwise stringify them via ``default=str`` and a reloaded row
+    would no longer equal the original.
+    """
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    return value
 
 
 @dataclass
@@ -30,7 +50,7 @@ class FigureResult:
     notes: list[str] = field(default_factory=list)
 
     def add(self, **row: Any) -> None:
-        self.rows.append(row)
+        self.rows.append({k: _plain(v) for k, v in row.items()})
 
     def note(self, text: str) -> None:
         self.notes.append(text)
@@ -79,6 +99,21 @@ class FigureResult:
         if path is not None:
             Path(path).write_text(text)
         return text
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "FigureResult":
+        """Rebuild a result from its :meth:`to_json` payload.
+
+        Because :meth:`add` stores only plain JSON scalars, the rows of
+        a reloaded result are bit-identical to the originals.
+        """
+        return cls(
+            figure_id=payload["figure_id"],
+            title=payload["title"],
+            columns=list(payload["columns"]),
+            rows=[dict(r) for r in payload["rows"]],
+            notes=list(payload["notes"]),
+        )
 
 
 def _fmt(value: Any) -> str:

@@ -1,0 +1,178 @@
+"""Figure-suite runner: all figures, in parallel, through the cache.
+
+``python -m repro.bench figures --all --jobs N --cache-dir DIR`` runs
+every figure driver (Figures 2-14) in a process pool.  Each worker
+activates the shared artifact cache in its initializer, so datasets,
+built indexes, and whole figure results written by one worker are
+served to every later one -- and to every later suite run.
+
+:func:`suite_report` is the cold-vs-warm benchmark behind
+``--cold-warm`` and the committed ``BENCH_figures.json``: it empties
+the cache, runs the suite cold, runs it again warm, and verifies that
+every warm result is (a) served from the cache and (b) bit-identical
+to its cold-run counterpart before reporting the speedup.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Sequence
+
+from .. import cache as artifact_cache
+from .parallel import pool_map
+from .registry import EXPERIMENTS, run_experiment_cached
+
+__all__ = [
+    "FIGURE_SUITE",
+    "run_suite",
+    "suite_report",
+    "write_suite_report",
+    "render_suite_report",
+]
+
+#: The paper's evaluation figures, in figure order.
+FIGURE_SUITE: tuple[str, ...] = tuple(f"fig{i:02d}" for i in range(2, 15))
+
+
+def _activate_worker(cache_dir: "str | None") -> None:
+    """Pool initializer: point this process at the shared cache."""
+    if cache_dir is not None:
+        artifact_cache.activate(cache_dir)
+
+
+def _run_one(entry: "tuple[str, dict]") -> dict:
+    """Run one figure (module-level: pool-picklable)."""
+    figure_id, kwargs = entry
+    t0 = time.perf_counter()
+    result, from_cache = run_experiment_cached(figure_id, **kwargs)
+    return {
+        "figure": figure_id,
+        "seconds": round(time.perf_counter() - t0, 4),
+        "from_cache": from_cache,
+        "rows": len(result.rows),
+        "payload": json.loads(result.to_json()),
+    }
+
+
+def run_suite(
+    figure_ids: "Sequence[str] | None" = None,
+    n: "int | None" = None,
+    seed: "int | None" = None,
+    jobs: int = 1,
+    cache_dir: "str | os.PathLike | None" = None,
+) -> dict:
+    """Run a set of figure drivers, optionally in a process pool.
+
+    Returns ``{"figures": [per-figure dicts], "wall_s": total}``; rows
+    come back in ``figure_ids`` order regardless of ``jobs``.
+    """
+    figure_ids = list(figure_ids or FIGURE_SUITE)
+    unknown = [f for f in figure_ids if f not in EXPERIMENTS]
+    if unknown:
+        known = ", ".join(EXPERIMENTS)
+        raise ValueError(f"unknown figures {unknown}; known: {known}")
+    kwargs: dict = {}
+    if n is not None:
+        kwargs["n"] = int(n)
+    if seed is not None:
+        kwargs["seed"] = int(seed)
+    entries = [(figure_id, kwargs) for figure_id in figure_ids]
+    t0 = time.perf_counter()
+    rows = pool_map(
+        _run_one,
+        entries,
+        jobs=jobs,
+        initializer=_activate_worker,
+        initargs=(str(cache_dir) if cache_dir is not None else None,),
+    )
+    return {"figures": rows, "wall_s": round(time.perf_counter() - t0, 4)}
+
+
+def suite_report(
+    figure_ids: "Sequence[str] | None" = None,
+    n: "int | None" = None,
+    seed: "int | None" = None,
+    jobs: int = 1,
+    cache_dir: "str | os.PathLike" = ".bench-cache",
+) -> dict:
+    """Cold vs warm suite benchmark, as a JSON-ready dict.
+
+    The cache at ``cache_dir`` is emptied first, so the cold run pays
+    every generation/build/workload and the warm run should serve every
+    figure from the cache.  Each warm payload is compared against its
+    cold twin byte-for-byte (canonical JSON); ``bit_identical`` and
+    ``all_warm_from_cache`` gate the committed benchmark.
+    """
+    cache = artifact_cache.activate(cache_dir)
+    cache.gc(drop_all=True)
+    artifact_cache.clear_memos()
+    cold = run_suite(figure_ids, n=n, seed=seed, jobs=jobs,
+                     cache_dir=cache_dir)
+    artifact_cache.clear_memos()
+    warm = run_suite(figure_ids, n=n, seed=seed, jobs=jobs,
+                     cache_dir=cache_dir)
+    figures = []
+    for c, w in zip(cold["figures"], warm["figures"]):
+        identical = (
+            json.dumps(c["payload"], sort_keys=True)
+            == json.dumps(w["payload"], sort_keys=True)
+        )
+        figures.append({
+            "figure": c["figure"],
+            "rows": c["rows"],
+            "cold_s": c["seconds"],
+            "warm_s": w["seconds"],
+            "warm_from_cache": w["from_cache"],
+            "bit_identical": identical,
+        })
+    cold_s = cold["wall_s"]
+    warm_s = max(warm["wall_s"], 1e-9)
+    return {
+        "benchmark": "cold vs warm figure suite",
+        "figures": figures,
+        "n": n,
+        "seed": seed,
+        "jobs": int(jobs),
+        "cpu_count": os.cpu_count(),
+        "cache_dir": str(cache_dir),
+        "cold_s": cold_s,
+        "warm_s": warm["wall_s"],
+        "speedup": round(cold_s / warm_s, 1),
+        "bit_identical": all(f["bit_identical"] for f in figures),
+        "all_warm_from_cache": all(f["warm_from_cache"] for f in figures),
+        "cache": cache.stats(),
+    }
+
+
+def write_suite_report(report: dict, path: "str | os.PathLike") -> None:
+    """Write a :func:`suite_report` dict as pretty-printed JSON."""
+    Path(path).write_text(json.dumps(report, indent=2) + "\n")
+
+
+def render_suite_report(report: dict) -> str:
+    """Human-readable summary of a :func:`suite_report` dict."""
+    lines = [
+        f"cold vs warm figure suite -- n={report['n']}, "
+        f"seed={report['seed']}, jobs={report['jobs']}",
+    ]
+    for f in report["figures"]:
+        flags = []
+        if not f["warm_from_cache"]:
+            flags.append("NOT CACHED")
+        if not f["bit_identical"]:
+            flags.append("MISMATCH")
+        lines.append(
+            f"  {f['figure']}  cold {f['cold_s']:8.3f}s   "
+            f"warm {f['warm_s']:8.4f}s   {f['rows']:4d} rows  "
+            f"{' '.join(flags)}".rstrip()
+        )
+    lines.append(
+        f"  total cold {report['cold_s']:.3f}s   warm {report['warm_s']:.4f}s"
+        f"   speedup {report['speedup']:.1f}x   "
+        f"bit_identical={report['bit_identical']}   "
+        f"all_warm_from_cache={report['all_warm_from_cache']}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,153 @@
+"""Content fingerprints for cached artifacts.
+
+Every artifact the cache stores -- datasets, built indexes, figure
+results -- is addressed by the SHA-256 digest of a *fingerprint*: a
+small JSON-able dict naming everything the artifact's content depends
+on.  Equal fingerprints mean bit-identical artifacts (all generators
+and builders in this repo are deterministic), so a digest hit can be
+served without rebuilding; any input change -- a different ``n``, a
+different config field, a bumped generator version -- lands on a
+different digest and misses cleanly.
+
+Invalidation is by construction: nothing is ever updated in place.
+Code changes that alter an artifact's content without changing its
+inputs must bump the matching version constant below; that shifts
+every digest and orphans the stale entries (collected by ``gc``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any, Mapping
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "DATASET_GENERATOR_VERSION",
+    "SNAPSHOT_VERSION",
+    "canonicalize",
+    "fingerprint_digest",
+    "dataset_fingerprint",
+    "rmi_fingerprint",
+    "index_fingerprint",
+    "figure_fingerprint",
+    "sha256_file",
+    "sha256_text",
+]
+
+#: Bump to invalidate every cached artifact (layout / meta changes).
+CACHE_FORMAT_VERSION = 1
+
+#: Bump when any generator in :mod:`repro.data.sosd` changes output.
+DATASET_GENERATOR_VERSION = 1
+
+#: Bump when an index's snapshot representation changes shape.
+SNAPSHOT_VERSION = 1
+
+
+def canonicalize(value: Any) -> Any:
+    """Reduce ``value`` to canonical JSON-able form.
+
+    Tuples become lists, NumPy scalars become Python scalars, frozen
+    config dataclasses become dicts.  Raises ``TypeError`` for values
+    with no canonical form (such artifacts are simply not cacheable).
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [canonicalize(v) for v in value]
+    if isinstance(value, Mapping):
+        return {str(k): canonicalize(v) for k, v in sorted(value.items())}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return canonicalize(dataclasses.asdict(value))
+    item = getattr(value, "item", None)
+    if callable(item) and getattr(value, "ndim", None) == 0:
+        return canonicalize(value.item())  # NumPy scalar
+    raise TypeError(f"{type(value).__name__} has no canonical JSON form")
+
+
+def canonical_json(fingerprint: Mapping[str, Any]) -> str:
+    """Stable JSON text of a fingerprint dict (sorted keys, no spaces)."""
+    return json.dumps(canonicalize(fingerprint), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def fingerprint_digest(fingerprint: Mapping[str, Any]) -> str:
+    """Hex SHA-256 of the canonical fingerprint -- the artifact address."""
+    return hashlib.sha256(canonical_json(fingerprint).encode()).hexdigest()
+
+
+def dataset_fingerprint(name: str, n: int, seed: int) -> dict:
+    """Fingerprint of a synthetic dataset: ``(name, n, seed, version)``."""
+    return {
+        "kind": "dataset",
+        "format": CACHE_FORMAT_VERSION,
+        "generator": DATASET_GENERATOR_VERSION,
+        "name": str(name),
+        "n": int(n),
+        "seed": int(seed),
+    }
+
+
+def rmi_fingerprint(dataset_digest: str, config: Any) -> dict:
+    """Fingerprint of a trained RMI: ``(dataset-hash, config)``.
+
+    ``config`` is the full :class:`~repro.core.builder.RMIConfig`; every
+    field participates, so e.g. two configs differing only in the search
+    algorithm are distinct artifacts (the search name is serialized).
+    """
+    return {
+        "kind": "rmi",
+        "format": CACHE_FORMAT_VERSION,
+        "dataset": str(dataset_digest),
+        "config": canonicalize(config),
+    }
+
+
+def index_fingerprint(dataset_digest: str, cls_name: str,
+                      spec: Mapping[str, Any]) -> dict:
+    """Fingerprint of a built baseline index: ``(dataset-hash, config)``.
+
+    ``spec`` carries the constructor hyperparameters; ``cls_name`` and
+    the snapshot version guard against one name meaning two structures.
+    """
+    return {
+        "kind": "index",
+        "format": CACHE_FORMAT_VERSION,
+        "snapshot": SNAPSHOT_VERSION,
+        "dataset": str(dataset_digest),
+        "class": str(cls_name),
+        "spec": canonicalize(spec),
+    }
+
+
+def figure_fingerprint(figure_id: str, kwargs: Mapping[str, Any]) -> dict:
+    """Fingerprint of a figure result: driver id + fully bound kwargs.
+
+    Callers must pass the *bound* arguments (defaults applied) so
+    ``fig04()`` and ``fig04(n=100_000)`` share one artifact, and must
+    exclude arguments that do not affect the rows (``jobs``).
+    """
+    return {
+        "kind": "figure",
+        "format": CACHE_FORMAT_VERSION,
+        "generator": DATASET_GENERATOR_VERSION,
+        "figure": str(figure_id),
+        "kwargs": canonicalize(dict(kwargs)),
+    }
+
+
+def sha256_file(path) -> str:
+    """Hex SHA-256 of a file's bytes (corruption check on load)."""
+    h = hashlib.sha256()
+    with open(path, "rb") as f:
+        for chunk in iter(lambda: f.read(1 << 20), b""):
+            h.update(chunk)
+    return h.hexdigest()
+
+
+def sha256_text(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()

@@ -1,0 +1,203 @@
+"""On-disk content-addressed artifact store.
+
+Layout under the cache root (one subdirectory per artifact kind)::
+
+    <root>/datasets/<digest>.npy    + <digest>.json   (key arrays)
+    <root>/indexes/<digest>.npz     + <digest>.json   (built-index snapshots)
+    <root>/results/<digest>.json    + <digest>.meta.json (figure results)
+
+``<digest>`` is the SHA-256 of the artifact's fingerprint (see
+:mod:`repro.cache.fingerprint`); the sidecar meta file records the full
+fingerprint plus the SHA-256 of the payload bytes.  Every ``get``
+verifies both before serving: a payload whose checksum disagrees
+(corruption) or whose stored fingerprint differs from the requested one
+(stale entry / digest collision) is discarded and reported as a miss --
+the caller rebuilds and overwrites.  Nothing is ever served unverified.
+
+Writes are atomic (temp file + ``os.replace``), so concurrent suite
+workers sharing one cache directory can only ever observe complete
+artifacts; both sides of a write race produce identical bytes anyway,
+content-addressing being the point.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+from .fingerprint import canonicalize, fingerprint_digest, sha256_file
+
+__all__ = ["ArtifactCache", "ARTIFACT_KINDS"]
+
+#: Artifact kind -> payload file suffix.
+ARTIFACT_KINDS = {"datasets": ".npy", "indexes": ".npz", "results": ".json"}
+
+
+class ArtifactCache:
+    """A content-addressed artifact cache rooted at one directory."""
+
+    def __init__(self, root: "str | os.PathLike") -> None:
+        self.root = Path(root)
+        for kind in ARTIFACT_KINDS:
+            (self.root / kind).mkdir(parents=True, exist_ok=True)
+        self.hits: dict[str, int] = {k: 0 for k in ARTIFACT_KINDS}
+        self.misses: dict[str, int] = {k: 0 for k in ARTIFACT_KINDS}
+
+    # -- path helpers ----------------------------------------------------
+
+    def _payload_path(self, kind: str, digest: str) -> Path:
+        return self.root / kind / f"{digest}{ARTIFACT_KINDS[kind]}"
+
+    def _meta_path(self, kind: str, digest: str) -> Path:
+        suffix = ".meta.json" if ARTIFACT_KINDS[kind] == ".json" else ".json"
+        return self.root / kind / f"{digest}{suffix}"
+
+    # -- core get / put --------------------------------------------------
+
+    def get(self, kind: str, fingerprint: Mapping[str, Any]) -> Path | None:
+        """Verified payload path for ``fingerprint``, or ``None`` (miss).
+
+        Corrupted or stale entries are deleted, never served.
+        """
+        digest = fingerprint_digest(fingerprint)
+        payload = self._payload_path(kind, digest)
+        meta_path = self._meta_path(kind, digest)
+        if not payload.exists() or not meta_path.exists():
+            self.misses[kind] += 1
+            return None
+        try:
+            meta = json.loads(meta_path.read_text())
+        except (OSError, ValueError):
+            meta = None
+        if (
+            meta is None
+            or meta.get("fingerprint") != canonicalize(fingerprint)
+            or meta.get("sha256") != sha256_file(payload)
+        ):
+            self.discard(kind, fingerprint)
+            self.misses[kind] += 1
+            return None
+        self.hits[kind] += 1
+        return payload
+
+    def put(
+        self,
+        kind: str,
+        fingerprint: Mapping[str, Any],
+        writer: Callable[[Path], None],
+    ) -> Path:
+        """Store one artifact: ``writer`` writes the payload to a path.
+
+        The payload lands under a temporary name and is renamed into
+        place only after the meta sidecar can describe it, so readers
+        never observe half-written artifacts.
+        """
+        digest = fingerprint_digest(fingerprint)
+        payload = self._payload_path(kind, digest)
+        tmp = payload.with_name(f".{payload.name}.{os.getpid()}.tmp")
+        try:
+            writer(tmp)
+            meta = {
+                "fingerprint": canonicalize(fingerprint),
+                "sha256": sha256_file(tmp),
+                "bytes": tmp.stat().st_size,
+                "created": time.time(),
+            }
+            os.replace(tmp, payload)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+        self._meta_path(kind, digest).write_text(
+            json.dumps(meta, indent=2) + "\n"
+        )
+        return payload
+
+    def discard(self, kind: str, fingerprint: Mapping[str, Any]) -> None:
+        """Remove one entry (both payload and meta), if present."""
+        digest = fingerprint_digest(fingerprint)
+        for path in (self._payload_path(kind, digest),
+                     self._meta_path(kind, digest)):
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass
+
+    # -- maintenance -----------------------------------------------------
+
+    def _entries(self, kind: str) -> "list[tuple[Path, Path, dict | None]]":
+        """(payload, meta, parsed meta or None) per stored artifact."""
+        out = []
+        directory = self.root / kind
+        suffix = ARTIFACT_KINDS[kind]
+        for payload in sorted(directory.glob(f"*{suffix}")):
+            if payload.name.endswith(".meta.json"):
+                continue  # results sidecars share the .json suffix
+            digest = payload.name[: -len(suffix)]
+            meta_path = self._meta_path(kind, digest)
+            try:
+                meta = json.loads(meta_path.read_text())
+            except (OSError, ValueError):
+                meta = None
+            out.append((payload, meta_path, meta))
+        return out
+
+    def stats(self) -> dict:
+        """Disk usage per kind plus this process's hit/miss counters."""
+        kinds = {}
+        for kind in ARTIFACT_KINDS:
+            entries = self._entries(kind)
+            kinds[kind] = {
+                "entries": len(entries),
+                "bytes": sum(p.stat().st_size for p, _, _ in entries),
+                "hits": self.hits[kind],
+                "misses": self.misses[kind],
+            }
+        return {
+            "root": str(self.root),
+            "kinds": kinds,
+            "entries": sum(k["entries"] for k in kinds.values()),
+            "bytes": sum(k["bytes"] for k in kinds.values()),
+        }
+
+    def gc(self, max_age_days: float | None = None,
+           drop_all: bool = False) -> dict:
+        """Collect garbage: invalid entries always, old entries on request.
+
+        An entry is invalid when its meta sidecar is unreadable, its
+        payload checksum disagrees, or it was written under a different
+        cache format version.  ``max_age_days`` additionally drops
+        entries older than that; ``drop_all`` empties the cache.
+        Returns ``{"removed": ..., "kept": ...}``.
+        """
+        from .fingerprint import CACHE_FORMAT_VERSION
+
+        removed = kept = 0
+        now = time.time()
+        for kind in ARTIFACT_KINDS:
+            for payload, meta_path, meta in self._entries(kind):
+                stale = (
+                    drop_all
+                    or meta is None
+                    or meta.get("sha256") != sha256_file(payload)
+                    or meta.get("fingerprint", {}).get("format")
+                    != CACHE_FORMAT_VERSION
+                )
+                if not stale and max_age_days is not None:
+                    age_s = now - float(meta.get("created", 0))
+                    stale = age_s > max_age_days * 86_400
+                if stale:
+                    for path in (payload, meta_path):
+                        try:
+                            path.unlink()
+                        except FileNotFoundError:
+                            pass
+                    removed += 1
+                else:
+                    kept += 1
+            # Leftover temp files from interrupted writers.
+            for tmp in (self.root / kind).glob(".*.tmp"):
+                tmp.unlink()
+        return {"removed": removed, "kept": kept}

@@ -43,7 +43,7 @@ from .models import (
 )
 from .rmi import RMI
 
-__all__ = ["save_rmi", "load_rmi"]
+__all__ = ["save_rmi", "load_rmi", "rmi_payload", "rmi_from_payload"]
 
 #: Type codes for the serializable model families.  Parameter columns
 #: are the dataclass fields in declaration order, zero-padded to the
@@ -80,9 +80,14 @@ def _model_from_params(code: int, params: np.ndarray) -> Model:
     return cls(**kwargs)
 
 
-def save_rmi(rmi: RMI, path: "str | os.PathLike",
-             include_keys: bool = True) -> None:
-    """Serialize a trained RMI to ``path`` (``.npz``)."""
+def rmi_payload(rmi: RMI, include_keys: bool = True) -> dict:
+    """A trained RMI as a dict of arrays (the ``.npz`` member layout).
+
+    This is the serialization format itself, exposed so other persistence
+    layers (the artifact cache, most prominently) can embed a trained
+    RMI without going through a file path.  ``save_rmi`` is exactly
+    ``np.savez_compressed(path, **rmi_payload(rmi))``.
+    """
     payload: dict[str, np.ndarray] = {
         "format_version": np.array([1]),
         "n": np.array([rmi.n], dtype=np.int64),
@@ -139,7 +144,97 @@ def save_rmi(rmi: RMI, path: "str | os.PathLike",
     payload["leaf_model_ids"] = rmi.leaf_model_ids
     if include_keys:
         payload["keys"] = rmi.keys
-    np.savez_compressed(Path(path), **payload)
+    return payload
+
+
+def save_rmi(rmi: RMI, path: "str | os.PathLike",
+             include_keys: bool = True) -> None:
+    """Serialize a trained RMI to ``path`` (``.npz``)."""
+    np.savez_compressed(Path(path), **rmi_payload(rmi, include_keys))
+
+
+def rmi_from_payload(data, keys: np.ndarray | None = None) -> RMI:
+    """Rebuild an RMI from a :func:`rmi_payload`-layout mapping.
+
+    ``data`` is any mapping of member name to array -- an open ``.npz``
+    file or a plain dict.  ``keys`` must be supplied when the payload
+    was produced with ``include_keys=False`` and must equal the
+    training keys (length is verified; the lookup guarantee only holds
+    over the original array).
+    """
+    n = int(data["n"][0])
+    if keys is None:
+        if "keys" not in data:
+            raise ValueError(
+                "payload has no embedded keys; pass the key array"
+            )
+        keys = data["keys"]
+    keys = np.ascontiguousarray(keys, dtype=np.uint64)
+    if len(keys) != n:
+        raise ValueError(
+            f"key array has {len(keys)} keys but the RMI was trained "
+            f"on {n}"
+        )
+
+    rmi = RMI.__new__(RMI)
+    rmi.keys = keys
+    rmi.n = n
+    rmi.layer_sizes = [int(s) for s in data["layer_sizes"]]
+    rmi.search_name = str(data["search"][0])
+    from .search import resolve_search_algorithm
+
+    rmi._search = resolve_search_algorithm(rmi.search_name)
+    rmi.train_on_model_index = bool(int(data["train_on_model_index"][0]))
+    rmi.copy_keys = False
+    rmi.cs_fallback = True
+    rmi.grouped_fit = True
+    from .rmi import BuildStats
+
+    rmi.build_stats = BuildStats()
+
+    from .layers import LayerTable
+
+    rmi.layers = []
+    for i in range(len(rmi.layer_sizes)):
+        codes = data[f"layer{i}_codes"]
+        params = data[f"layer{i}_params"]
+        # The on-disk codes/params layout is exactly the SoA layer
+        # layout (shared dataclass-field convention), so layers are
+        # restored without materializing per-segment objects.
+        rmi.layers.append(
+            LayerTable(
+                codes.astype(np.int8),
+                np.ascontiguousarray(params, dtype=np.float64),
+            )
+        )
+    rmi.model_types = [type(layer[0]) for layer in rmi.layers]
+
+    abbrev = str(data["bound_abbrev"][0])
+    num_leaves = rmi.layer_sizes[-1]
+    if abbrev == "lind":
+        rmi.bounds = LocalIndividualBounds(
+            data["bounds_min"].astype(np.int64),
+            data["bounds_max"].astype(np.int64),
+        )
+    elif abbrev == "labs":
+        rmi.bounds = LocalAbsoluteBounds(
+            data["bounds_abs"].astype(np.int64)
+        )
+    elif abbrev == "gind":
+        rmi.bounds = GlobalIndividualBounds(
+            int(data["bounds_min"][0]), int(data["bounds_max"][0])
+        )
+    elif abbrev == "gabs":
+        rmi.bounds = GlobalAbsoluteBounds(int(data["bounds_abs"][0]))
+    else:
+        rmi.bounds = NoBounds(n)
+    rmi.bound_type = type(rmi.bounds)
+    del num_leaves
+
+    rmi._leaf_model_ids = data["leaf_model_ids"].astype(np.int64)
+    rmi._leaf_linear = None
+    rmi._cache_linear_leaves()
+    return rmi
 
 
 def load_rmi(path: "str | os.PathLike",
@@ -151,76 +246,4 @@ def load_rmi(path: "str | os.PathLike",
     verified; the lookup guarantee only holds over the original array).
     """
     with np.load(Path(path), allow_pickle=False) as data:
-        n = int(data["n"][0])
-        if keys is None:
-            if "keys" not in data:
-                raise ValueError(
-                    "file has no embedded keys; pass the key array"
-                )
-            keys = data["keys"]
-        keys = np.ascontiguousarray(keys, dtype=np.uint64)
-        if len(keys) != n:
-            raise ValueError(
-                f"key array has {len(keys)} keys but the RMI was trained "
-                f"on {n}"
-            )
-
-        rmi = RMI.__new__(RMI)
-        rmi.keys = keys
-        rmi.n = n
-        rmi.layer_sizes = [int(s) for s in data["layer_sizes"]]
-        rmi.search_name = str(data["search"][0])
-        from .search import resolve_search_algorithm
-
-        rmi._search = resolve_search_algorithm(rmi.search_name)
-        rmi.train_on_model_index = bool(int(data["train_on_model_index"][0]))
-        rmi.copy_keys = False
-        rmi.cs_fallback = True
-        rmi.grouped_fit = True
-        from .rmi import BuildStats
-
-        rmi.build_stats = BuildStats()
-
-        from .layers import LayerTable
-
-        rmi.layers = []
-        for i in range(len(rmi.layer_sizes)):
-            codes = data[f"layer{i}_codes"]
-            params = data[f"layer{i}_params"]
-            # The on-disk codes/params layout is exactly the SoA layer
-            # layout (shared dataclass-field convention), so layers are
-            # restored without materializing per-segment objects.
-            rmi.layers.append(
-                LayerTable(
-                    codes.astype(np.int8),
-                    np.ascontiguousarray(params, dtype=np.float64),
-                )
-            )
-        rmi.model_types = [type(layer[0]) for layer in rmi.layers]
-
-        abbrev = str(data["bound_abbrev"][0])
-        num_leaves = rmi.layer_sizes[-1]
-        if abbrev == "lind":
-            rmi.bounds = LocalIndividualBounds(
-                data["bounds_min"].astype(np.int64),
-                data["bounds_max"].astype(np.int64),
-            )
-        elif abbrev == "labs":
-            rmi.bounds = LocalAbsoluteBounds(
-                data["bounds_abs"].astype(np.int64)
-            )
-        elif abbrev == "gind":
-            rmi.bounds = GlobalIndividualBounds(
-                int(data["bounds_min"][0]), int(data["bounds_max"][0])
-            )
-        elif abbrev == "gabs":
-            rmi.bounds = GlobalAbsoluteBounds(int(data["bounds_abs"][0]))
-        else:
-            rmi.bounds = NoBounds(n)
-        rmi.bound_type = type(rmi.bounds)
-        del num_leaves
-
-        rmi._leaf_model_ids = data["leaf_model_ids"].astype(np.int64)
-        rmi._leaf_linear = None
-        rmi._cache_linear_leaves()
-    return rmi
+        return rmi_from_payload(data, keys=keys)

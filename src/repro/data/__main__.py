@@ -3,6 +3,8 @@
 Usage::
 
     python -m repro.data generate books --n 200000 --out books.sosd
+    python -m repro.data generate books --n 200000 --format npy \\
+        --out books.npy
     python -m repro.data info books.sosd
     python -m repro.data list
 """
@@ -11,9 +13,10 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from . import distributions, sosd
-from .io import dataset_info, read_sosd, write_sosd
+from .io import dataset_info, read_npy, read_sosd, write_npy, write_sosd
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -24,9 +27,13 @@ def main(argv: list[str] | None = None) -> int:
     gen.add_argument("name", help="dataset or distribution name")
     gen.add_argument("--n", type=int, default=200_000)
     gen.add_argument("--seed", type=int, default=42)
-    gen.add_argument("--out", required=True, help="output .sosd path")
+    gen.add_argument("--out", required=True, help="output path")
+    gen.add_argument("--format", choices=["sosd", "npy"], default="sosd",
+                     help="sosd: SOSD binary layout; npy: the artifact "
+                     "cache's mmap-friendly NumPy layout")
 
-    info = sub.add_parser("info", help="inspect a SOSD binary file")
+    info = sub.add_parser("info", help="inspect a dataset file "
+                          "(.sosd or .npy, by suffix)")
     info.add_argument("path")
 
     sub.add_parser("list", help="list available generators")
@@ -47,12 +54,16 @@ def main(argv: list[str] | None = None) -> int:
             keys = distributions.generate(args.name, n=args.n, seed=args.seed)
         else:
             parser.error(f"unknown generator {args.name!r}; see 'list'")
-        written = write_sosd(args.out, keys)
+        writer = write_npy if args.format == "npy" else write_sosd
+        written = writer(args.out, keys)
         print(f"wrote {len(keys):,} keys ({written:,} bytes) to {args.out}")
         return 0
 
     if args.command == "info":
-        keys = read_sosd(args.path)
+        if Path(args.path).suffix == ".npy":
+            keys = read_npy(args.path)
+        else:
+            keys = read_sosd(args.path)
         for field, value in dataset_info(keys).items():
             print(f"{field}: {value}")
         return 0

@@ -7,6 +7,11 @@ datasets generated here interoperate with SOSD tooling -- and the *real*
 SOSD datasets, where available, can be dropped in for full-fidelity
 runs.
 
+Alongside the SOSD format, :func:`write_npy`/:func:`read_npy` handle
+the ``.npy`` layout the artifact cache uses: same ``uint64`` keys, but
+self-describing and loadable with ``mmap_mode="r"`` so suite workers
+share pages instead of copies.
+
 A small CLI is attached (``python -m repro.data``) for generating,
 inspecting, and converting datasets.
 """
@@ -18,7 +23,8 @@ from pathlib import Path
 
 import numpy as np
 
-__all__ = ["write_sosd", "read_sosd", "dataset_info"]
+__all__ = ["write_sosd", "read_sosd", "write_npy", "read_npy",
+           "dataset_info"]
 
 _HEADER_DTYPE = np.dtype("<u8")
 _KEY_DTYPE = np.dtype("<u8")
@@ -60,6 +66,42 @@ def read_sosd(path: "str | os.PathLike") -> np.ndarray:
             )
         keys = np.frombuffer(f.read(8 * count), dtype=_KEY_DTYPE).astype(
             np.uint64
+        )
+    if len(keys) > 1 and np.any(keys[1:] < keys[:-1]):
+        raise ValueError(f"{path}: keys are not sorted")
+    return keys
+
+
+def write_npy(path: "str | os.PathLike", keys: np.ndarray) -> int:
+    """Write keys as a ``.npy`` file; returns bytes written.
+
+    Keys must be sorted ``uint64`` (same contract as the SOSD format).
+    The file is written through an explicit handle so NumPy cannot
+    append its own ``.npy`` suffix to the chosen path.
+    """
+    keys = np.asarray(keys, dtype=np.uint64)
+    if len(keys) > 1 and np.any(keys[1:] < keys[:-1]):
+        raise ValueError("keys must be sorted before writing")
+    path = Path(path)
+    with open(path, "wb") as f:
+        np.save(f, keys)
+    return path.stat().st_size
+
+
+def read_npy(path: "str | os.PathLike", mmap: bool = True) -> np.ndarray:
+    """Read a key array written by :func:`write_npy`.
+
+    ``mmap`` (default) maps the file read-only instead of copying it
+    into memory -- lookups touch only the pages they search.  Validates
+    the same invariants :func:`read_sosd` does.
+    """
+    path = Path(path)
+    keys = np.load(path, mmap_mode="r" if mmap else None,
+                   allow_pickle=False)
+    if keys.dtype != np.uint64 or keys.ndim != 1:
+        raise ValueError(
+            f"{path}: expected a 1-d uint64 array, found "
+            f"{keys.dtype} with shape {keys.shape}"
         )
     if len(keys) > 1 and np.any(keys[1:] < keys[:-1]):
         raise ValueError(f"{path}: keys are not sorted")

@@ -1,0 +1,93 @@
+"""Baseline snapshot round-trips (the artifact cache's index hooks).
+
+Every :class:`~repro.baselines.interfaces.OrderedIndex` implementation
+must restore from ``snapshot_state()`` -- through the same
+``np.savez`` / ``np.load(allow_pickle=False)`` boundary the disk cache
+uses -- into an index that answers adversarial lookup batches
+identically to a freshly built one and reports the same memory
+footprint.  Reuses the conformance suite's index registry and
+adversarial key/query families.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.baselines import UnsupportedDataError
+
+from .conftest import lower_bound_oracle
+from .test_conformance import (
+    ALL_INDEXES,
+    FACTORIES,
+    REJECTS_DUPLICATES,
+    _adversarial_keys,
+    _adversarial_queries,
+)
+
+FAMILIES = ["all-equal", "two-key", "dense-runs", "uint64-outliers"]
+
+
+def _through_npz(state: dict) -> dict:
+    """Round-trip a snapshot through the cache's on-disk format."""
+    buf = io.BytesIO()
+    np.savez(buf, **state)
+    buf.seek(0)
+    with np.load(buf, allow_pickle=False) as data:
+        return {k: data[k] for k in data.files}
+
+
+def _assert_restored_equivalent(cls, keys, fresh, queries):
+    restored = cls.restore_state(keys, _through_npz(fresh.snapshot_state()))
+    np.testing.assert_array_equal(
+        restored.lookup_batch(queries),
+        fresh.lookup_batch(queries),
+        err_msg=cls.__name__,
+    )
+    np.testing.assert_array_equal(
+        restored.lookup_batch(queries),
+        lower_bound_oracle(keys, queries),
+        err_msg=cls.__name__,
+    )
+    assert restored.size_in_bytes() == fresh.size_in_bytes()
+    assert restored.n == fresh.n
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+@pytest.mark.parametrize("name", ALL_INDEXES)
+def test_snapshot_roundtrip_adversarial(name, family):
+    rng = np.random.default_rng((hash((name, family)) & 0xFFFF) + 5)
+    keys = _adversarial_keys(family, rng)
+    cls = FACTORIES[name]
+    try:
+        fresh = cls(keys)
+    except UnsupportedDataError:
+        assert name in REJECTS_DUPLICATES
+        return
+    _assert_restored_equivalent(cls, keys, fresh, _adversarial_queries(keys, rng))
+
+
+@pytest.mark.parametrize("dataset", ["books", "wiki"])
+@pytest.mark.parametrize("name", ALL_INDEXES)
+def test_snapshot_roundtrip_datasets(small_datasets, mixed_queries, name,
+                                     dataset):
+    keys = small_datasets[dataset]
+    cls = FACTORIES[name]
+    try:
+        fresh = cls(keys)
+    except UnsupportedDataError:
+        assert name in REJECTS_DUPLICATES and dataset == "wiki"
+        return
+    _assert_restored_equivalent(cls, keys, fresh, mixed_queries(keys, 400))
+
+
+def test_restore_validates_keys():
+    """The restore path still enforces the base-class key contract."""
+    keys = np.arange(100, dtype=np.uint64)
+    index = FACTORIES["b-tree"](keys)
+    state = _through_npz(index.snapshot_state())
+    bad = keys[::-1].copy()  # descending: must be rejected
+    with pytest.raises(ValueError):
+        FACTORIES["b-tree"].restore_state(bad, state)
