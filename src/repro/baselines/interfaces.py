@@ -185,6 +185,39 @@ class OrderedIndex:
         ends = self.lookup_batch(highs)
         return starts, ends - starts
 
+    def serve_batch(
+        self,
+        point_queries: np.ndarray,
+        range_lows: np.ndarray,
+        range_highs: np.ndarray,
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """One serving-layer execution unit: point + range queries.
+
+        The async server (:mod:`repro.serve`) coalesces concurrent
+        requests into a single call of this method per micro-batch, so
+        an index pays one dispatch for the whole batch.  Returns
+        ``(positions, range_starts, range_counts)``; either query array
+        may be empty.  The default composes :meth:`lookup_batch` and
+        :meth:`range_query_batch`; subclasses may override to fuse the
+        three underlying lower-bound passes into fewer kernel
+        invocations.
+        """
+        if len(point_queries):
+            positions = self.lookup_batch(
+                np.asarray(point_queries, dtype=np.uint64)
+            )
+        else:
+            positions = np.empty(0, dtype=np.int64)
+        if len(range_lows):
+            starts, counts = self.range_query_batch(
+                np.asarray(range_lows, dtype=np.uint64),
+                np.asarray(range_highs, dtype=np.uint64),
+            )
+        else:
+            starts = np.empty(0, dtype=np.int64)
+            counts = np.empty(0, dtype=np.int64)
+        return positions, starts, counts
+
     # -- snapshots -------------------------------------------------------
 
     def snapshot_state(self) -> "dict[str, np.ndarray]":

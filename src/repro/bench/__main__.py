@@ -94,11 +94,19 @@ def _figures_main(argv: "list[str]") -> int:
     run = run_suite(figure_ids, n=args.n, seed=args.seed, jobs=args.jobs,
                     cache_dir=args.cache_dir)
     for f in run["figures"]:
+        if "error" in f:
+            print(f"{f['figure']}  {f['seconds']:8.3f}s  FAILED")
+            print(f["error"], file=sys.stderr)
+            continue
         source = "cache" if f["from_cache"] else "computed"
         print(f"{f['figure']}  {f['seconds']:8.3f}s  {f['rows']:4d} rows  "
               f"[{source}]")
     print(f"total {run['wall_s']:.3f}s across {len(run['figures'])} figures "
           f"(jobs={args.jobs})")
+    if run["failed"]:
+        print(f"FAIL: {len(run['failed'])} figure(s) raised: "
+              f"{', '.join(run['failed'])}")
+        return 1
     return 0
 
 
@@ -113,6 +121,9 @@ def _cache_main(argv: "list[str]") -> int:
     parser.add_argument("action", choices=["stats", "gc"])
     parser.add_argument("--cache-dir", default=None,
                         help="cache directory (default: $REPRO_CACHE_DIR)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit compact single-line JSON (machine-"
+                        "readable output for CI and the serve CLI)")
     parser.add_argument("--all", action="store_true",
                         help="[gc] drop every entry")
     parser.add_argument("--max-age-days", type=float, default=None,
@@ -128,10 +139,17 @@ def _cache_main(argv: "list[str]") -> int:
                          "REPRO_CACHE_DIR")
 
     if args.action == "stats":
-        print(json.dumps(cache.stats(), indent=2))
+        stats = cache.stats()
+        if args.json:
+            print(json.dumps(stats, sort_keys=True, separators=(",", ":")))
+        else:
+            print(json.dumps(stats, indent=2))
         return 0
     outcome = cache.gc(max_age_days=args.max_age_days, drop_all=args.all)
-    print(f"gc: removed {outcome['removed']}, kept {outcome['kept']}")
+    if args.json:
+        print(json.dumps(outcome, sort_keys=True, separators=(",", ":")))
+    else:
+        print(f"gc: removed {outcome['removed']}, kept {outcome['kept']}")
     return 0
 
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 import json
 import os
 import time
+import traceback
 from pathlib import Path
 from typing import Sequence
 
@@ -44,10 +45,24 @@ def _activate_worker(cache_dir: "str | None") -> None:
 
 
 def _run_one(entry: "tuple[str, dict]") -> dict:
-    """Run one figure (module-level: pool-picklable)."""
+    """Run one figure (module-level: pool-picklable).
+
+    A raising driver is reported as a row with an ``error`` traceback
+    instead of poisoning the whole pool map: the other figures still
+    complete and the caller decides how to surface the failure
+    (:func:`run_suite` collects failed ids; the CLI exits nonzero;
+    :func:`suite_report` refuses to benchmark a failing suite).
+    """
     figure_id, kwargs = entry
     t0 = time.perf_counter()
-    result, from_cache = run_experiment_cached(figure_id, **kwargs)
+    try:
+        result, from_cache = run_experiment_cached(figure_id, **kwargs)
+    except Exception:
+        return {
+            "figure": figure_id,
+            "seconds": round(time.perf_counter() - t0, 4),
+            "error": traceback.format_exc(),
+        }
     return {
         "figure": figure_id,
         "seconds": round(time.perf_counter() - t0, 4),
@@ -88,7 +103,11 @@ def run_suite(
         initializer=_activate_worker,
         initargs=(str(cache_dir) if cache_dir is not None else None,),
     )
-    return {"figures": rows, "wall_s": round(time.perf_counter() - t0, 4)}
+    return {
+        "figures": rows,
+        "wall_s": round(time.perf_counter() - t0, 4),
+        "failed": [r["figure"] for r in rows if "error" in r],
+    }
 
 
 def suite_report(
@@ -111,9 +130,11 @@ def suite_report(
     artifact_cache.clear_memos()
     cold = run_suite(figure_ids, n=n, seed=seed, jobs=jobs,
                      cache_dir=cache_dir)
+    _raise_on_failures("cold", cold)
     artifact_cache.clear_memos()
     warm = run_suite(figure_ids, n=n, seed=seed, jobs=jobs,
                      cache_dir=cache_dir)
+    _raise_on_failures("warm", warm)
     figures = []
     for c, w in zip(cold["figures"], warm["figures"]):
         identical = (
@@ -145,6 +166,17 @@ def suite_report(
         "all_warm_from_cache": all(f["warm_from_cache"] for f in figures),
         "cache": cache.stats(),
     }
+
+
+def _raise_on_failures(run_name: str, run: dict) -> None:
+    """A cold/warm benchmark over a failing suite is meaningless."""
+    failed = [r for r in run["figures"] if "error" in r]
+    if failed:
+        details = "\n".join(r["error"] for r in failed)
+        ids = ", ".join(r["figure"] for r in failed)
+        raise RuntimeError(
+            f"{run_name} suite run failed for {ids}:\n{details}"
+        )
 
 
 def write_suite_report(report: dict, path: "str | os.PathLike") -> None:

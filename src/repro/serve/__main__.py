@@ -1,0 +1,323 @@
+"""CLI for the serving subsystem.
+
+Usage::
+
+    python -m repro.serve serve --dataset books --n 100000 --index rmi \\
+        --requests 5000 --qps 2000 --cache-dir .artifact-cache \\
+        --metrics-out serve_metrics.json --max-p99-ms 250 --max-errors 0
+    python -m repro.serve bench --out BENCH_serve.json --min-speedup 3
+    python -m repro.serve swap --dataset books --n 100000 \\
+        --from-index rmi --to-index pgm-index --requests 4000 --qps 5000
+
+``serve`` runs a live server against an open-loop workload and reports
+tail latency; ``bench`` produces the committed batched-vs-unbatched
+comparison; ``swap`` demonstrates the zero-loss hot-swap protocol under
+concurrent traffic.  All three resolve datasets and built indexes
+through the artifact cache when ``--cache-dir`` (or
+``$REPRO_CACHE_DIR``) is set.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import logging
+import sys
+from pathlib import Path
+from typing import Any
+
+from ..baselines import INDEX_TYPES
+from .loadgen import loadgen_report, run_open_loop
+from .server import IndexServer
+
+log = logging.getLogger("repro.serve")
+
+
+def _load_index(name: str, dataset: str, n: int, seed: int) -> Any:
+    """Build (or restore from the artifact cache) one index by name."""
+    from .. import cache as artifact_cache
+
+    if name not in INDEX_TYPES:
+        raise SystemExit(
+            f"unknown index {name!r}; known: {', '.join(INDEX_TYPES)}"
+        )
+    cls = INDEX_TYPES[name]
+    return artifact_cache.index_for(
+        dataset, n, seed, name, {}, lambda k: cls(k), cls=cls
+    )
+
+
+def _dataset(dataset: str, n: int, seed: int):
+    from .. import cache as artifact_cache
+
+    return artifact_cache.dataset(dataset, n, seed)
+
+
+def _cache_stats() -> "dict | None":
+    from .. import cache as artifact_cache
+
+    cache = artifact_cache.active_cache()
+    return cache.stats() if cache is not None else None
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", default="books",
+                        help="SOSD-like dataset name (default books)")
+    parser.add_argument("--n", type=int, default=100_000,
+                        help="dataset size (default 100000)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--requests", type=int, default=5000,
+                        help="number of requests to fire")
+    parser.add_argument("--qps", type=float, default=None,
+                        help="offered load (default: saturation)")
+    parser.add_argument("--max-batch", type=int, default=256,
+                        help="micro-batcher width (default 256)")
+    parser.add_argument("--max-wait-ms", type=float, default=2.0,
+                        help="micro-batcher deadline (default 2ms)")
+    parser.add_argument("--max-queue", type=int, default=1024,
+                        help="admission queue bound (default 1024)")
+    parser.add_argument("--shed-policy", choices=["reject", "block"],
+                        default="block",
+                        help="full-queue policy (default block)")
+    parser.add_argument("--timeout-ms", type=float, default=None,
+                        help="per-request deadline (default none)")
+    parser.add_argument("--range-fraction", type=float, default=0.0,
+                        help="fraction of range queries (default 0)")
+    parser.add_argument("--access", choices=["uniform", "zipf"],
+                        default="uniform")
+    parser.add_argument("--cache-dir", default=None,
+                        help="artifact cache directory")
+
+
+def _activate_cache(args: argparse.Namespace) -> None:
+    if args.cache_dir is not None:
+        from .. import cache as artifact_cache
+
+        artifact_cache.activate(args.cache_dir)
+
+
+async def _serve_session(args: argparse.Namespace, index: Any,
+                         keys) -> "tuple[dict, dict]":
+    server = IndexServer(
+        index,
+        max_batch_size=args.max_batch,
+        max_wait_s=args.max_wait_ms / 1e3,
+        max_queue=args.max_queue,
+        shed_policy=args.shed_policy,
+        log_interval_s=args.log_interval,
+    )
+    async with server:
+        report = await run_open_loop(
+            server, keys,
+            num_requests=args.requests,
+            qps=args.qps,
+            seed=args.seed,
+            access=args.access,
+            range_fraction=args.range_fraction,
+            timeout_s=None if args.timeout_ms is None
+            else args.timeout_ms / 1e3,
+        )
+    return report, server.metrics.snapshot()
+
+
+def _gate(report: dict, args: argparse.Namespace) -> "list[str]":
+    failed = []
+    if args.max_errors is not None:
+        bad = (report["wrong"]
+               + report["statuses"].get("error", 0)
+               + report["statuses"].get("rejected", 0))
+        if bad > args.max_errors:
+            failed.append(f"{bad} failed/wrong requests exceed the "
+                          f"allowed {args.max_errors}")
+    if args.max_p99_ms is not None and "latency_ms" in report:
+        p99 = report["latency_ms"]["p99"]
+        if p99 > args.max_p99_ms:
+            failed.append(f"p99 {p99:.2f}ms exceeds the allowed "
+                          f"{args.max_p99_ms:.2f}ms")
+    return failed
+
+
+def _serve_main(argv: "list[str]") -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve serve",
+        description="Serve one index under an open-loop workload",
+    )
+    _add_common(parser)
+    parser.add_argument("--index", default="rmi",
+                        help=f"index type ({', '.join(INDEX_TYPES)})")
+    parser.add_argument("--log-interval", type=float, default=1.0,
+                        help="seconds between metric log lines")
+    parser.add_argument("--metrics-out", metavar="FILE", default=None,
+                        help="write loadgen + server metrics JSON here")
+    parser.add_argument("--max-p99-ms", type=float, default=None,
+                        help="exit 1 when the completed-request p99 "
+                        "exceeds this bound")
+    parser.add_argument("--max-errors", type=int, default=None,
+                        help="exit 1 when wrong/error/rejected requests "
+                        "exceed this count")
+    args = parser.parse_args(argv)
+    _activate_cache(args)
+
+    keys = _dataset(args.dataset, args.n, args.seed)
+    index = _load_index(args.index, args.dataset, args.n, args.seed)
+    log.info("serving %s over %s (n=%d, %d B index)",
+             args.index, args.dataset, args.n, index.size_in_bytes())
+    report, metrics = asyncio.run(_serve_session(args, index, keys))
+    print(loadgen_report(report))
+    if args.metrics_out:
+        payload = {"loadgen": report, "server": metrics,
+                   "index": args.index, "dataset": args.dataset,
+                   "n": args.n, "cache": _cache_stats()}
+        Path(args.metrics_out).write_text(
+            json.dumps(payload, indent=2) + "\n"
+        )
+        print(f"[metrics written to {args.metrics_out}]")
+    failed = _gate(report, args)
+    for reason in failed:
+        print(f"FAIL: {reason}")
+    return 1 if failed else 0
+
+
+async def _swap_session(args: argparse.Namespace, first: Any, second: Any,
+                        keys) -> "tuple[dict, dict]":
+    server = IndexServer(
+        first,
+        max_batch_size=args.max_batch,
+        max_wait_s=args.max_wait_ms / 1e3,
+        max_queue=args.max_queue,
+        shed_policy=args.shed_policy,
+        log_interval_s=None,
+    )
+
+    async def swap_halfway():
+        target = args.requests // 2
+        while server.metrics.completed.value < target:
+            await asyncio.sleep(0.001)
+        server.swap_index(second)
+
+    async with server:
+        swapper = asyncio.create_task(swap_halfway())
+        report = await run_open_loop(
+            server, keys,
+            num_requests=args.requests,
+            qps=args.qps,
+            seed=args.seed,
+            access=args.access,
+            range_fraction=args.range_fraction,
+        )
+        swapper.cancel()
+        try:
+            await swapper
+        except asyncio.CancelledError:
+            pass
+    return report, server.metrics.snapshot()
+
+
+def _swap_main(argv: "list[str]") -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve swap",
+        description="Hot-swap the served index under concurrent traffic",
+    )
+    _add_common(parser)
+    parser.add_argument("--from-index", default="rmi")
+    parser.add_argument("--to-index", default="pgm-index")
+    args = parser.parse_args(argv)
+    _activate_cache(args)
+
+    keys = _dataset(args.dataset, args.n, args.seed)
+    first = _load_index(args.from_index, args.dataset, args.n, args.seed)
+    second = _load_index(args.to_index, args.dataset, args.n, args.seed)
+    report, metrics = asyncio.run(_swap_session(args, first, second, keys))
+    print(loadgen_report(report))
+    print(f"swaps: {metrics['swaps']}")
+    failed = []
+    if metrics["swaps"] != 1:
+        failed.append(f"expected exactly 1 swap, saw {metrics['swaps']}")
+    if report["wrong"]:
+        failed.append(f"{report['wrong']} wrong answers across the swap")
+    if report["completed"] != args.requests:
+        failed.append(
+            f"dropped requests across the swap: only {report['completed']}/"
+            f"{args.requests} completed ({report['statuses']})"
+        )
+    for reason in failed:
+        print(f"FAIL: {reason}")
+    if not failed:
+        print(f"OK: swapped {args.from_index} -> {args.to_index} under "
+              f"load, all {args.requests} requests answered correctly")
+    return 1 if failed else 0
+
+
+def _bench_main(argv: "list[str]") -> int:
+    from .bench import (
+        DEFAULT_INDEXES,
+        render_serve_report,
+        serve_report,
+        write_serve_report,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve bench",
+        description="Micro-batched vs batch-size-1 serving benchmark",
+    )
+    parser.add_argument("--indexes", default=",".join(DEFAULT_INDEXES),
+                        help="comma-separated index types")
+    parser.add_argument("--dataset", default="books")
+    parser.add_argument("--n", type=int, default=200_000)
+    parser.add_argument("--requests", type=int, default=20_000)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--max-batch", type=int, default=512)
+    parser.add_argument("--max-wait-ms", type=float, default=2.0)
+    parser.add_argument("--range-fraction", type=float, default=0.1)
+    parser.add_argument("--cache-dir", default=None)
+    parser.add_argument("--out", metavar="FILE", default=None,
+                        help="write the JSON report here")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="exit 1 unless every index's batched mode is "
+                        "at least this much faster")
+    args = parser.parse_args(argv)
+    _activate_cache(args)
+
+    report = serve_report(
+        index_names=[s.strip() for s in args.indexes.split(",") if s.strip()],
+        dataset=args.dataset,
+        n=args.n,
+        num_requests=args.requests,
+        seed=args.seed,
+        max_batch_size=args.max_batch,
+        max_wait_s=args.max_wait_ms / 1e3,
+        range_fraction=args.range_fraction,
+    )
+    print(render_serve_report(report))
+    if args.out:
+        write_serve_report(report, args.out)
+        print(f"[report written to {args.out}]")
+    if args.min_speedup is not None:
+        if report["min_speedup"] is None \
+                or report["min_speedup"] < args.min_speedup:
+            print(f"FAIL: min speedup {report['min_speedup']}x is below "
+                  f"the required {args.min_speedup:.1f}x")
+            return 1
+        print(f"OK: min speedup {report['min_speedup']:.1f}x >= "
+              f"{args.min_speedup:.1f}x")
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    logging.basicConfig(
+        level=logging.INFO,
+        format="%(asctime)s %(name)s %(message)s",
+        datefmt="%H:%M:%S",
+    )
+    commands = {"serve": _serve_main, "bench": _bench_main,
+                "swap": _swap_main}
+    if not argv or argv[0] in ("-h", "--help") or argv[0] not in commands:
+        print(__doc__)
+        return 0 if argv and argv[0] in ("-h", "--help") else 2
+    return commands[argv[0]](argv[1:])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,214 @@
+"""Dynamic micro-batching of index requests.
+
+The serving argument for batching is the same one PR 1 made offline:
+every index answers ``lookup_batch`` far faster per key than a Python
+round-trip per request, so a server that executes one request at a time
+wastes almost its entire budget on dispatch overhead.  The
+:class:`MicroBatcher` closes that gap with the continuous-batching
+shape inference servers use -- requests accumulate in a bounded queue
+and are released as one batch when either
+
+* the batch reaches ``max_batch_size`` requests, or
+* ``max_wait_s`` has elapsed since the *oldest* request in the batch
+  arrived (so queueing time already spent counts against the budget and
+  a backed-up queue drains at full batch width with no extra waiting).
+
+The batcher owns admission: :meth:`try_put` is the load-shedding path
+(full queue -> immediate ``False``), :meth:`put` the blocking
+backpressure path.  :meth:`close` starts the drain protocol --
+:meth:`collect` stops waiting, hands out whatever is queued, and
+returns ``None`` once the queue is empty, which is the executor loop's
+signal to exit.  Batch *execution* is deliberately not here: the
+:class:`~repro.serve.server.IndexServer` decides deadlines, swaps, and
+how to run the batch against an index.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "STATUS_OK",
+    "STATUS_TIMEOUT",
+    "STATUS_REJECTED",
+    "STATUS_ERROR",
+    "OP_LOOKUP",
+    "OP_RANGE",
+    "Request",
+    "Response",
+    "MicroBatcher",
+]
+
+STATUS_OK = "ok"
+STATUS_TIMEOUT = "timeout"
+STATUS_REJECTED = "rejected"
+STATUS_ERROR = "error"
+
+OP_LOOKUP = "lookup"
+OP_RANGE = "range"
+
+#: Queue sentinel: wakes a collector blocked on an empty queue so it
+#: can notice the batcher has been closed.
+_WAKE = object()
+
+
+@dataclass
+class Request:
+    """One in-flight request: operation, payload, deadline, future."""
+
+    op: str
+    key: int = 0
+    low: int = 0
+    high: int = 0
+    #: ``time.monotonic()`` at submission (latency baseline).
+    enqueued_at: float = 0.0
+    #: Absolute ``time.monotonic()`` deadline, or ``None`` (no limit).
+    deadline: "float | None" = None
+    future: "asyncio.Future[Response] | None" = field(
+        default=None, repr=False, compare=False
+    )
+
+    def expired(self, now: float) -> bool:
+        return self.deadline is not None and now >= self.deadline
+
+
+@dataclass(frozen=True)
+class Response:
+    """The answer to one request.
+
+    ``status`` is one of ``ok`` / ``timeout`` / ``rejected`` /
+    ``error``.  Only ``ok`` responses carry results: ``position`` is the
+    lower-bound position (for both ops), ``count`` the number of keys
+    in range (``None`` for point lookups).  A timed-out or rejected
+    request never carries a value -- a late answer is withheld rather
+    than presented as fresh.
+    """
+
+    op: str
+    status: str
+    position: "int | None" = None
+    count: "int | None" = None
+    latency_s: float = 0.0
+    #: Number of requests in the batch that served this one (0 when the
+    #: request never reached an index).
+    batch_size: int = 0
+    error: "str | None" = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+
+class MicroBatcher:
+    """Bounded request queue plus the batch-forming state machine."""
+
+    def __init__(self, max_batch_size: int = 256,
+                 max_wait_s: float = 0.002,
+                 max_queue: int = 1024) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if max_wait_s < 0:
+            raise ValueError("max_wait_s must be >= 0")
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_s = float(max_wait_s)
+        self.max_queue = int(max_queue)
+        self._queue: "asyncio.Queue[Any]" = asyncio.Queue(maxsize=max_queue)
+        self._closed = False
+
+    # -- admission -------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def depth(self) -> int:
+        """Requests currently queued (sentinels excluded, best-effort)."""
+        return self._queue.qsize()
+
+    def try_put(self, request: Request) -> bool:
+        """Non-blocking admission: ``False`` sheds the request."""
+        if self._closed:
+            return False
+        try:
+            self._queue.put_nowait(request)
+            return True
+        except asyncio.QueueFull:
+            return False
+
+    async def put(self, request: Request) -> bool:
+        """Blocking admission: waits for queue space (backpressure)."""
+        if self._closed:
+            return False
+        await self._queue.put(request)
+        return True
+
+    # -- drain -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop admitting; wake the collector so it can drain and exit."""
+        self._closed = True
+        try:
+            self._queue.put_nowait(_WAKE)
+        except asyncio.QueueFull:
+            pass  # a full queue already keeps the collector awake
+
+    # -- batch formation -------------------------------------------------
+
+    async def collect(self) -> "list[Request] | None":
+        """The next batch, or ``None`` when closed and fully drained.
+
+        Waits for a first request, then fills the batch until
+        ``max_batch_size`` or until ``max_wait_s`` after that request's
+        *enqueue* time -- whichever comes first.  Whatever is already
+        queued when the deadline passes still joins the batch (a
+        backlog coalesces maximally); after :meth:`close` no new waiting
+        happens at all.
+        """
+        first = await self._next_request()
+        if first is None:
+            return None
+        batch = [first]
+        deadline = first.enqueued_at + self.max_wait_s
+        while len(batch) < self.max_batch_size:
+            remaining = 0.0 if self._closed else deadline - time.monotonic()
+            if remaining > 0:
+                try:
+                    item = await asyncio.wait_for(
+                        self._queue.get(), remaining
+                    )
+                except asyncio.TimeoutError:
+                    continue  # deadline hit; drain what is queued
+            else:
+                try:
+                    item = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+            if item is not _WAKE:
+                batch.append(item)
+        return batch
+
+    def drain_nowait(self) -> "list[Request]":
+        """Whatever is still queued, without waiting (post-shutdown sweep)."""
+        out: "list[Request]" = []
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                return out
+            if item is not _WAKE:
+                out.append(item)
+
+    async def _next_request(self) -> "Request | None":
+        while True:
+            if self._closed:
+                try:
+                    item = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    return None
+            else:
+                item = await self._queue.get()
+            if item is not _WAKE:
+                return item

@@ -1,0 +1,164 @@
+"""Open-loop load generation against an :class:`IndexServer`.
+
+Replays a :func:`repro.workload.make_workload` key stream (uniform or
+Zipf access, optional absent keys, optional range-query fraction)
+against a running server at a target QPS with Poisson arrivals
+(:func:`repro.workload.make_arrivals`).  The generator is *open-loop*:
+every request's send time is fixed before the run starts, so an
+overloaded server accumulates queueing delay in the measured tail
+instead of silently slowing the offered load (the coordinated-omission
+pitfall closed-loop benchmarks fall into).  ``qps=None`` offers the
+whole stream at once -- the saturation mode the throughput benchmark
+uses.
+
+Every response is validated against the ``np.searchsorted`` oracle the
+workload generator precomputed: a served position that disagrees counts
+as ``wrong`` (the serving analogue of Section 4.4's checksum), and
+timed-out or rejected requests are tallied separately -- they carry no
+value, so they can be late, but never wrong.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any
+
+import numpy as np
+
+from ..workload import make_arrivals, make_range_workload, make_workload
+from .batcher import STATUS_OK
+from .server import IndexServer
+
+__all__ = ["run_open_loop", "loadgen_report"]
+
+
+async def run_open_loop(
+    server: IndexServer,
+    keys: np.ndarray,
+    *,
+    num_requests: int = 1000,
+    qps: "float | None" = None,
+    seed: int = 42,
+    access: str = "uniform",
+    include_absent: float = 0.0,
+    range_fraction: float = 0.0,
+    timeout_s: "float | None" = None,
+) -> "dict[str, Any]":
+    """Fire one workload at ``server``; return a latency/status report.
+
+    ``range_fraction`` of the requests are range-count queries (their
+    oracle is precomputed too); the rest are point lookups.  Requests
+    are interleaved deterministically from ``seed``, so two runs offer
+    byte-identical streams.
+    """
+    if not 0.0 <= range_fraction <= 1.0:
+        raise ValueError("range_fraction must be within [0, 1]")
+    num_ranges = int(num_requests * range_fraction)
+    num_points = num_requests - num_ranges
+    point_wl = make_workload(
+        keys, num_lookups=max(num_points, 1), seed=seed,
+        include_absent=include_absent, access=access,
+    )
+    range_wl = make_range_workload(
+        keys, num_queries=max(num_ranges, 1), seed=seed + 1
+    )
+    offsets = make_arrivals(num_requests, qps, seed=seed + 2)
+    # Deterministic interleave: ranges spread evenly over the stream.
+    is_range = np.zeros(num_requests, dtype=bool)
+    if num_ranges:
+        is_range[np.linspace(0, num_requests - 1, num_ranges,
+                             dtype=np.int64)] = True
+
+    loop = asyncio.get_running_loop()
+    t0 = loop.time()
+    wall_start = time.monotonic()
+
+    async def fire(i: int, slot: int, range_op: bool):
+        delay = t0 + offsets[i] - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        if range_op:
+            resp = await server.range_query(
+                int(range_wl.lows[slot]), int(range_wl.highs[slot]),
+                timeout_s=timeout_s,
+            )
+            want = (int(range_wl.expected_starts[slot]),
+                    int(range_wl.expected_counts[slot]))
+        else:
+            resp = await server.lookup(
+                int(point_wl.queries[slot]), timeout_s=timeout_s
+            )
+            want = (int(point_wl.expected_positions[slot]), None)
+        return resp, want
+
+    tasks = []
+    point_slot = range_slot = 0
+    for i in range(num_requests):
+        if is_range[i]:
+            tasks.append(fire(i, range_slot, True))
+            range_slot += 1
+        else:
+            tasks.append(fire(i, point_slot, False))
+            point_slot += 1
+    outcomes = await asyncio.gather(*tasks)
+    wall_s = time.monotonic() - wall_start
+
+    statuses: "dict[str, int]" = {}
+    wrong = 0
+    ok_latencies = []
+    batch_sizes = []
+    for resp, (want_pos, want_count) in outcomes:
+        statuses[resp.status] = statuses.get(resp.status, 0) + 1
+        if resp.status == STATUS_OK:
+            ok_latencies.append(resp.latency_s)
+            batch_sizes.append(resp.batch_size)
+            if resp.position != want_pos:
+                wrong += 1
+            elif want_count is not None and resp.count != want_count:
+                wrong += 1
+    completed = statuses.get(STATUS_OK, 0)
+    lat = np.asarray(ok_latencies, dtype=np.float64)
+    report: "dict[str, Any]" = {
+        "num_requests": int(num_requests),
+        "offered_qps": None if qps is None else float(qps),
+        "achieved_qps": round(completed / wall_s, 1) if wall_s > 0 else 0.0,
+        "wall_s": round(wall_s, 4),
+        "statuses": statuses,
+        "completed": completed,
+        "wrong": wrong,
+        "mean_batch": round(float(np.mean(batch_sizes)), 2)
+        if batch_sizes else 0.0,
+        "coalesced_fraction": round(
+            float(np.mean(np.asarray(batch_sizes) > 1)), 4
+        ) if batch_sizes else 0.0,
+    }
+    if len(lat):
+        report["latency_ms"] = {
+            "mean": round(float(lat.mean()) * 1e3, 3),
+            "p50": round(float(np.percentile(lat, 50)) * 1e3, 3),
+            "p95": round(float(np.percentile(lat, 95)) * 1e3, 3),
+            "p99": round(float(np.percentile(lat, 99)) * 1e3, 3),
+            "max": round(float(lat.max()) * 1e3, 3),
+        }
+    return report
+
+
+def loadgen_report(report: "dict[str, Any]") -> str:
+    """Human-readable one-paragraph summary of a loadgen run."""
+    lines = [
+        f"open-loop run: {report['num_requests']} requests, "
+        f"offered {report['offered_qps'] or 'saturation'} qps, "
+        f"achieved {report['achieved_qps']} qps in {report['wall_s']:.2f}s",
+        f"  statuses: {report['statuses']}   wrong answers: "
+        f"{report['wrong']}",
+        f"  mean batch {report['mean_batch']}, coalesced "
+        f"{report['coalesced_fraction'] * 100:.1f}%",
+    ]
+    if "latency_ms" in report:
+        lm = report["latency_ms"]
+        lines.append(
+            f"  latency ms: mean {lm['mean']}  p50 {lm['p50']}  "
+            f"p95 {lm['p95']}  p99 {lm['p99']}  max {lm['max']}"
+        )
+    return "\n".join(lines)

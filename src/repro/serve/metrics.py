@@ -1,0 +1,232 @@
+"""Serving-layer observability: counters and log-binned histograms.
+
+Tail latency is the serving metric that matters (the ROADMAP's
+"millions of users" north star is a p99 statement, not a mean), so the
+histograms here keep enough resolution to report p50/p95/p99 across six
+orders of magnitude without storing per-request samples: geometric
+bins, a fixed number per decade, plus exact count/sum/min/max.
+
+Counters are plain Python ints mutated without locks: every producer
+runs on the server's single asyncio event loop (and CPython's GIL makes
+``int`` increments atomic anyway), so there is no lock to take and no
+contention to measure.  :class:`ServeMetrics` aggregates everything the
+server and load generator record and exports it two ways -- a JSON
+document (:meth:`ServeMetrics.to_json`) for CI artifacts and the CLI,
+and a one-line summary (:meth:`ServeMetrics.log_line`) that
+:class:`IndexServer` emits periodically under live traffic.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from typing import Any
+
+__all__ = ["Counter", "Histogram", "ServeMetrics"]
+
+
+class Counter:
+    """A monotonically increasing event counter (single-writer)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.value})"
+
+
+class Histogram:
+    """A geometric-bin histogram with percentile estimation.
+
+    Bin ``i`` covers ``[lo * g**i, lo * g**(i+1))`` with ``g`` chosen so
+    every decade splits into ``bins_per_decade`` bins; observations
+    outside ``[lo, hi)`` clamp into the first/last bin.  Percentiles
+    come from the cumulative bin counts and are reported as the
+    geometric midpoint of the selected bin, clamped to the exact
+    observed ``[min, max]`` -- a relative error bounded by one bin width
+    (~12% at the default 20 bins/decade), plenty for p50/p95/p99
+    reporting.
+    """
+
+    def __init__(self, lo: float = 1e-6, hi: float = 1e3,
+                 bins_per_decade: int = 20) -> None:
+        if not 0 < lo < hi:
+            raise ValueError("histogram needs 0 < lo < hi")
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.bins_per_decade = int(bins_per_decade)
+        decades = math.log10(self.hi / self.lo)
+        self.num_bins = max(int(math.ceil(decades * bins_per_decade)), 1)
+        self._log_lo = math.log10(self.lo)
+        self.counts = [0] * self.num_bins
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value <= self.lo:
+            idx = 0
+        else:
+            idx = int((math.log10(value) - self._log_lo)
+                      * self.bins_per_decade)
+            idx = min(max(idx, 0), self.num_bins - 1)
+        self.counts[idx] += 1
+
+    def _bin_edges(self, idx: int) -> "tuple[float, float]":
+        step = 1.0 / self.bins_per_decade
+        return (10.0 ** (self._log_lo + idx * step),
+                10.0 ** (self._log_lo + (idx + 1) * step))
+
+    def percentile(self, q: float) -> float:
+        """Estimated ``q``-th percentile (``q`` in [0, 100])."""
+        if self.count == 0:
+            return 0.0
+        target = max(int(math.ceil(q / 100.0 * self.count)), 1)
+        seen = 0
+        for idx, c in enumerate(self.counts):
+            seen += c
+            if seen >= target:
+                lo_edge, hi_edge = self._bin_edges(idx)
+                mid = math.sqrt(lo_edge * hi_edge)
+                return min(max(mid, self.min), self.max)
+        return self.max  # pragma: no cover - unreachable (counts sum)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> "dict[str, float]":
+        if self.count == 0:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+class ServeMetrics:
+    """Every counter and histogram the serving layer maintains.
+
+    Request accounting is by final status: ``submitted`` splits into
+    ``completed`` (answered from an index), ``timeouts`` (deadline
+    expired before service), ``rejected`` (shed at admission or during
+    shutdown), and ``errors`` (index raised during batch execution).
+    ``coalesced`` counts requests answered as part of a multi-request
+    batch -- the micro-batcher's effectiveness metric.
+    """
+
+    def __init__(self) -> None:
+        self.started_at = time.time()
+        self.submitted = Counter()
+        self.completed = Counter()
+        self.timeouts = Counter()
+        self.rejected = Counter()
+        self.errors = Counter()
+        self.batches = Counter()
+        self.coalesced = Counter()
+        self.swaps = Counter()
+        #: Request latency (submit -> response), seconds.
+        self.latency_s = Histogram(lo=1e-6, hi=1e3)
+        #: Requests per executed batch.
+        self.batch_size = Histogram(lo=1.0, hi=1e6, bins_per_decade=40)
+        #: Queue depth sampled when each batch is collected.
+        self.queue_depth = Histogram(lo=1.0, hi=1e6, bins_per_decade=40)
+
+    # -- recording hooks (called by the server) -------------------------
+
+    def record_batch(self, size: int, queue_depth: int) -> None:
+        self.batches.inc()
+        self.batch_size.observe(max(size, 1))
+        self.queue_depth.observe(max(queue_depth, 1))
+        if size > 1:
+            self.coalesced.inc(size)
+
+    def record_response(self, status: str, latency_s: float) -> None:
+        from .batcher import (
+            STATUS_ERROR,
+            STATUS_OK,
+            STATUS_REJECTED,
+            STATUS_TIMEOUT,
+        )
+
+        self.latency_s.observe(latency_s)
+        if status == STATUS_OK:
+            self.completed.inc()
+        elif status == STATUS_TIMEOUT:
+            self.timeouts.inc()
+        elif status == STATUS_REJECTED:
+            self.rejected.inc()
+        elif status == STATUS_ERROR:
+            self.errors.inc()
+
+    # -- derived numbers -------------------------------------------------
+
+    @property
+    def coalesced_fraction(self) -> float:
+        """Fraction of completed requests served in multi-request batches."""
+        done = self.completed.value
+        return self.coalesced.value / done if done else 0.0
+
+    def snapshot(self) -> "dict[str, Any]":
+        """All metrics as a JSON-ready dict."""
+        return {
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "requests": {
+                "submitted": self.submitted.value,
+                "completed": self.completed.value,
+                "timeouts": self.timeouts.value,
+                "rejected": self.rejected.value,
+                "errors": self.errors.value,
+            },
+            "batches": self.batches.value,
+            "coalesced_requests": self.coalesced.value,
+            "coalesced_fraction": round(self.coalesced_fraction, 4),
+            "swaps": self.swaps.value,
+            "latency_s": _rounded(self.latency_s.summary()),
+            "batch_size": _rounded(self.batch_size.summary()),
+            "queue_depth": _rounded(self.queue_depth.summary()),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.snapshot(), indent=2, sort_keys=True)
+
+    def log_line(self) -> str:
+        """One-line live summary, suitable for periodic logging."""
+        lat = self.latency_s
+        return (
+            f"served={self.completed.value} timeout={self.timeouts.value} "
+            f"rejected={self.rejected.value} errors={self.errors.value} "
+            f"batches={self.batches.value} "
+            f"mean_batch={self.batch_size.mean:.1f} "
+            f"coalesced={self.coalesced_fraction * 100:.1f}% "
+            f"p50={lat.percentile(50) * 1e3:.2f}ms "
+            f"p99={lat.percentile(99) * 1e3:.2f}ms "
+            f"swaps={self.swaps.value}"
+        )
+
+
+def _rounded(summary: "dict[str, float]") -> "dict[str, float]":
+    return {k: (round(v, 9) if isinstance(v, float) else v)
+            for k, v in summary.items()}

@@ -1,0 +1,309 @@
+"""The index server: admission, deadlines, hot-swap, graceful drain.
+
+:class:`IndexServer` fronts any
+:class:`~repro.baselines.interfaces.OrderedIndex` behind an async
+request API.  The lifecycle::
+
+    server = IndexServer(index, max_batch_size=256, max_wait_s=0.002)
+    await server.start()
+    response = await server.lookup(key, timeout_s=0.05)
+    ...
+    await server.stop()        # graceful drain: every future resolves
+
+One executor task drives the loop: collect a batch from the
+:class:`~repro.serve.batcher.MicroBatcher`, answer deadline-expired
+requests with *timeout* responses (never a value computed after the
+deadline at dispatch), run the survivors through the served index's
+:meth:`~repro.baselines.interfaces.OrderedIndex.serve_batch` in a
+single worker thread (NumPy kernels release the GIL; the event loop
+keeps accepting and coalescing while a batch executes), then resolve
+every future.
+
+**Backpressure / load shedding**: the queue is bounded.  Policy
+``"reject"`` answers a full queue with an immediate ``rejected``
+response (open-loop overload sheds instead of building an unbounded
+backlog); policy ``"block"`` makes ``submit`` wait for space, pushing
+the pressure back into the caller.
+
+**Hot swap**: :meth:`swap_index` atomically replaces the index used by
+*subsequent* batches -- a plain reference assignment on the event-loop
+thread, while the batch currently executing keeps the reference it
+captured at dispatch.  No in-flight request is dropped or re-routed
+mid-execution; combined with the PR-3 artifact cache
+(``cache.index_for`` / ``cache.rmi_for``) this reloads a rebuilt
+snapshot under live traffic with zero downtime.
+
+**Drain**: :meth:`stop` closes admission (late ``submit`` calls get
+``rejected``), lets the executor empty the queue without further
+batching waits, resolves everything, then shuts the worker thread down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any
+
+import numpy as np
+
+from .batcher import (
+    OP_LOOKUP,
+    OP_RANGE,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_REJECTED,
+    STATUS_TIMEOUT,
+    MicroBatcher,
+    Request,
+    Response,
+)
+from .metrics import ServeMetrics
+
+__all__ = ["IndexServer"]
+
+log = logging.getLogger("repro.serve")
+
+#: Admission-control policies for a full queue.
+SHED_POLICIES = ("reject", "block")
+
+
+class IndexServer:
+    """Serve one ``OrderedIndex`` behind a micro-batched async API."""
+
+    def __init__(
+        self,
+        index: Any,
+        *,
+        max_batch_size: int = 256,
+        max_wait_s: float = 0.002,
+        max_queue: int = 1024,
+        shed_policy: str = "reject",
+        default_timeout_s: "float | None" = None,
+        metrics: "ServeMetrics | None" = None,
+        log_interval_s: "float | None" = None,
+    ) -> None:
+        if shed_policy not in SHED_POLICIES:
+            raise ValueError(
+                f"unknown shed policy {shed_policy!r}; use one of "
+                f"{SHED_POLICIES}"
+            )
+        self._index = index
+        self.batcher = MicroBatcher(
+            max_batch_size=max_batch_size,
+            max_wait_s=max_wait_s,
+            max_queue=max_queue,
+        )
+        self.shed_policy = shed_policy
+        self.default_timeout_s = default_timeout_s
+        self.metrics = metrics if metrics is not None else ServeMetrics()
+        self.log_interval_s = log_interval_s
+        self._task: "asyncio.Task | None" = None
+        self._logger_task: "asyncio.Task | None" = None
+        self._executor: "ThreadPoolExecutor | None" = None
+        self._accepting = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def index(self) -> Any:
+        """The currently served index (next batch's target)."""
+        return self._index
+
+    @property
+    def running(self) -> bool:
+        return self._task is not None and not self._task.done()
+
+    async def start(self) -> "IndexServer":
+        if self.running:
+            raise RuntimeError("server is already running")
+        # One worker thread keeps batch execution ordered and off the
+        # event loop; the loop stays responsive to accept/coalesce.
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve"
+        )
+        self._accepting = True
+        self._task = asyncio.create_task(self._run(), name="repro-serve-loop")
+        if self.log_interval_s:
+            self._logger_task = asyncio.create_task(
+                self._log_periodically(), name="repro-serve-metrics"
+            )
+        return self
+
+    async def stop(self) -> None:
+        """Graceful drain: stop admitting, answer everything, shut down."""
+        self._accepting = False
+        self.batcher.close()
+        if self._task is not None:
+            await self._task
+            self._task = None
+        # A ``block``-policy putter can land a request in the window
+        # between the collector's final empty check and its exit; sweep
+        # such stragglers into rejections so every future resolves.
+        for req in self.batcher.drain_nowait():
+            self._resolve(req, Response(
+                op=req.op,
+                status=STATUS_REJECTED,
+                latency_s=time.monotonic() - req.enqueued_at,
+                error="server shut down before service",
+            ))
+        if self._logger_task is not None:
+            self._logger_task.cancel()
+            try:
+                await self._logger_task
+            except asyncio.CancelledError:
+                pass
+            self._logger_task = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    async def __aenter__(self) -> "IndexServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- hot swap --------------------------------------------------------
+
+    def swap_index(self, new_index: Any) -> Any:
+        """Atomically serve ``new_index`` from the next batch onward.
+
+        Must be called on the event-loop thread (as all coroutines
+        are).  The previous index is returned; any batch already
+        dispatched keeps executing against it -- zero in-flight
+        requests are dropped by a swap.
+        """
+        old, self._index = self._index, new_index
+        self.metrics.swaps.inc()
+        log.info("index swapped: %s -> %s",
+                 getattr(old, "name", type(old).__name__),
+                 getattr(new_index, "name", type(new_index).__name__))
+        return old
+
+    # -- request API -----------------------------------------------------
+
+    async def lookup(self, key: int,
+                     timeout_s: "float | None" = None) -> Response:
+        """Lower-bound position of ``key`` (micro-batched)."""
+        return await self._submit(
+            Request(op=OP_LOOKUP, key=int(key)), timeout_s
+        )
+
+    async def range_query(self, low: int, high: int,
+                          timeout_s: "float | None" = None) -> Response:
+        """``(start, count)`` of keys in ``[low, high)`` (micro-batched)."""
+        if high < low:
+            raise ValueError("range_query requires low <= high")
+        return await self._submit(
+            Request(op=OP_RANGE, low=int(low), high=int(high)), timeout_s
+        )
+
+    async def _submit(self, request: Request,
+                      timeout_s: "float | None") -> Response:
+        now = time.monotonic()
+        request.enqueued_at = now
+        timeout_s = timeout_s if timeout_s is not None \
+            else self.default_timeout_s
+        if timeout_s is not None:
+            request.deadline = now + timeout_s
+        request.future = asyncio.get_running_loop().create_future()
+        self.metrics.submitted.inc()
+        if not self._accepting:
+            return self._immediate(request, STATUS_REJECTED,
+                                   "server is not accepting requests")
+        if self.shed_policy == "reject":
+            admitted = self.batcher.try_put(request)
+        else:
+            admitted = await self.batcher.put(request)
+        if not admitted:
+            return self._immediate(request, STATUS_REJECTED, "queue full")
+        return await request.future
+
+    def _immediate(self, request: Request, status: str,
+                   reason: str) -> Response:
+        response = Response(
+            op=request.op,
+            status=status,
+            latency_s=time.monotonic() - request.enqueued_at,
+            error=reason,
+        )
+        self.metrics.record_response(status, response.latency_s)
+        return response
+
+    # -- executor loop ---------------------------------------------------
+
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            batch = await self.batcher.collect()
+            if batch is None:
+                return
+            self.metrics.record_batch(len(batch), self.batcher.depth())
+            now = time.monotonic()
+            live: "list[Request]" = []
+            for req in batch:
+                if req.expired(now):
+                    self._resolve(req, Response(
+                        op=req.op,
+                        status=STATUS_TIMEOUT,
+                        latency_s=now - req.enqueued_at,
+                        batch_size=len(batch),
+                        error="deadline expired before service",
+                    ))
+                else:
+                    live.append(req)
+            if not live:
+                continue
+            index = self._index  # captured: swaps affect later batches
+            lookups = [r for r in live if r.op == OP_LOOKUP]
+            ranges = [r for r in live if r.op == OP_RANGE]
+            point_keys = np.array([r.key for r in lookups], dtype=np.uint64)
+            lows = np.array([r.low for r in ranges], dtype=np.uint64)
+            highs = np.array([r.high for r in ranges], dtype=np.uint64)
+            try:
+                positions, starts, counts = await loop.run_in_executor(
+                    self._executor, index.serve_batch,
+                    point_keys, lows, highs,
+                )
+            except Exception as exc:  # index bug: fail the batch, not
+                log.exception("batch execution failed")  # the server
+                done = time.monotonic()
+                for req in live:
+                    self._resolve(req, Response(
+                        op=req.op,
+                        status=STATUS_ERROR,
+                        latency_s=done - req.enqueued_at,
+                        batch_size=len(batch),
+                        error=f"{type(exc).__name__}: {exc}",
+                    ))
+                continue
+            done = time.monotonic()
+            for req, pos in zip(lookups, positions):
+                self._resolve(req, Response(
+                    op=OP_LOOKUP,
+                    status=STATUS_OK,
+                    position=int(pos),
+                    latency_s=done - req.enqueued_at,
+                    batch_size=len(batch),
+                ))
+            for req, start, count in zip(ranges, starts, counts):
+                self._resolve(req, Response(
+                    op=OP_RANGE,
+                    status=STATUS_OK,
+                    position=int(start),
+                    count=int(count),
+                    latency_s=done - req.enqueued_at,
+                    batch_size=len(batch),
+                ))
+
+    def _resolve(self, request: Request, response: Response) -> None:
+        self.metrics.record_response(response.status, response.latency_s)
+        if request.future is not None and not request.future.done():
+            request.future.set_result(response)
+
+    async def _log_periodically(self) -> None:
+        while True:
+            await asyncio.sleep(self.log_interval_s)
+            log.info("%s", self.metrics.log_line())

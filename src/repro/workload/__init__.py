@@ -5,6 +5,7 @@ from .generator import (
     PAPER_NUM_RUNS,
     RangeWorkload,
     Workload,
+    make_arrivals,
     make_range_workload,
     make_workload,
     position_checksum,
@@ -25,6 +26,7 @@ __all__ = [
     "position_checksum",
     "RangeWorkload",
     "make_range_workload",
+    "make_arrivals",
     "WorkloadResult",
     "execute_lookup_batch",
     "crosscheck_scalar",

@@ -20,6 +20,7 @@ __all__ = [
     "position_checksum",
     "RangeWorkload",
     "make_range_workload",
+    "make_arrivals",
 ]
 
 #: The paper's per-run lookup count (we default far lower; pass
@@ -100,6 +101,30 @@ def position_checksum(positions: np.ndarray) -> int:
     """Checksum over returned positions ("we sum up the returned
     positions", Section 4.4)."""
     return int(np.asarray(positions, dtype=np.int64).sum())
+
+
+def make_arrivals(
+    num_requests: int,
+    qps: "float | None",
+    seed: int = 42,
+) -> np.ndarray:
+    """Open-loop request arrival offsets (seconds from stream start).
+
+    Arrivals form a Poisson process at rate ``qps``: exponential
+    inter-arrival times, cumulatively summed.  This is the open-loop
+    serving protocol -- request times are fixed in advance instead of
+    reacting to responses, so server queueing delay shows up in the
+    measured latency tail rather than being absorbed by a slowed-down
+    client (the coordinated-omission pitfall).  ``qps=None`` (or 0)
+    means saturation: every request arrives at time zero.
+    """
+    if num_requests < 0:
+        raise ValueError("num_requests must be >= 0")
+    if qps is None or qps <= 0:
+        return np.zeros(num_requests, dtype=np.float64)
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / qps, num_requests)
+    return np.cumsum(gaps)
 
 
 @dataclass(frozen=True)

@@ -325,6 +325,26 @@ def test_cli_cache_stats_and_gc(tmp_path, capsys):
     assert "removed 1" in capsys.readouterr().out
 
 
+def test_cli_cache_stats_json_flag(tmp_path, capsys):
+    """``cache stats --json`` is single-line machine-readable output."""
+    from repro.bench.__main__ import main
+
+    cache.activate(tmp_path)
+    cache.dataset("books", 500, 42)
+    cache.deactivate()
+    assert main(["cache", "stats", "--cache-dir", str(tmp_path),
+                 "--json"]) == 0
+    out = capsys.readouterr().out
+    assert len(out.strip().splitlines()) == 1, "compact single-line JSON"
+    stats = json.loads(out)
+    assert stats["kinds"]["datasets"]["entries"] == 1
+    assert stats["entries"] >= 1 and stats["bytes"] > 0
+    assert main(["cache", "gc", "--cache-dir", str(tmp_path), "--all",
+                 "--json"]) == 0
+    outcome = json.loads(capsys.readouterr().out)
+    assert outcome == {"removed": 1, "kept": 0}
+
+
 def test_cli_data_npy_roundtrip(tmp_path, capsys):
     from repro.data.__main__ import main
     from repro.data.io import read_npy

@@ -109,3 +109,53 @@ class TestBenchCli:
         payload = json.loads((tmp_path / "json" / "fig02.json").read_text())
         assert payload["figure_id"] == "fig02"
         assert len(payload["rows"]) == 4
+
+
+class TestFigureSuiteErrorPropagation:
+    """A raising figure driver must surface as a nonzero exit, not a
+    silently partial report."""
+
+    @pytest.fixture()
+    def broken_experiment(self, monkeypatch):
+        from repro.bench.registry import EXPERIMENTS, Experiment
+
+        def boom_driver(n=2000, seed=42):
+            raise RuntimeError("driver exploded")
+
+        exp = Experiment("figboom", "synthetic", "always raises", boom_driver)
+        monkeypatch.setitem(EXPERIMENTS, "figboom", exp)
+        return exp
+
+    def test_run_suite_captures_failure_and_other_figures(
+            self, broken_experiment):
+        from repro.bench.suite import run_suite
+
+        run = run_suite(["fig02", "figboom"], n=1500, jobs=1)
+        assert run["failed"] == ["figboom"]
+        ok, bad = run["figures"]
+        assert ok["figure"] == "fig02" and ok["rows"] > 0
+        assert "RuntimeError: driver exploded" in bad["error"]
+        assert "payload" not in bad
+
+    def test_figures_cli_exits_nonzero(self, broken_experiment, capsys):
+        assert bench_cli(["figures", "--only", "figboom"]) == 1
+        captured = capsys.readouterr()
+        assert "FAILED" in captured.out
+        assert "FAIL: 1 figure(s) raised: figboom" in captured.out
+        assert "driver exploded" in captured.err
+
+    def test_figures_cli_zero_on_success(self, capsys):
+        assert bench_cli(["figures", "--only", "fig02", "--n", "1500"]) == 0
+
+    def test_suite_report_refuses_failing_suite(self, broken_experiment,
+                                                tmp_path):
+        from repro import cache
+        from repro.bench.suite import suite_report
+
+        try:
+            with pytest.raises(RuntimeError, match="cold suite run failed"):
+                suite_report(["figboom"], jobs=1,
+                             cache_dir=tmp_path / "cache")
+        finally:
+            cache.deactivate()
+            cache.clear_memos()

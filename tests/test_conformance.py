@@ -167,6 +167,84 @@ class TestQuerySemantics:
 
 
 # ----------------------------------------------------------------------
+# Degenerate batch shapes: empty and single-key batches
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", ALL_INDEXES)
+class TestBatchEdgeCases:
+    """The serving layer dispatches whatever a micro-batch contains --
+    including a batch that is all ranges (empty point array) or a
+    single straggler request -- so every index must accept degenerate
+    shapes without special-casing by the caller."""
+
+    def test_empty_batch(self, built, small_datasets, name):
+        index = built(name, "books")
+        empty = np.empty(0, dtype=np.uint64)
+        result = index.lookup_batch(empty)
+        assert result.dtype == np.int64
+        assert len(result) == 0
+
+    def test_single_key_batches(self, built, small_datasets, name):
+        """Present, absent, below-min, and above-max singletons."""
+        index = built(name, "books")
+        keys = small_datasets["books"]
+        singles = [
+            keys[len(keys) // 2],                 # present
+            keys[0] + np.uint64(1),               # likely absent, in range
+            np.uint64(0),                         # below the minimum
+            np.uint64(2**64 - 1),                 # above the maximum
+        ]
+        for q in singles:
+            batch = np.array([q], dtype=np.uint64)
+            got = index.lookup_batch(batch)
+            assert got.shape == (1,)
+            np.testing.assert_array_equal(
+                got, lower_bound_oracle(keys, batch),
+                err_msg=f"{name}/q={int(q)}",
+            )
+
+    def test_empty_range_batch(self, built, small_datasets, name):
+        index = built(name, "books")
+        empty = np.empty(0, dtype=np.uint64)
+        starts, counts = index.range_query_batch(empty, empty)
+        assert len(starts) == 0 and len(counts) == 0
+
+    def test_single_range_batch(self, built, small_datasets, name):
+        index = built(name, "books")
+        keys = small_datasets["books"]
+        lo, hi = keys[10], keys[50]
+        starts, counts = index.range_query_batch(
+            np.array([lo], dtype=np.uint64), np.array([hi], dtype=np.uint64)
+        )
+        want_start = lower_bound_oracle(keys, np.array([lo]))[0]
+        want_end = lower_bound_oracle(keys, np.array([hi]))[0]
+        assert starts[0] == want_start
+        assert counts[0] == want_end - want_start
+
+    def test_serve_batch_degenerate_shapes(self, built, small_datasets,
+                                           name):
+        """The serving hook composes both paths; either side may be
+        empty and the all-empty call must return three empty arrays."""
+        index = built(name, "books")
+        keys = small_datasets["books"]
+        empty = np.empty(0, dtype=np.uint64)
+        points = np.array([keys[7], np.uint64(0)], dtype=np.uint64)
+        positions, starts, counts = index.serve_batch(points, empty, empty)
+        np.testing.assert_array_equal(
+            positions, lower_bound_oracle(keys, points), err_msg=name
+        )
+        assert len(starts) == 0 and len(counts) == 0
+        positions, starts, counts = index.serve_batch(
+            empty, np.array([keys[3]]), np.array([keys[9]])
+        )
+        assert len(positions) == 0
+        assert starts[0] == lower_bound_oracle(keys, keys[3:4])[0]
+        positions, starts, counts = index.serve_batch(empty, empty, empty)
+        assert len(positions) == len(starts) == len(counts) == 0
+
+
+# ----------------------------------------------------------------------
 # Property-style randomized adversarial key sets
 # ----------------------------------------------------------------------
 

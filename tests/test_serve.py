@@ -1,0 +1,450 @@
+"""Tests for the async serving subsystem (`repro.serve`).
+
+The acceptance bar of the serving layer, verbatim from its issue:
+
+* the batcher coalesces >= 90% of concurrent requests into multi-key
+  batches under load;
+* every response equals the oracle lookup;
+* deadline-expired requests get timeout responses, not wrong answers;
+* hot-swap under concurrent traffic loses zero in-flight requests;
+* the committed ``BENCH_serve.json`` shows micro-batched serving at
+  >= 3x the throughput of batch-size-1 serving with p50/p95/p99.
+
+No pytest-asyncio in the container, so every test drives its own event
+loop with ``asyncio.run``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import data
+from repro.baselines import BinarySearchIndex, BTreeIndex, PGMIndex
+from repro.serve import (
+    STATUS_OK,
+    STATUS_REJECTED,
+    STATUS_TIMEOUT,
+    Histogram,
+    IndexServer,
+    ServeMetrics,
+    run_open_loop,
+)
+from repro.workload import make_arrivals
+
+from .conftest import lower_bound_oracle
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def serve_keys():
+    return data.generate("books", n=20_000)
+
+
+class SlowIndex(BinarySearchIndex):
+    """An index whose batches take a configurable time to execute."""
+
+    sleep_s = 0.05
+
+    def serve_batch(self, point_queries, range_lows, range_highs):
+        time.sleep(self.sleep_s)
+        return super().serve_batch(point_queries, range_lows, range_highs)
+
+
+# ----------------------------------------------------------------------
+# Coalescing and correctness under load
+# ----------------------------------------------------------------------
+
+
+def test_coalesces_concurrent_requests(serve_keys):
+    """>= 90% of a concurrent burst lands in multi-request batches."""
+
+    async def run():
+        server = IndexServer(
+            BinarySearchIndex(serve_keys),
+            max_batch_size=128,
+            max_wait_s=0.002,
+            max_queue=2048,
+            shed_policy="block",
+        )
+        async with server:
+            report = await run_open_loop(
+                server, serve_keys, num_requests=2000, qps=None, seed=7
+            )
+        return report, server.metrics
+
+    report, metrics = asyncio.run(run())
+    assert report["statuses"] == {STATUS_OK: 2000}
+    assert report["wrong"] == 0
+    assert report["coalesced_fraction"] >= 0.9
+    assert metrics.coalesced_fraction >= 0.9
+    assert metrics.batch_size.mean > 1.5
+
+
+def test_every_response_equals_oracle(serve_keys):
+    """Point and range responses match np.searchsorted exactly."""
+    rng = np.random.default_rng(11)
+    present = serve_keys[rng.integers(0, len(serve_keys), 300)]
+    absent = rng.integers(0, 2**64, 300, dtype=np.uint64)
+    queries = np.concatenate([present, absent])
+    want = lower_bound_oracle(serve_keys, queries)
+
+    async def run():
+        server = IndexServer(PGMIndex(serve_keys), max_batch_size=64,
+                             max_wait_s=0.001, shed_policy="block")
+        async with server:
+            responses = await asyncio.gather(
+                *(server.lookup(int(q)) for q in queries)
+            )
+            range_resp = await server.range_query(
+                int(serve_keys[100]), int(serve_keys[500])
+            )
+        return responses, range_resp
+
+    responses, range_resp = asyncio.run(run())
+    for resp, expected in zip(responses, want):
+        assert resp.status == STATUS_OK
+        assert resp.position == expected
+    start = lower_bound_oracle(serve_keys, serve_keys[100:101])[0]
+    end = lower_bound_oracle(serve_keys, serve_keys[500:501])[0]
+    assert range_resp.status == STATUS_OK
+    assert range_resp.position == start
+    assert range_resp.count == end - start
+
+
+def test_open_loop_with_ranges_and_zipf(serve_keys):
+    """The loadgen's mixed zipf/range stream validates end to end."""
+
+    async def run():
+        server = IndexServer(BTreeIndex(serve_keys), max_batch_size=64,
+                             max_wait_s=0.001, shed_policy="block")
+        async with server:
+            return await run_open_loop(
+                server, serve_keys, num_requests=800, qps=20_000,
+                seed=3, access="zipf", include_absent=0.2,
+                range_fraction=0.25,
+            )
+
+    report = asyncio.run(run())
+    assert report["statuses"] == {STATUS_OK: 800}
+    assert report["wrong"] == 0
+    assert report["latency_ms"]["p50"] <= report["latency_ms"]["p99"]
+
+
+# ----------------------------------------------------------------------
+# Deadlines, shedding, drain
+# ----------------------------------------------------------------------
+
+
+def test_expired_requests_get_timeouts_not_wrong_answers(serve_keys):
+    """With a slow index and tight deadlines, late requests time out;
+    whatever completes is still correct; nothing is dropped."""
+
+    async def run():
+        server = IndexServer(SlowIndex(serve_keys), max_batch_size=8,
+                             max_wait_s=0.0, shed_policy="block",
+                             max_queue=256)
+        queries = serve_keys[np.arange(64) * 100]
+        want = lower_bound_oracle(serve_keys, queries)
+        async with server:
+            responses = await asyncio.gather(
+                *(server.lookup(int(q), timeout_s=0.02) for q in queries)
+            )
+        return responses, want
+
+    responses, want = asyncio.run(run())
+    statuses = {r.status for r in responses}
+    assert STATUS_TIMEOUT in statuses, "expected some deadline expiries"
+    timeouts = ok = 0
+    for resp, expected in zip(responses, want):
+        if resp.status == STATUS_TIMEOUT:
+            timeouts += 1
+            assert resp.position is None, "a timeout must not carry a value"
+        else:
+            assert resp.status == STATUS_OK
+            assert resp.position == expected
+            ok += 1
+    assert timeouts + ok == 64
+
+
+def test_full_queue_sheds_with_reject_policy(serve_keys):
+    async def run():
+        server = IndexServer(SlowIndex(serve_keys), max_batch_size=4,
+                             max_wait_s=0.0, max_queue=8,
+                             shed_policy="reject")
+        async with server:
+            return await run_open_loop(
+                server, serve_keys, num_requests=100, qps=None, seed=5
+            )
+
+    report = asyncio.run(run())
+    assert report["statuses"].get(STATUS_REJECTED, 0) > 0
+    assert report["wrong"] == 0
+    total = sum(report["statuses"].values())
+    assert total == 100, "shed requests must still be answered"
+
+
+def test_graceful_drain_resolves_every_future(serve_keys):
+    """stop() answers everything already queued before shutting down."""
+
+    async def run():
+        server = IndexServer(BinarySearchIndex(serve_keys),
+                             max_batch_size=32, max_wait_s=0.05,
+                             shed_policy="block")
+        await server.start()
+        queries = serve_keys[np.arange(200) * 50]
+        tasks = [asyncio.create_task(server.lookup(int(q)))
+                 for q in queries]
+        await asyncio.sleep(0)  # let the submits enqueue
+        await server.stop()
+        responses = await asyncio.gather(*tasks)
+        late = await server.lookup(int(queries[0]))
+        return queries, responses, late
+
+    queries, responses, late = asyncio.run(run())
+    want = lower_bound_oracle(data.generate("books", n=20_000), queries)
+    assert all(r.status == STATUS_OK for r in responses)
+    assert [r.position for r in responses] == list(want)
+    assert late.status == STATUS_REJECTED  # after drain: no silent hang
+
+
+# ----------------------------------------------------------------------
+# Hot swap
+# ----------------------------------------------------------------------
+
+
+def test_hot_swap_loses_zero_in_flight_requests(serve_keys):
+    """Swap b-tree -> pgm mid-stream: all requests answered correctly,
+    some before and some after the swap."""
+
+    async def run():
+        server = IndexServer(BTreeIndex(serve_keys), max_batch_size=32,
+                             max_wait_s=0.0005, max_queue=4096,
+                             shed_policy="block")
+        completed_at_swap = {}
+
+        async def swap_halfway():
+            while server.metrics.completed.value < 600:
+                await asyncio.sleep(0.0002)
+            completed_at_swap["n"] = server.metrics.completed.value
+            server.swap_index(PGMIndex(serve_keys))
+
+        async with server:
+            swapper = asyncio.create_task(swap_halfway())
+            report = await run_open_loop(
+                server, serve_keys, num_requests=2000, qps=None, seed=13
+            )
+            await swapper
+        return report, server.metrics, completed_at_swap["n"]
+
+    report, metrics, at_swap = asyncio.run(run())
+    assert report["statuses"] == {STATUS_OK: 2000}, "zero dropped requests"
+    assert report["wrong"] == 0
+    assert metrics.swaps.value == 1
+    assert 0 < at_swap < 2000, "swap happened under live traffic"
+    assert isinstance(report, dict)
+
+
+def test_swap_returns_previous_index(serve_keys):
+    async def run():
+        first = BinarySearchIndex(serve_keys)
+        second = PGMIndex(serve_keys)
+        server = IndexServer(first)
+        async with server:
+            old = server.swap_index(second)
+            resp = await server.lookup(int(serve_keys[42]))
+        return first, old, server.index, second, resp
+
+    first, old, current, second, resp = asyncio.run(run())
+    assert old is first
+    assert current is second
+    assert resp.status == STATUS_OK
+    assert resp.position == lower_bound_oracle(
+        serve_keys, serve_keys[42:43]
+    )[0]
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+
+
+def test_histogram_percentiles_are_bin_accurate():
+    h = Histogram(lo=1e-6, hi=10.0, bins_per_decade=20)
+    values = np.linspace(0.001, 0.1, 1000)
+    for v in values:
+        h.observe(v)
+    for q in (50, 95, 99):
+        exact = float(np.percentile(values, q))
+        approx = h.percentile(q)
+        assert exact / 1.2 <= approx <= exact * 1.2, (q, exact, approx)
+    assert h.count == 1000
+    assert h.min == pytest.approx(0.001)
+    assert h.max == pytest.approx(0.1)
+    summary = h.summary()
+    assert {"count", "mean", "min", "max", "p50", "p95", "p99"} <= set(summary)
+
+
+def test_metrics_snapshot_and_log_line(serve_keys):
+    async def run():
+        metrics = ServeMetrics()
+        server = IndexServer(BinarySearchIndex(serve_keys), metrics=metrics,
+                             max_batch_size=16, max_wait_s=0.001,
+                             shed_policy="block")
+        async with server:
+            await run_open_loop(server, serve_keys, num_requests=200,
+                                qps=None, seed=1)
+        return metrics
+
+    metrics = asyncio.run(run())
+    snap = metrics.snapshot()
+    assert snap["requests"]["submitted"] == 200
+    assert snap["requests"]["completed"] == 200
+    assert snap["requests"]["errors"] == 0
+    for hist in ("latency_s", "batch_size", "queue_depth"):
+        assert {"p50", "p95", "p99"} <= set(snap[hist])
+    line = metrics.log_line()
+    assert "served=200" in line and "p99=" in line
+    parsed = json.loads(metrics.to_json())
+    assert parsed["batches"] >= 1
+
+
+def test_index_error_yields_error_responses(serve_keys):
+    """An index that raises fails its batch, not the server."""
+
+    class BrokenIndex(BinarySearchIndex):
+        def serve_batch(self, *a):
+            raise RuntimeError("boom")
+
+    async def run():
+        server = IndexServer(BrokenIndex(serve_keys), max_batch_size=8,
+                             max_wait_s=0.001, shed_policy="block")
+        async with server:
+            responses = await asyncio.gather(
+                *(server.lookup(int(serve_keys[i])) for i in range(16))
+            )
+            # The server survives: swap in a working index, serve again.
+            server.swap_index(BinarySearchIndex(serve_keys))
+            good = await server.lookup(int(serve_keys[3]))
+        return responses, good
+
+    responses, good = asyncio.run(run())
+    assert all(r.status == "error" for r in responses)
+    assert all("boom" in r.error for r in responses)
+    assert good.status == STATUS_OK
+
+
+# ----------------------------------------------------------------------
+# Arrival schedules
+# ----------------------------------------------------------------------
+
+
+def test_make_arrivals_poisson_and_saturation():
+    offsets = make_arrivals(10_000, qps=5000, seed=9)
+    assert len(offsets) == 10_000
+    assert np.all(np.diff(offsets) >= 0), "arrival times are sorted"
+    # Mean inter-arrival ~ 1/qps (law of large numbers at 10k samples).
+    assert 0.9 / 5000 <= float(np.mean(np.diff(offsets))) <= 1.1 / 5000
+    assert np.array_equal(make_arrivals(5, None), np.zeros(5))
+    assert np.array_equal(make_arrivals(5, 0), np.zeros(5))
+    assert len(make_arrivals(0, 100)) == 0
+    # Deterministic under a fixed seed.
+    np.testing.assert_array_equal(offsets, make_arrivals(10_000, 5000, 9))
+
+
+# ----------------------------------------------------------------------
+# The committed serving benchmark
+# ----------------------------------------------------------------------
+
+
+def test_committed_serve_benchmark():
+    """BENCH_serve.json: >= 3 index types, batched >= 3x unbatched,
+    p50/p95/p99 reported for both modes."""
+    path = REPO_ROOT / "BENCH_serve.json"
+    assert path.exists(), "BENCH_serve.json must be committed"
+    report = json.loads(path.read_text())
+    entries = [e for e in report["indexes"] if "speedup" in e]
+    assert len(entries) >= 3
+    assert report["min_speedup"] >= 3.0
+    for e in entries:
+        assert e["speedup"] >= 3.0, e["index"]
+        for mode in ("batched", "unbatched"):
+            lat = e[mode]["latency_ms"]
+            assert {"p50", "p95", "p99"} <= set(lat), (e["index"], mode)
+            assert e[mode]["wrong"] == 0
+            assert e[mode]["completed"] == report["num_requests"]
+
+
+def test_serve_report_machinery_small(serve_keys):
+    """A tiny in-process serve_report run: structure + correctness (no
+    speedup assertion -- timing at this scale is CI noise)."""
+    from repro.serve.bench import serve_report
+
+    report = serve_report(
+        index_names=("binary-search", "b-tree"),
+        dataset="books", n=5000, num_requests=400, seed=4,
+        max_batch_size=64, max_wait_s=0.001, range_fraction=0.1,
+    )
+    assert len(report["indexes"]) == 2
+    for e in report["indexes"]:
+        assert e["batched"]["wrong"] == 0
+        assert e["unbatched"]["wrong"] == 0
+        assert e["batched"]["completed"] == 400
+        assert e["speedup"] > 0
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+def test_cli_serve_and_gates(tmp_path, capsys):
+    from repro.serve.__main__ import main
+
+    metrics_out = tmp_path / "metrics.json"
+    rc = main([
+        "serve", "--dataset", "books", "--n", "5000",
+        "--index", "binary-search", "--requests", "300",
+        "--qps", "20000", "--max-batch", "64",
+        "--metrics-out", str(metrics_out),
+        "--max-errors", "0", "--max-p99-ms", "10000",
+    ])
+    assert rc == 0
+    payload = json.loads(metrics_out.read_text())
+    assert payload["loadgen"]["wrong"] == 0
+    assert payload["server"]["requests"]["completed"] == 300
+    # An impossible p99 bound must flip the exit code.
+    rc = main([
+        "serve", "--dataset", "books", "--n", "5000",
+        "--index", "binary-search", "--requests", "100",
+        "--max-p99-ms", "0.000001",
+    ])
+    assert rc == 1
+    assert "FAIL" in capsys.readouterr().out
+
+
+def test_cli_swap(capsys):
+    from repro.serve.__main__ import main
+
+    rc = main([
+        "swap", "--dataset", "books", "--n", "5000",
+        "--from-index", "binary-search", "--to-index", "b-tree",
+        "--requests", "400", "--max-batch", "32",
+    ])
+    out = capsys.readouterr().out
+    assert rc == 0, out
+    assert "OK: swapped binary-search -> b-tree" in out
+
+
+def test_cli_unknown_command_prints_usage(capsys):
+    from repro.serve.__main__ import main
+
+    assert main([]) == 2
+    assert main(["--help"]) == 0
+    assert "serve" in capsys.readouterr().out
