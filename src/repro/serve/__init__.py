@@ -37,21 +37,40 @@ from .batcher import (
     Request,
     Response,
 )
-from .loadgen import run_open_loop
-from .metrics import Counter, Histogram, ServeMetrics
+from .cluster import Cluster, WorkerOptions, WorkerSpec, cluster_for_dataset
+from .loadgen import run_batch_closed_loop, run_open_loop
+from .metrics import Counter, Histogram, ServeMetrics, rollup_states
+from .router import (
+    LocalBackend,
+    ShardDeadError,
+    ShardPlan,
+    ShardRouter,
+    plan_shards,
+)
 from .server import IndexServer
 
 __all__ = [
+    "Cluster",
     "Counter",
     "Histogram",
     "IndexServer",
+    "LocalBackend",
     "MicroBatcher",
     "Request",
     "Response",
     "ServeMetrics",
+    "ShardDeadError",
+    "ShardPlan",
+    "ShardRouter",
     "STATUS_ERROR",
     "STATUS_OK",
     "STATUS_REJECTED",
     "STATUS_TIMEOUT",
+    "WorkerOptions",
+    "WorkerSpec",
+    "cluster_for_dataset",
+    "plan_shards",
+    "rollup_states",
+    "run_batch_closed_loop",
     "run_open_loop",
 ]

@@ -8,12 +8,22 @@ Usage::
     python -m repro.serve bench --out BENCH_serve.json --min-speedup 3
     python -m repro.serve swap --dataset books --n 100000 \\
         --from-index rmi --to-index pgm-index --requests 4000 --qps 5000
+    python -m repro.serve cluster --shards 2 --requests 1000 \\
+        --swap-shard 1 --swap-to pgm-index --kill-shard 0 \\
+        --metrics-out cluster_metrics.json
+    python -m repro.serve scale --shards 1,2,4 --min-speedup 2.5 \\
+        --merge-into BENCH_serve.json
 
 ``serve`` runs a live server against an open-loop workload and reports
 tail latency; ``bench`` produces the committed batched-vs-unbatched
 comparison; ``swap`` demonstrates the zero-loss hot-swap protocol under
-concurrent traffic.  All three resolve datasets and built indexes
-through the artifact cache when ``--cache-dir`` (or
+concurrent traffic.  ``cluster`` stands up the range-sharded
+multi-process tier behind the scatter/gather router, drives it
+open-loop with oracle validation, and optionally hot-swaps one shard
+and/or SIGKILLs one worker mid-run (the CI smoke); ``scale`` measures
+the 1->N shard scaling curve and can merge it into the committed
+``BENCH_serve.json``.  All subcommands resolve datasets and built
+indexes through the artifact cache when ``--cache-dir`` (or
 ``$REPRO_CACHE_DIR``) is set.
 """
 
@@ -304,6 +314,284 @@ def _bench_main(argv: "list[str]") -> int:
     return 0
 
 
+async def _cluster_session(args: argparse.Namespace,
+                           keys) -> "tuple[dict, dict]":
+    from .cluster import Cluster
+    from .router import ShardRouter
+
+    cluster = Cluster(
+        num_shards=args.shards,
+        index_type=args.index,
+        keys=keys,
+        dataset=args.dataset,
+        n=args.n,
+        seed=args.seed,
+        cache_dir=args.cache_dir,
+    )
+    async with cluster:
+        router = ShardRouter(
+            cluster,
+            max_batch_size=args.max_batch,
+            max_wait_s=args.max_wait_ms / 1e3,
+            max_queue=args.max_queue,
+            shed_policy=args.shed_policy,
+        )
+        async with router:
+
+            def resolved() -> int:
+                m = router.metrics
+                return (m.completed.value + m.timeouts.value
+                        + m.rejected.value + m.errors.value)
+
+            async def inject_at(fraction: float, action) -> None:
+                target = int(args.requests * fraction)
+                while resolved() < target:
+                    await asyncio.sleep(0.001)
+                action()
+
+            injections = []
+            if args.swap_shard is not None:
+                # Hot-swap once 40% of the stream has resolved.
+                async def swap_at():
+                    target = int(args.requests * 0.4)
+                    while resolved() < target:
+                        await asyncio.sleep(0.001)
+                    await router.swap_shard(args.swap_shard, args.swap_to)
+
+                injections.append(asyncio.create_task(swap_at()))
+            if args.kill_shard is not None:
+                injections.append(asyncio.create_task(inject_at(
+                    0.6, lambda: cluster.kill_shard(args.kill_shard)
+                )))
+            report = await run_open_loop(
+                router, keys,
+                num_requests=args.requests,
+                qps=args.qps,
+                seed=args.seed,
+                access=args.access,
+                range_fraction=args.range_fraction,
+                timeout_s=None if args.timeout_ms is None
+                else args.timeout_ms / 1e3,
+            )
+            # Both injection tasks terminate on their own once the
+            # stream resolves; awaiting (not cancelling) them keeps the
+            # swap RPC's accounting intact.
+            if injections:
+                await asyncio.wait_for(asyncio.gather(*injections),
+                                       timeout=60)
+
+            # A saturation run can resolve entirely before a SIGKILL's
+            # EOF is even observed, so the fault gate probes the shards
+            # deterministically after the fact: the dead shard must
+            # answer errors (never hang), the survivors must still
+            # serve correct answers.
+            probe: "dict[str, int]" = {}
+            if args.kill_shard is not None:
+                deadline = asyncio.get_running_loop().time() + 10
+                while cluster.alive(args.kill_shard) \
+                        and asyncio.get_running_loop().time() < deadline:
+                    await asyncio.sleep(0.01)
+                probe = {"dead_errors": 0, "dead_other": 0,
+                         "live_ok": 0, "live_other": 0}
+                plan = cluster.plan
+                lo = int(plan.offsets[args.kill_shard])
+                hi = int(plan.offsets[args.kill_shard + 1])
+                dead_keys = keys[lo:hi:max((hi - lo) // 20, 1)][:20]
+                live_shard = next(s for s in range(args.shards)
+                                  if s != args.kill_shard
+                                  and cluster.alive(s))
+                l_lo = int(plan.offsets[live_shard])
+                l_hi = int(plan.offsets[live_shard + 1])
+                live_keys = keys[l_lo:l_hi:max((l_hi - l_lo) // 20,
+                                               1)][:20]
+                for key in dead_keys:
+                    resp = await asyncio.wait_for(
+                        router.lookup(int(key)), timeout=5
+                    )
+                    probe["dead_errors" if resp.status == "error"
+                          else "dead_other"] += 1
+                for key in live_keys:
+                    resp = await asyncio.wait_for(
+                        router.lookup(int(key)), timeout=5
+                    )
+                    probe["live_ok" if resp.status == "ok"
+                          else "live_other"] += 1
+            metrics = await router.cluster_metrics()
+    return report, metrics, probe
+
+
+def _cluster_gates(args: argparse.Namespace, report: dict,
+                   metrics: dict, probe: dict) -> "list[str]":
+    """Error accounting for one ``cluster`` run: every request resolves
+    to a final status, wrong answers never pass, errors only pass (and
+    a dead shard must produce them on probe) when a kill was injected,
+    and an injected swap happens exactly once."""
+    failed = []
+    statuses = report["statuses"]
+    total = sum(statuses.values())
+    if total != args.requests:
+        failed.append(f"only {total}/{args.requests} requests resolved "
+                      f"({statuses})")
+    if report["wrong"]:
+        failed.append(f"{report['wrong']} wrong answers")
+    errors = statuses.get("error", 0)
+    alive = [s["alive"] for s in metrics["shards"]]
+    if args.kill_shard is None:
+        if errors:
+            failed.append(f"{errors} error responses without fault "
+                          "injection")
+    else:
+        if alive[args.kill_shard]:
+            failed.append(f"shard {args.kill_shard} still alive after "
+                          "kill")
+        if probe.get("dead_other"):
+            failed.append(
+                f"{probe['dead_other']} probes of the killed shard did "
+                "not come back as errors"
+            )
+        if probe.get("live_other"):
+            failed.append(
+                f"{probe['live_other']} probes of surviving shards "
+                "failed: the rest of the cluster must keep serving"
+            )
+    if args.swap_shard is not None \
+            and metrics["router"]["swaps"] != 1:
+        failed.append(f"expected exactly 1 swap, saw "
+                      f"{metrics['router']['swaps']}")
+    return failed
+
+
+def _cluster_main(argv: "list[str]") -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve cluster",
+        description="Open-loop load against the range-sharded "
+        "multi-process cluster, with optional fault injection",
+    )
+    _add_common(parser)
+    parser.add_argument("--index", default="rmi",
+                        help=f"index type ({', '.join(INDEX_TYPES)})")
+    parser.add_argument("--shards", type=int, default=2,
+                        help="number of shard worker processes")
+    parser.add_argument("--swap-shard", type=int, default=None,
+                        help="hot-swap this shard's index mid-run")
+    parser.add_argument("--swap-to", default="pgm-index",
+                        help="index type the swapped shard rebuilds to")
+    parser.add_argument("--kill-shard", type=int, default=None,
+                        help="SIGKILL this shard's worker mid-run "
+                        "(fault injection)")
+    parser.add_argument("--metrics-out", metavar="FILE", default=None,
+                        help="write loadgen + rolled-up cluster metrics "
+                        "JSON here")
+    args = parser.parse_args(argv)
+    _activate_cache(args)
+
+    keys = _dataset(args.dataset, args.n, args.seed)
+    log.info("cluster: %d shards of %s over %s (n=%d)",
+             args.shards, args.index, args.dataset, args.n)
+    report, metrics, probe = asyncio.run(_cluster_session(args, keys))
+    print(loadgen_report(report))
+    alive = [s["alive"] for s in metrics["shards"]]
+    print(f"shards alive: {sum(alive)}/{len(alive)}   "
+          f"router swaps: {metrics['router']['swaps']}   cluster "
+          f"completed: {metrics['cluster']['requests']['completed']}")
+    if probe:
+        print(f"post-kill probes: {probe}")
+    if args.metrics_out:
+        payload = {"loadgen": report, "metrics": metrics,
+                   "probe": probe or None,
+                   "index": args.index, "dataset": args.dataset,
+                   "n": args.n, "shards": args.shards,
+                   "swap_shard": args.swap_shard,
+                   "kill_shard": args.kill_shard,
+                   "cache": _cache_stats()}
+        Path(args.metrics_out).write_text(
+            json.dumps(payload, indent=2) + "\n"
+        )
+        print(f"[metrics written to {args.metrics_out}]")
+
+    failed = _cluster_gates(args, report, metrics, probe)
+    for reason in failed:
+        print(f"FAIL: {reason}")
+    if not failed:
+        print(f"OK: {args.requests} requests over {args.shards} shards, "
+              "error accounting clean")
+    return 1 if failed else 0
+
+
+def _scale_main(argv: "list[str]") -> int:
+    from .bench import (
+        merge_scaling_into,
+        render_scaling_report,
+        scaling_report,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve scale",
+        description="1->N shard scaling curve (bulk scatter/gather lane)",
+    )
+    parser.add_argument("--shards", default="1,2,4",
+                        help="comma-separated shard counts (default 1,2,4)")
+    parser.add_argument("--index", default="rmi")
+    parser.add_argument("--dataset", default="books")
+    parser.add_argument("--n", type=int, default=400_000)
+    parser.add_argument("--requests", type=int, default=200_000)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--chunk-size", type=int, default=4096)
+    parser.add_argument("--inflight", type=int, default=8)
+    parser.add_argument("--range-fraction", type=float, default=0.1)
+    parser.add_argument("--cache-dir", default=None)
+    parser.add_argument("--out", metavar="FILE", default=None,
+                        help="write the standalone JSON report here")
+    parser.add_argument("--merge-into", metavar="FILE", default=None,
+                        help="merge the report under the 'scaling' key "
+                        "of this BENCH_serve.json")
+    parser.add_argument("--min-speedup", type=float, default=2.5,
+                        help="gate: required speedup at the largest "
+                        "shard count (default 2.5)")
+    parser.add_argument("--require-cores", action="store_true",
+                        help="exit 1 when the machine has fewer usable "
+                        "cores than shards (gate would not bind)")
+    args = parser.parse_args(argv)
+    if args.cache_dir is not None:
+        from .. import cache as artifact_cache
+
+        artifact_cache.activate(args.cache_dir)
+
+    report = scaling_report(
+        shard_counts=[int(s) for s in args.shards.split(",") if s.strip()],
+        index_name=args.index,
+        dataset=args.dataset,
+        n=args.n,
+        num_requests=args.requests,
+        seed=args.seed,
+        chunk_size=args.chunk_size,
+        inflight=args.inflight,
+        range_fraction=args.range_fraction,
+        required_speedup=args.min_speedup,
+    )
+    print(render_scaling_report(report))
+    if args.out:
+        Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"[report written to {args.out}]")
+    if args.merge_into:
+        merge_scaling_into(report, args.merge_into)
+        print(f"[scaling section merged into {args.merge_into}]")
+    gate = report["gate"]
+    if not gate["applicable"]:
+        if args.require_cores:
+            print(f"FAIL: {report['usable_cores']} usable core(s) < "
+                  f"{gate['at_shards']} shards; the scaling gate cannot "
+                  "bind on this machine")
+            return 1
+        return 0
+    if not gate["passed"]:
+        print(f"FAIL: {gate['measured_speedup']:.2f}x at "
+              f"{gate['at_shards']} shards is below the required "
+              f"{gate['required_speedup']:.1f}x")
+        return 1
+    return 0
+
+
 def main(argv: "list[str] | None" = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     logging.basicConfig(
@@ -312,7 +600,8 @@ def main(argv: "list[str] | None" = None) -> int:
         datefmt="%H:%M:%S",
     )
     commands = {"serve": _serve_main, "bench": _bench_main,
-                "swap": _swap_main}
+                "swap": _swap_main, "cluster": _cluster_main,
+                "scale": _scale_main}
     if not argv or argv[0] in ("-h", "--help") or argv[0] not in commands:
         print(__doc__)
         return 0 if argv and argv[0] in ("-h", "--help") else 2

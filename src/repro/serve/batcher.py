@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import asyncio
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -117,6 +118,15 @@ class MicroBatcher:
         self.max_queue = int(max_queue)
         self._queue: "asyncio.Queue[Any]" = asyncio.Queue(maxsize=max_queue)
         self._closed = False
+        #: Futures of ``put`` callers blocked on a full queue.  The
+        #: batcher manages space waiting itself (instead of relying on
+        #: ``asyncio.Queue.put``) so that :meth:`close` can flush every
+        #: blocked putter: a put woken *after* close returns ``False``
+        #: and never lands a request behind the collector's back.  With
+        #: ``Queue.put``, a putter woken by the final drain could
+        #: enqueue after the last ``drain_nowait`` sweep -- a dropped
+        #: request whose future never resolves.
+        self._space_waiters: "deque[asyncio.Future[None]]" = deque()
 
     # -- admission -------------------------------------------------------
 
@@ -139,17 +149,60 @@ class MicroBatcher:
             return False
 
     async def put(self, request: Request) -> bool:
-        """Blocking admission: waits for queue space (backpressure)."""
-        if self._closed:
-            return False
-        await self._queue.put(request)
-        return True
+        """Blocking admission: waits for queue space (backpressure).
+
+        Returns ``False`` -- without enqueueing -- when the batcher is
+        (or becomes) closed, so a putter blocked across :meth:`close`
+        resolves instead of landing a request no collector will ever
+        see.  The caller answers its request as rejected.
+        """
+        while not self._closed:
+            try:
+                self._queue.put_nowait(request)
+                return True
+            except asyncio.QueueFull:
+                pass
+            waiter: "asyncio.Future[None]" = (
+                asyncio.get_running_loop().create_future()
+            )
+            self._space_waiters.append(waiter)
+            try:
+                await waiter
+            except asyncio.CancelledError:
+                if waiter.done() and not waiter.cancelled():
+                    # We consumed a wake-up we will not use: pass it on
+                    # so another blocked putter gets the free slot.
+                    self._notify_space()
+                else:
+                    try:
+                        self._space_waiters.remove(waiter)
+                    except ValueError:
+                        pass
+                raise
+        return False
+
+    def _notify_space(self) -> None:
+        """Wake one blocked putter (a queue slot was freed)."""
+        while self._space_waiters:
+            waiter = self._space_waiters.popleft()
+            if not waiter.done():
+                waiter.set_result(None)
+                return
 
     # -- drain -----------------------------------------------------------
 
     def close(self) -> None:
-        """Stop admitting; wake the collector so it can drain and exit."""
+        """Stop admitting; wake the collector so it can drain and exit.
+
+        Every ``put`` blocked on a full queue is flushed too: it
+        re-checks the closed flag and returns ``False``, so no request
+        can slip into the queue after the collector's final drain.
+        """
         self._closed = True
+        while self._space_waiters:
+            waiter = self._space_waiters.popleft()
+            if not waiter.done():
+                waiter.set_result(None)
         try:
             self._queue.put_nowait(_WAKE)
         except asyncio.QueueFull:
@@ -186,6 +239,7 @@ class MicroBatcher:
                     item = self._queue.get_nowait()
                 except asyncio.QueueEmpty:
                     break
+            self._notify_space()
             if item is not _WAKE:
                 batch.append(item)
         return batch
@@ -198,6 +252,7 @@ class MicroBatcher:
                 item = self._queue.get_nowait()
             except asyncio.QueueEmpty:
                 return out
+            self._notify_space()
             if item is not _WAKE:
                 out.append(item)
 
@@ -210,5 +265,6 @@ class MicroBatcher:
                     return None
             else:
                 item = await self._queue.get()
+            self._notify_space()
             if item is not _WAKE:
                 return item

@@ -9,6 +9,13 @@ backpressure so every request completes and the throughput numbers
 count identical work.  ``speedup`` is batched/unbatched achieved QPS;
 the committed report must show >= 3x on every index (the measured
 margin is far larger).
+
+:func:`scaling_report` adds the sharded tier's 1->N curve (committed
+under the ``"scaling"`` key of the same file): real multi-process
+clusters at each shard count, every response oracle-validated, with an
+explicit ``usable_cores``-aware gate -- see the function docstring for
+why the gate only binds on machines with at least as many cores as
+shards.
 """
 
 from __future__ import annotations
@@ -23,7 +30,15 @@ from ..baselines import INDEX_TYPES, UnsupportedDataError
 from .loadgen import run_open_loop
 from .server import IndexServer
 
-__all__ = ["serve_report", "write_serve_report", "render_serve_report"]
+__all__ = [
+    "serve_report",
+    "write_serve_report",
+    "render_serve_report",
+    "scaling_report",
+    "merge_scaling_into",
+    "render_scaling_report",
+    "usable_cores",
+]
 
 #: Default comparison set: the paper's reference RMI configuration plus
 #: one tree and two learned baselines (>= 3 index types, per the
@@ -143,10 +158,204 @@ def serve_report(
     }
 
 
+def usable_cores() -> int:
+    """CPU cores this process may actually run on (affinity-aware).
+
+    The 1->N scaling curve is a statement about parallel hardware; a
+    container pinned to one core serializes every worker process and
+    measures IPC overhead instead of scaling.  The report records this
+    number so the gate can be applied where it is physically meaningful
+    (``usable_cores >= shards``) and skipped -- loudly, never silently
+    -- where it is not.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+async def _scale_point(
+    num_shards: int,
+    index_name: str,
+    keys,
+    *,
+    num_requests: int,
+    seed: int,
+    chunk_size: int,
+    inflight: int,
+    range_fraction: float,
+    cache_dir: "str | None",
+    dataset: "str | None",
+    n: int,
+) -> "dict[str, Any]":
+    from .cluster import Cluster
+    from .loadgen import run_batch_closed_loop
+    from .router import ShardRouter
+
+    cluster = Cluster(
+        num_shards=num_shards, index_type=index_name, keys=keys,
+        dataset=dataset, n=n, seed=seed, cache_dir=cache_dir,
+    )
+    async with cluster:
+        async with ShardRouter(cluster) as router:
+            report = await run_batch_closed_loop(
+                router, keys,
+                num_requests=num_requests,
+                chunk_size=chunk_size,
+                inflight=inflight,
+                seed=seed,
+                range_fraction=range_fraction,
+            )
+            rolled = (await router.cluster_metrics())["cluster"]
+    if report["wrong"]:
+        raise AssertionError(
+            f"{index_name} @ {num_shards} shards: {report['wrong']} "
+            "wrong answers under load"
+        )
+    report["shards"] = int(num_shards)
+    report["cluster_completed"] = rolled["requests"]["completed"]
+    return report
+
+
+def scaling_report(
+    shard_counts: "Sequence[int]" = (1, 2, 4),
+    index_name: str = "rmi",
+    dataset: str = "books",
+    n: int = 400_000,
+    num_requests: int = 200_000,
+    seed: int = 42,
+    chunk_size: int = 4096,
+    inflight: int = 8,
+    range_fraction: float = 0.1,
+    required_speedup: float = 2.5,
+    cache_dir: "str | None" = None,
+) -> "dict[str, Any]":
+    """1->N shard scaling curve over the bulk scatter/gather lane.
+
+    Each point spins up a real multi-process cluster (one worker per
+    shard), drives the router's bulk lanes with the closed-loop batch
+    generator, and validates **every** response against the
+    ``np.searchsorted`` oracle -- a wrong answer raises, it never just
+    lowers a number.  The 1-shard point is the baseline; ``speedup`` is
+    aggregate QPS over that baseline and ``efficiency`` is speedup per
+    shard.
+
+    The ``gate`` block records whether ``required_speedup`` at the
+    largest shard count is *applicable* on this machine: with fewer
+    usable cores than shards the workers time-slice one core and the
+    curve measures transport overhead, not scaling, so the gate is
+    reported but not enforceable.  CI runs this on multi-core runners
+    where the gate is live.
+    """
+    from .. import cache as artifact_cache
+
+    if cache_dir is not None:
+        artifact_cache.activate(cache_dir)
+    keys = artifact_cache.dataset(dataset, n, seed)
+    shard_counts = sorted(set(int(s) for s in shard_counts))
+    if shard_counts[0] != 1:
+        shard_counts = [1] + shard_counts
+    cores = usable_cores()
+    curve = []
+    baseline_qps = None
+    for num_shards in shard_counts:
+        point = asyncio.run(_scale_point(
+            num_shards, index_name, keys,
+            num_requests=num_requests, seed=seed, chunk_size=chunk_size,
+            inflight=inflight, range_fraction=range_fraction,
+            cache_dir=cache_dir, dataset=dataset, n=n,
+        ))
+        if baseline_qps is None:
+            baseline_qps = point["achieved_qps"]
+        point["speedup"] = round(
+            point["achieved_qps"] / max(baseline_qps, 1e-9), 3
+        )
+        point["efficiency"] = round(point["speedup"] / num_shards, 3)
+        curve.append(point)
+    top = curve[-1]
+    applicable = cores >= top["shards"]
+    return {
+        "benchmark": "1->N shard scaling, bulk scatter/gather lane",
+        "dataset": dataset,
+        "n": int(n),
+        "index": index_name,
+        "num_requests": int(num_requests),
+        "seed": int(seed),
+        "chunk_size": int(chunk_size),
+        "inflight": int(inflight),
+        "range_fraction": range_fraction,
+        "usable_cores": cores,
+        "curve": curve,
+        "gate": {
+            "required_speedup": float(required_speedup),
+            "at_shards": top["shards"],
+            "measured_speedup": top["speedup"],
+            "applicable": applicable,
+            "passed": (top["speedup"] >= required_speedup)
+            if applicable else None,
+        },
+    }
+
+
+def merge_scaling_into(scaling: "dict[str, Any]",
+                       path: "str | os.PathLike") -> None:
+    """Attach a :func:`scaling_report` under ``"scaling"`` in the
+    committed ``BENCH_serve.json``, preserving the existing
+    batched-vs-unbatched report."""
+    target = Path(path)
+    doc = json.loads(target.read_text()) if target.exists() else {}
+    doc["scaling"] = scaling
+    target.write_text(json.dumps(doc, indent=2) + "\n")
+
+
+def render_scaling_report(report: "dict[str, Any]") -> str:
+    """Human-readable summary of a :func:`scaling_report` dict."""
+    lines = [
+        f"shard scaling -- {report['index']} over {report['dataset']}, "
+        f"n={report['n']:,}, {report['num_requests']:,} requests/point, "
+        f"chunk={report['chunk_size']}, "
+        f"usable_cores={report['usable_cores']}",
+    ]
+    for p in report["curve"]:
+        lines.append(
+            f"  {p['shards']:2d} shard{'s' if p['shards'] > 1 else ' '}  "
+            f"{p['achieved_qps']:>12,.0f} qps   "
+            f"speedup {p['speedup']:5.2f}x   "
+            f"efficiency {p['efficiency'] * 100:5.1f}%"
+        )
+    gate = report["gate"]
+    if gate["applicable"]:
+        verdict = "PASS" if gate["passed"] else "FAIL"
+        lines.append(
+            f"  gate: {verdict} -- {gate['measured_speedup']:.2f}x at "
+            f"{gate['at_shards']} shards (required "
+            f"{gate['required_speedup']:.1f}x)"
+        )
+    else:
+        lines.append(
+            f"  gate: not applicable -- {report['usable_cores']} usable "
+            f"core(s) < {gate['at_shards']} shards; workers time-slice "
+            "one core, so the curve measures transport overhead here"
+        )
+    return "\n".join(lines)
+
+
 def write_serve_report(report: "dict[str, Any]",
                        path: "str | os.PathLike") -> None:
-    """Write a :func:`serve_report` dict as pretty-printed JSON."""
-    Path(path).write_text(json.dumps(report, indent=2) + "\n")
+    """Write a :func:`serve_report` dict as pretty-printed JSON.
+
+    Preserves an existing ``"scaling"`` section (written by
+    :func:`merge_scaling_into`) when overwriting the file.
+    """
+    target = Path(path)
+    if target.exists():
+        try:
+            old = json.loads(target.read_text())
+        except (ValueError, OSError):
+            old = {}
+        if "scaling" in old and "scaling" not in report:
+            report = {**report, "scaling": old["scaling"]}
+    target.write_text(json.dumps(report, indent=2) + "\n")
 
 
 def render_serve_report(report: "dict[str, Any]") -> str:

@@ -30,7 +30,7 @@ from ..workload import make_arrivals, make_range_workload, make_workload
 from .batcher import STATUS_OK
 from .server import IndexServer
 
-__all__ = ["run_open_loop", "loadgen_report"]
+__all__ = ["run_open_loop", "run_batch_closed_loop", "loadgen_report"]
 
 
 async def run_open_loop(
@@ -142,6 +142,94 @@ async def run_open_loop(
             "max": round(float(lat.max()) * 1e3, 3),
         }
     return report
+
+
+async def run_batch_closed_loop(
+    target: Any,
+    keys: np.ndarray,
+    *,
+    num_requests: int = 100_000,
+    chunk_size: int = 2048,
+    inflight: int = 4,
+    seed: int = 42,
+    access: str = "uniform",
+    include_absent: float = 0.0,
+    range_fraction: float = 0.0,
+) -> "dict[str, Any]":
+    """Drive the bulk lanes: chunked batches, bounded inflight, oracle.
+
+    The scaling benchmark's driver.  ``target`` is anything exposing the
+    bulk scatter/gather API (``lookup_batch(queries) -> positions`` and
+    ``range_query_batch(lows, highs) -> (starts, counts)``) -- in
+    practice a :class:`~repro.serve.router.ShardRouter`.  The workload
+    is cut into ``chunk_size`` batches with at most ``inflight`` chunks
+    outstanding (closed-loop on chunks, so throughput measures the
+    serving tier's batch pipeline, not per-request asyncio overhead),
+    and **every** returned position/count is validated against the
+    ``np.searchsorted`` oracle the workload generator precomputed.
+    """
+    if not 0.0 <= range_fraction <= 1.0:
+        raise ValueError("range_fraction must be within [0, 1]")
+    num_ranges = int(num_requests * range_fraction)
+    num_points = num_requests - num_ranges
+    point_wl = make_workload(
+        keys, num_lookups=max(num_points, 1), seed=seed,
+        include_absent=include_absent, access=access,
+    )
+    range_wl = make_range_workload(
+        keys, num_queries=max(num_ranges, 1), seed=seed + 1
+    )
+
+    sem = asyncio.Semaphore(max(int(inflight), 1))
+    wrong = 0
+    served = 0
+
+    async def point_chunk(lo: int, hi: int) -> None:
+        nonlocal wrong, served
+        async with sem:
+            got = await target.lookup_batch(point_wl.queries[lo:hi])
+        wrong += int(np.count_nonzero(
+            np.asarray(got, dtype=np.int64)
+            != point_wl.expected_positions[lo:hi]
+        ))
+        served += hi - lo
+
+    async def range_chunk(lo: int, hi: int) -> None:
+        nonlocal wrong, served
+        async with sem:
+            starts, counts = await target.range_query_batch(
+                range_wl.lows[lo:hi], range_wl.highs[lo:hi]
+            )
+        wrong += int(np.count_nonzero(
+            np.asarray(starts, dtype=np.int64)
+            != range_wl.expected_starts[lo:hi]
+        ))
+        wrong += int(np.count_nonzero(
+            np.asarray(counts, dtype=np.int64)
+            != range_wl.expected_counts[lo:hi]
+        ))
+        served += hi - lo
+
+    chunks = []
+    for lo in range(0, num_points, chunk_size):
+        chunks.append(point_chunk(lo, min(lo + chunk_size, num_points)))
+    for lo in range(0, num_ranges, chunk_size):
+        chunks.append(range_chunk(lo, min(lo + chunk_size, num_ranges)))
+
+    wall_start = time.monotonic()
+    await asyncio.gather(*chunks)
+    wall_s = time.monotonic() - wall_start
+    return {
+        "num_requests": int(num_requests),
+        "num_points": int(num_points),
+        "num_ranges": int(num_ranges),
+        "chunk_size": int(chunk_size),
+        "inflight": int(inflight),
+        "served": int(served),
+        "wrong": int(wrong),
+        "wall_s": round(wall_s, 4),
+        "achieved_qps": round(served / wall_s, 1) if wall_s > 0 else 0.0,
+    }
 
 
 def loadgen_report(report: "dict[str, Any]") -> str:

@@ -23,7 +23,24 @@ import math
 import time
 from typing import Any
 
-__all__ = ["Counter", "Histogram", "ServeMetrics"]
+__all__ = ["Counter", "Histogram", "ServeMetrics", "rollup_states"]
+
+#: Counter attributes of :class:`ServeMetrics`, in snapshot order.
+#: ``state()``/``merge_state()`` and the cluster roll-up iterate this
+#: tuple so a counter added here is automatically aggregated.
+COUNTER_NAMES = (
+    "submitted",
+    "completed",
+    "timeouts",
+    "rejected",
+    "errors",
+    "batches",
+    "coalesced",
+    "swaps",
+)
+
+#: Histogram attributes of :class:`ServeMetrics` (same contract).
+HISTOGRAM_NAMES = ("latency_s", "batch_size", "queue_depth")
 
 
 class Counter:
@@ -125,6 +142,54 @@ class Histogram:
             "p99": self.percentile(99),
         }
 
+    # -- cross-process merge ---------------------------------------------
+
+    def state(self) -> "dict[str, Any]":
+        """Full-fidelity, picklable/JSON-able histogram state.
+
+        Unlike :meth:`summary` this keeps the raw bin counts, so
+        histograms recorded in different worker processes can be merged
+        without losing percentile accuracy -- merged percentiles are as
+        bin-accurate as if every observation had landed in one
+        histogram.
+        """
+        return {
+            "lo": self.lo,
+            "hi": self.hi,
+            "bins_per_decade": self.bins_per_decade,
+            "counts": list(self.counts),
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+    @classmethod
+    def from_state(cls, state: "dict[str, Any]") -> "Histogram":
+        hist = cls(lo=state["lo"], hi=state["hi"],
+                   bins_per_decade=state["bins_per_decade"])
+        hist.merge_state(state)
+        return hist
+
+    def merge_state(self, state: "dict[str, Any]") -> None:
+        """Fold another histogram's :meth:`state` into this one.
+
+        Requires identical binning -- merging differently-binned
+        histograms would silently misplace counts.
+        """
+        if (state["lo"], state["hi"], state["bins_per_decade"]) != (
+            self.lo, self.hi, self.bins_per_decade
+        ) or len(state["counts"]) != self.num_bins:
+            raise ValueError("cannot merge histograms with different bins")
+        if not state["count"]:
+            return
+        for i, c in enumerate(state["counts"]):
+            self.counts[i] += c
+        self.count += state["count"]
+        self.total += state["total"]
+        self.min = min(self.min, state["min"])
+        self.max = max(self.max, state["max"])
+
 
 class ServeMetrics:
     """Every counter and histogram the serving layer maintains.
@@ -212,6 +277,41 @@ class ServeMetrics:
     def to_json(self) -> str:
         return json.dumps(self.snapshot(), indent=2, sort_keys=True)
 
+    # -- cross-process roll-up -------------------------------------------
+
+    def state(self) -> "dict[str, Any]":
+        """Full-fidelity metrics state for cross-process aggregation.
+
+        A cluster worker ships this over its control pipe; the router
+        merges the states of all shards into one cluster-wide view
+        (:func:`rollup_states`) whose p50/p95/p99 are computed from the
+        summed bin counts, not averaged summaries.
+        """
+        return {
+            "started_at": self.started_at,
+            "counters": {name: getattr(self, name).value
+                         for name in COUNTER_NAMES},
+            "histograms": {name: getattr(self, name).state()
+                           for name in HISTOGRAM_NAMES},
+        }
+
+    @classmethod
+    def from_state(cls, state: "dict[str, Any]") -> "ServeMetrics":
+        metrics = cls()
+        metrics.merge_state(state)
+        metrics.started_at = state["started_at"]
+        return metrics
+
+    def merge_state(self, state: "dict[str, Any]") -> None:
+        """Fold another instance's :meth:`state` into this one."""
+        self.started_at = min(self.started_at, state["started_at"])
+        for name in COUNTER_NAMES:
+            getattr(self, name).inc(state["counters"].get(name, 0))
+        for name in HISTOGRAM_NAMES:
+            hist_state = state["histograms"].get(name)
+            if hist_state is not None:
+                getattr(self, name).merge_state(hist_state)
+
     def log_line(self) -> str:
         """One-line live summary, suitable for periodic logging."""
         lat = self.latency_s
@@ -225,6 +325,21 @@ class ServeMetrics:
             f"p99={lat.percentile(99) * 1e3:.2f}ms "
             f"swaps={self.swaps.value}"
         )
+
+
+def rollup_states(states: "list[dict[str, Any]]") -> ServeMetrics:
+    """Merge worker :meth:`ServeMetrics.state` payloads into one view.
+
+    The sharded serving tier's cluster-wide metrics: counters sum,
+    histograms merge bin-by-bin, so the rolled-up ``p50/p95/p99`` are
+    the percentiles of the union of all shards' observations (to bin
+    resolution), not an average of per-shard percentiles.
+    """
+    merged = ServeMetrics()
+    for state in states:
+        if state is not None:
+            merged.merge_state(state)
+    return merged
 
 
 def _rounded(summary: "dict[str, float]") -> "dict[str, float]":

@@ -200,6 +200,46 @@ class IndexServer:
             Request(op=OP_RANGE, low=int(low), high=int(high)), timeout_s
         )
 
+    async def serve_bulk(
+        self,
+        point_keys: np.ndarray,
+        range_lows: np.ndarray,
+        range_highs: np.ndarray,
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """Execute one pre-formed batch directly (scatter/gather path).
+
+        The sharded tier's bulk lane: a router that already coalesced a
+        whole query chunk has no use for per-request micro-batching, so
+        this runs the current index's ``serve_batch`` straight on the
+        server's single worker thread.  It shares that thread -- and
+        therefore execution order -- with the micro-batched lane, and
+        captures the index reference at call time, so :meth:`swap_index`
+        has the same zero-loss semantics for bulk traffic.  Counters and
+        the batch-size histogram are recorded; per-request latency is
+        not (one bulk call is one dispatch, not ``n`` queued requests).
+        """
+        if self._executor is None or not self._accepting:
+            raise RuntimeError("server is not running")
+        index = self._index  # captured: swaps affect later calls
+        point_keys = np.ascontiguousarray(point_keys, dtype=np.uint64)
+        range_lows = np.ascontiguousarray(range_lows, dtype=np.uint64)
+        range_highs = np.ascontiguousarray(range_highs, dtype=np.uint64)
+        n = len(point_keys) + len(range_lows)
+        self.metrics.submitted.inc(n)
+        loop = asyncio.get_running_loop()
+        try:
+            positions, starts, counts = await loop.run_in_executor(
+                self._executor, index.serve_batch,
+                point_keys, range_lows, range_highs,
+            )
+        except Exception:
+            self.metrics.errors.inc(n)
+            raise
+        if n:
+            self.metrics.record_batch(n, self.batcher.depth())
+            self.metrics.completed.inc(n)
+        return positions, starts, counts
+
     async def _submit(self, request: Request,
                       timeout_s: "float | None") -> Response:
         now = time.monotonic()

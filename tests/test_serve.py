@@ -448,3 +448,104 @@ def test_cli_unknown_command_prints_usage(capsys):
     assert main([]) == 2
     assert main(["--help"]) == 0
     assert "serve" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# Batcher close-path regression (blocked putters vs. shutdown)
+# ----------------------------------------------------------------------
+
+
+def test_batcher_close_flushes_blocked_putters():
+    """Regression: closing with ``put`` callers blocked on a full queue
+    must not let a woken putter land a request after the final drain
+    sweep (a dropped request whose future never resolves).  After
+    ``close``, every blocked ``put`` returns ``False`` and the queue
+    contents equal exactly the admitted requests."""
+    from repro.serve.batcher import OP_LOOKUP, MicroBatcher, Request
+
+    async def run():
+        batcher = MicroBatcher(max_batch_size=4, max_wait_s=10.0,
+                               max_queue=1)
+        first = Request(op=OP_LOOKUP, key=0)
+        assert batcher.try_put(first)
+        blocked = [
+            asyncio.create_task(
+                batcher.put(Request(op=OP_LOOKUP, key=i))
+            )
+            for i in (1, 2)
+        ]
+        await asyncio.sleep(0.01)  # both putters parked on a full queue
+        assert not any(t.done() for t in blocked)
+        batcher.close()
+        admitted = await asyncio.wait_for(asyncio.gather(*blocked), 5)
+        drained = batcher.drain_nowait()
+        # Nothing may sneak in after the sweep.
+        drained += batcher.drain_nowait()
+        return first, admitted, drained
+
+    first, admitted, drained = asyncio.run(run())
+    assert admitted == [False, False], \
+        "blocked putters must be refused at close, not dropped"
+    assert drained == [first]
+
+
+def test_server_stop_with_blocked_putters_resolves_every_future(serve_keys):
+    """Block-policy server at max_queue=1: stopping while several
+    submitters are parked in ``put`` resolves every future (ok or
+    rejected) -- the close-path bug left them pending forever."""
+
+    async def run():
+        slow = SlowIndex(serve_keys)
+        slow.sleep_s = 0.02
+        server = IndexServer(
+            slow, max_batch_size=1, max_wait_s=0.0,
+            max_queue=1, shed_policy="block",
+        )
+        async with server:
+            tasks = [
+                asyncio.create_task(server.lookup(int(k)))
+                for k in serve_keys[:8]
+            ]
+            await asyncio.sleep(0.03)  # some served, some parked
+        # __aexit__ ran stop(); every future must already be resolved.
+        responses = await asyncio.wait_for(asyncio.gather(*tasks), 10)
+        return responses
+
+    responses = asyncio.run(run())
+    assert len(responses) == 8
+    for k, resp in zip(serve_keys[:8], responses):
+        assert resp.status in (STATUS_OK, STATUS_REJECTED)
+        if resp.status == STATUS_OK:
+            assert resp.position == int(
+                lower_bound_oracle(serve_keys, np.array([k]))[0]
+            )
+
+
+def test_stop_while_coalesce_deadline_pending_serves_queued(serve_keys):
+    """Closing while the collector is waiting out a coalesce deadline
+    must serve the queued requests promptly, not drop them (and not
+    wait out the full deadline)."""
+
+    async def run():
+        server = IndexServer(
+            BinarySearchIndex(serve_keys),
+            max_batch_size=1024, max_wait_s=30.0,  # far-future deadline
+            max_queue=64, shed_policy="block",
+        )
+        await server.start()
+        tasks = [
+            asyncio.create_task(server.lookup(int(k)))
+            for k in serve_keys[:5]
+        ]
+        await asyncio.sleep(0.01)  # queued; collector awaits coalesce
+        t0 = time.monotonic()
+        await asyncio.wait_for(server.stop(), 10)
+        elapsed = time.monotonic() - t0
+        responses = await asyncio.wait_for(asyncio.gather(*tasks), 5)
+        return responses, elapsed
+
+    responses, elapsed = asyncio.run(run())
+    assert elapsed < 5.0, "stop waited out the coalesce deadline"
+    assert [r.status for r in responses] == [STATUS_OK] * 5
+    want = lower_bound_oracle(serve_keys, serve_keys[:5])
+    assert [r.position for r in responses] == list(want)
