@@ -218,6 +218,23 @@ class OrderedIndex:
             counts = np.empty(0, dtype=np.int64)
         return positions, starts, counts
 
+    def warm_kernels(self) -> None:
+        """Compile/load the batch-path kernels off the serving hot path.
+
+        Every batch lookup completes through the kernel-backend
+        dispatcher (``core/search.batch_lower_bound_window``), so a JIT
+        backend would otherwise pay first-call compilation inside a
+        live request's deadline.  ``IndexServer`` calls this at start
+        and after every hot swap.  The default warms the active backend
+        and runs a one-element ``serve_batch`` probe through this
+        index's own batch path; idempotent and cheap when warm.
+        """
+        from ..kernels import get_backend
+
+        get_backend().warmup()
+        probe = self.keys[:1]
+        self.serve_batch(probe, probe, probe)
+
     # -- snapshots -------------------------------------------------------
 
     def snapshot_state(self) -> "dict[str, np.ndarray]":

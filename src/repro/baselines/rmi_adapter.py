@@ -48,6 +48,20 @@ class RMIAsIndex(OrderedIndex):
     def lookup_batch(self, queries: np.ndarray) -> np.ndarray:
         return self.rmi.lookup_batch(np.asarray(queries, dtype=np.uint64))
 
+    def serve_batch(
+        self,
+        point_queries: np.ndarray,
+        range_lows: np.ndarray,
+        range_highs: np.ndarray,
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        # Delegate to the RMI's fused path: on a compiled kernel
+        # backend the whole micro-batch (points + both range
+        # boundaries) runs in a single kernel call.
+        return self.rmi.serve_batch(point_queries, range_lows, range_highs)
+
+    def warm_kernels(self) -> None:
+        self.rmi.warm_kernels()
+
     def size_in_bytes(self) -> int:
         return self.rmi.size_in_bytes()
 
@@ -75,6 +89,9 @@ class RMIAsIndex(OrderedIndex):
         blob = np.asarray(state["config_pickle"], dtype=np.uint8)
         obj.config = pickle.loads(blob.tobytes())
         obj.rmi = rmi_from_payload(state, keys=obj.keys)
+        # getattr: snapshots written before the kernels field existed
+        # unpickle to configs without it.
+        obj.rmi.kernels = getattr(obj.config, "kernels", None)
         return obj
 
     def stats(self) -> dict[str, Any]:

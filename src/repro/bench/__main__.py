@@ -12,6 +12,8 @@ Usage::
     python -m repro.bench cache gc --cache-dir .artifact-cache --max-age-days 30
     python -m repro.bench build --n 1000000 --layer2-size 16384 \\
         --out BENCH_build.json --min-speedup 20
+    python -m repro.bench kernels --n 100000 --out BENCH_kernels.json \\
+        --min-speedup 5 [--gate-backend numba]
 """
 
 from __future__ import annotations
@@ -110,6 +112,96 @@ def _figures_main(argv: "list[str]") -> int:
     return 0
 
 
+def _kernels_main(argv: "list[str]") -> int:
+    """``kernels`` subcommand: per-kernel backend microbenchmark."""
+    from .kernels import (
+        GATE_METRIC,
+        kernels_report,
+        render_kernels_report,
+        resolve_gate_backend,
+        write_kernels_report,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench kernels",
+        description="Microbenchmark the kernel backends (routing, "
+        "bounded search, fused lookup/serve) and gate the compiled "
+        "speedup over the NumPy reference",
+    )
+    parser.add_argument("--n", type=int, default=100_000,
+                        help="dataset size (default: the 100k smoke)")
+    parser.add_argument("--dataset", default="books",
+                        help="dataset name (default books)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--layer2-size", type=int, default=2**14,
+                        help="second-layer size of the smoke RMI")
+    parser.add_argument("--bound-type", default="labs",
+                        help="error-bound strategy of the smoke RMI")
+    parser.add_argument("--queries", type=int, default=None,
+                        help="lookup batch size (default: n)")
+    parser.add_argument("--runs", type=int, default=9,
+                        help="best-of-N timing runs per kernel")
+    parser.add_argument("--backends", default=None,
+                        help="comma-separated backend names "
+                        "(default: all known)")
+    parser.add_argument("--out", metavar="FILE", default=None,
+                        help="write the JSON report here")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="exit 1 unless the gate backend's fused-"
+                        f"{GATE_METRIC} speedup over numpy reaches this")
+    parser.add_argument("--gate-backend", default="best-compiled",
+                        help="backend the --min-speedup gate binds on: a "
+                        "name (CI pins numba) or 'best-compiled' "
+                        "(default: the fastest available compiled one)")
+    args = parser.parse_args(argv)
+
+    backends = None
+    if args.backends:
+        backends = [b.strip() for b in args.backends.split(",") if b.strip()]
+    report = kernels_report(
+        n=args.n,
+        dataset=args.dataset,
+        seed=args.seed,
+        layer2_size=args.layer2_size,
+        bound_type=args.bound_type,
+        queries=args.queries,
+        runs=args.runs,
+        backends=backends,
+    )
+    gate_name = resolve_gate_backend(report, args.gate_backend)
+    if args.min_speedup is not None:
+        report["gate"] = {
+            "backend": gate_name,
+            "metric": GATE_METRIC,
+            "min_speedup": args.min_speedup,
+            "speedup": (report["speedups"][gate_name][GATE_METRIC]
+                        if gate_name else None),
+        }
+        report["gate"]["passed"] = bool(
+            report["gate"]["speedup"] is not None
+            and report["gate"]["speedup"] >= args.min_speedup
+        )
+    print(render_kernels_report(report))
+    if args.out:
+        write_kernels_report(report, args.out)
+        print(f"[report written to {args.out}]")
+    if args.min_speedup is not None:
+        gate = report["gate"]
+        if gate["backend"] is None:
+            print(f"FAIL: gate backend {args.gate_backend!r} is not an "
+                  "available compiled backend")
+            return 1
+        if not gate["passed"]:
+            print(f"FAIL: {gate['backend']} {GATE_METRIC} speedup "
+                  f"{gate['speedup']:.2f}x is below the required "
+                  f"{args.min_speedup:.1f}x")
+            return 1
+        print(f"OK: {gate['backend']} {GATE_METRIC} speedup "
+              f"{gate['speedup']:.2f}x >= {args.min_speedup:.1f}x "
+              "(bit-identical on all backends)")
+    return 0
+
+
 def _cache_main(argv: "list[str]") -> int:
     """``cache`` subcommand: inspect and collect the artifact store."""
     from .. import cache as artifact_cache
@@ -157,6 +249,8 @@ def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     if argv and argv[0] == "figures":
         return _figures_main(argv[1:])
+    if argv and argv[0] == "kernels":
+        return _kernels_main(argv[1:])
     if argv and argv[0] == "cache":
         return _cache_main(argv[1:])
     parser = argparse.ArgumentParser(

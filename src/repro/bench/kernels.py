@@ -1,0 +1,279 @@
+"""Per-kernel microbenchmark across kernel backends (ROADMAP item 4).
+
+Behind ``python -m repro.bench kernels`` and the committed
+``BENCH_kernels.json``: one tuned RMI smoke configuration (by default
+books, 100k keys, 2^14 leaves, LS→LR, LAbs — the regime where the
+paper's tuned RMIs live) is packed once, then each of the four kernel
+entry points is timed on every loadable backend:
+
+``predict``
+    routing + leaf prediction (``rmi_predict``);
+``lower_bound_window``
+    the bounded search with escape repair, over the exact windows the
+    smoke RMI produces;
+``lookup``
+    the fused route→predict→search batch (``rmi_lookup``) — this is
+    the "100k lookup smoke" the speedup gate binds on;
+``serve``
+    the fused point+range serving unit (``rmi_serve``).
+
+Every backend's outputs are asserted bit-identical to the staged NumPy
+reference (and ``lookup`` additionally to the ``searchsorted`` oracle)
+before its timings count: a fast wrong kernel must fail the bench, not
+win it.  Backends that cannot load in this environment are recorded as
+``available: false`` rather than dropped, so a committed report states
+explicitly which legs ran (PR-6 precedent: the numba leg binds in the
+dedicated CI job, which installs numba; dev containers without it
+still gate on the best available compiled backend).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from ..core.rmi import RMI
+from ..data import sosd
+from ..kernels import KNOWN_BACKENDS, get_backend, pack_rmi
+
+__all__ = [
+    "KERNELS",
+    "GATE_METRIC",
+    "kernels_report",
+    "render_kernels_report",
+    "write_kernels_report",
+    "resolve_gate_backend",
+]
+
+#: Kernel names in report order.
+KERNELS = ("predict", "lower_bound_window", "lookup", "serve")
+
+#: The kernel whose speedup the ``--min-speedup`` gate binds on.
+GATE_METRIC = "lookup"
+
+
+def _smoke_queries(keys: np.ndarray, m: int, seed: int) -> np.ndarray:
+    """Half present / half absent lookup mix, deterministically shuffled.
+
+    Absent keys are drawn from within the key range: out-of-range
+    queries all collapse onto the boundary leaves, which flatters no
+    one and measures nothing but a hot cache line.
+    """
+    rng = np.random.default_rng(seed)
+    present = rng.choice(keys, m // 2)
+    absent = rng.integers(keys.min(), keys.max(), m - m // 2,
+                          dtype=np.uint64)
+    queries = np.concatenate([present, absent])
+    rng.shuffle(queries)
+    return np.ascontiguousarray(queries, dtype=np.uint64)
+
+
+def _windows(packed, pos: np.ndarray, ids: np.ndarray, n: int):
+    """The (lo, hi) windows the staged path derives from error bounds."""
+    if packed.bkind == 1:
+        lo = pos + packed.blo[ids]
+        hi = pos + packed.bhi[ids]
+    elif packed.bkind == 2:
+        lo = pos + packed.blo[0]
+        hi = pos + packed.bhi[0]
+    else:
+        lo = np.zeros(len(pos), dtype=np.int64)
+        hi = np.full(len(pos), n - 1, dtype=np.int64)
+    return np.clip(lo, 0, n - 1), np.clip(hi, 0, n - 1)
+
+
+def _best_of(fn, runs: int) -> float:
+    fn()  # warm: page-fault outputs, load code paths
+    best = float("inf")
+    for _ in range(max(runs, 1)):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def kernels_report(
+    n: int = 100_000,
+    dataset: str = "books",
+    seed: int = 42,
+    layer2_size: int = 2**14,
+    model_types: "tuple[str, str]" = ("ls", "lr"),
+    bound_type: str = "labs",
+    queries: "int | None" = None,
+    runs: int = 9,
+    backends: "list[str] | None" = None,
+) -> dict:
+    """Time every kernel on every loadable backend; JSON-ready dict.
+
+    Timings are best-of-``runs`` (microbenchmarks want the noise
+    floor, not the scheduler).  Speedups are per kernel against the
+    NumPy backend on the same arrays.
+    """
+    keys = sosd.generate(dataset, n=n, seed=seed)
+    keys = np.ascontiguousarray(keys, dtype=np.uint64)
+    m = int(queries) if queries is not None else int(n)
+    qs = _smoke_queries(keys, m, seed + 1)
+
+    rmi = RMI(
+        keys,
+        layer_sizes=[int(layer2_size)],
+        model_types=tuple(model_types),
+        bound_type=bound_type,
+    )
+    packed = pack_rmi(rmi)
+    if packed is None:  # pragma: no cover - smoke config is packable
+        raise RuntimeError("smoke RMI configuration is not packable")
+
+    reference = get_backend("numpy")
+    ref_ids, ref_pos = reference.rmi_predict(packed, qs)
+    win_lo, win_hi = _windows(packed, ref_pos, ref_ids, len(keys))
+    oracle = np.searchsorted(keys, qs, side="left").astype(np.int64)
+    ref_serve = reference.rmi_serve(packed, keys, qs, qs, qs)
+    if not np.array_equal(reference.rmi_lookup(packed, keys, qs), oracle):
+        raise RuntimeError("numpy backend disagrees with the oracle")
+
+    names = list(backends) if backends else list(KNOWN_BACKENDS)
+    report_backends: "dict[str, dict]" = {}
+    for name in names:
+        try:
+            backend = get_backend(name)
+        except (ValueError, RuntimeError) as exc:
+            report_backends[name] = {"available": False, "error": str(exc)}
+            continue
+        backend.warmup()
+
+        got_ids, got_pos = backend.rmi_predict(packed, qs)
+        got_lbw = backend.lower_bound_window(keys, qs, win_lo, win_hi)
+        got_lookup = backend.rmi_lookup(packed, keys, qs)
+        got_serve = backend.rmi_serve(packed, keys, qs, qs, qs)
+        mismatches = [
+            kernel
+            for kernel, ok in (
+                ("predict", np.array_equal(got_ids, ref_ids)
+                 and np.array_equal(got_pos, ref_pos)),
+                ("lower_bound_window", np.array_equal(got_lbw, oracle)),
+                ("lookup", np.array_equal(got_lookup, oracle)),
+                ("serve", all(np.array_equal(g, r)
+                              for g, r in zip(got_serve, ref_serve))),
+            )
+            if not ok
+        ]
+        if mismatches:
+            raise RuntimeError(
+                f"backend {backend.name!r} is not bit-identical to the "
+                f"NumPy reference on: {', '.join(mismatches)}"
+            )
+
+        timings = {
+            "predict": _best_of(
+                lambda b=backend: b.rmi_predict(packed, qs), runs),
+            "lower_bound_window": _best_of(
+                lambda b=backend: b.lower_bound_window(
+                    keys, qs, win_lo, win_hi), runs),
+            "lookup": _best_of(
+                lambda b=backend: b.rmi_lookup(packed, keys, qs), runs),
+            "serve": _best_of(
+                lambda b=backend: b.rmi_serve(packed, keys, qs, qs, qs),
+                runs),
+        }
+        report_backends[name] = {
+            "available": True,
+            "compiled": bool(backend.compiled),
+            "bit_identical": True,
+            "kernels": {
+                kernel: {
+                    "best_s": timings[kernel],
+                    "ns_per_op": timings[kernel] / m * 1e9,
+                }
+                for kernel in KERNELS
+            },
+        }
+
+    baseline = report_backends.get("numpy")
+    speedups: "dict[str, dict[str, float]]" = {}
+    if baseline and baseline.get("available"):
+        for name, entry in report_backends.items():
+            if name == "numpy" or not entry.get("available"):
+                continue
+            speedups[name] = {
+                kernel: (baseline["kernels"][kernel]["best_s"]
+                         / entry["kernels"][kernel]["best_s"])
+                for kernel in KERNELS
+            }
+
+    return {
+        "kind": "kernels",
+        "dataset": dataset,
+        "n": int(n),
+        "queries": m,
+        "layer2_size": int(layer2_size),
+        "model_types": list(model_types),
+        "bound_type": bound_type,
+        "runs": int(runs),
+        "gate_metric": GATE_METRIC,
+        "machine": {
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "backends": report_backends,
+        "speedups": speedups,
+    }
+
+
+def resolve_gate_backend(report: dict, gate_backend: str) -> "str | None":
+    """Backend name the gate binds on, or ``None`` when none qualifies.
+
+    ``"best-compiled"`` picks the available compiled backend with the
+    highest gate-metric speedup; a concrete name requires that backend
+    to be available (CI's numba leg must fail loudly when the install
+    broke, not silently gate on cext).
+    """
+    if gate_backend != "best-compiled":
+        entry = report["backends"].get(gate_backend)
+        if not (entry and entry.get("available") and entry.get("compiled")):
+            return None
+        return gate_backend
+    best_name, best = None, -1.0
+    for name, per_kernel in report["speedups"].items():
+        if not report["backends"][name].get("compiled"):
+            continue
+        if per_kernel[GATE_METRIC] > best:
+            best_name, best = name, per_kernel[GATE_METRIC]
+    return best_name
+
+
+def render_kernels_report(report: dict) -> str:
+    """Human-readable summary of a :func:`kernels_report` dict."""
+    lines = [
+        f"kernel backends -- {report['dataset']}, n={report['n']:,}, "
+        f"{report['queries']:,} queries, layer2=2^"
+        f"{int(np.log2(report['layer2_size']))}, "
+        f"{'->'.join(report['model_types'])}, {report['bound_type']}, "
+        f"best of {report['runs']}",
+    ]
+    for name, entry in report["backends"].items():
+        if not entry.get("available"):
+            lines.append(f"  {name:6s} unavailable "
+                         f"({entry.get('error', 'not loadable')})")
+            continue
+        for kernel in KERNELS:
+            t = entry["kernels"][kernel]
+            speed = report["speedups"].get(name, {}).get(kernel)
+            suffix = f"  {speed:5.2f}x vs numpy" if speed else ""
+            lines.append(
+                f"  {name:6s} {kernel:18s} {t['best_s'] * 1e3:8.2f}ms  "
+                f"{t['ns_per_op']:7.1f}ns/op{suffix}"
+            )
+    return "\n".join(lines)
+
+
+def write_kernels_report(report: dict, path: "str | os.PathLike") -> None:
+    """Write a :func:`kernels_report` dict as pretty-printed JSON."""
+    Path(path).write_text(json.dumps(report, indent=2) + "\n")

@@ -26,12 +26,14 @@ __all__ = [
     "CACHE_FORMAT_VERSION",
     "DATASET_GENERATOR_VERSION",
     "SNAPSHOT_VERSION",
+    "CALIBRATION_VERSION",
     "canonicalize",
     "fingerprint_digest",
     "dataset_fingerprint",
     "rmi_fingerprint",
     "index_fingerprint",
     "figure_fingerprint",
+    "calibration_fingerprint",
     "sha256_file",
     "sha256_text",
 ]
@@ -44,6 +46,9 @@ DATASET_GENERATOR_VERSION = 1
 
 #: Bump when an index's snapshot representation changes shape.
 SNAPSHOT_VERSION = 1
+
+#: Bump when the cost-model calibration procedure changes output.
+CALIBRATION_VERSION = 1
 
 
 def canonicalize(value: Any) -> Any:
@@ -95,15 +100,21 @@ def dataset_fingerprint(name: str, n: int, seed: int) -> dict:
 def rmi_fingerprint(dataset_digest: str, config: Any) -> dict:
     """Fingerprint of a trained RMI: ``(dataset-hash, config)``.
 
-    ``config`` is the full :class:`~repro.core.builder.RMIConfig`; every
-    field participates, so e.g. two configs differing only in the search
-    algorithm are distinct artifacts (the search name is serialized).
+    ``config`` is the full :class:`~repro.core.builder.RMIConfig`;
+    every *structure-affecting* field participates, so e.g. two configs
+    differing only in the search algorithm are distinct artifacts (the
+    search name is serialized).  The ``kernels`` backend selection is
+    excluded: all backends produce bit-identical positions, so a built
+    index is backend-agnostic and one artifact serves every backend.
     """
+    canonical = canonicalize(config)
+    if isinstance(canonical, dict):
+        canonical.pop("kernels", None)
     return {
         "kind": "rmi",
         "format": CACHE_FORMAT_VERSION,
         "dataset": str(dataset_digest),
-        "config": canonicalize(config),
+        "config": canonical,
     }
 
 
@@ -137,6 +148,26 @@ def figure_fingerprint(figure_id: str, kwargs: Mapping[str, Any]) -> dict:
         "generator": DATASET_GENERATOR_VERSION,
         "figure": str(figure_id),
         "kwargs": canonicalize(dict(kwargs)),
+    }
+
+
+def calibration_fingerprint(machine_id: str, backend: str,
+                            params: Mapping[str, Any]) -> dict:
+    """Fingerprint of a cost-model calibration run.
+
+    Unlike built indexes, calibrations are *performance* measurements:
+    the kernel ``backend`` changes the numbers, so it is an explicit
+    fingerprint field and calibrations are never served cross-backend.
+    ``machine_id`` names the measured host; ``params`` carries the
+    calibration procedure's knobs (sizes, repetitions).
+    """
+    return {
+        "kind": "calibration",
+        "format": CACHE_FORMAT_VERSION,
+        "calibration": CALIBRATION_VERSION,
+        "machine": str(machine_id),
+        "backend": str(backend),
+        "params": canonicalize(dict(params)),
     }
 
 

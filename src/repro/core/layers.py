@@ -67,6 +67,9 @@ class LayerTable:
         self.params: "np.ndarray | None" = params
         self._cache: dict[int, Model] = {}
         self._objects: "list[Model] | None" = None
+        # Mutation counter: bumped by __setitem__ so consumers caching
+        # derived views (the kernels' PackedRMI) can detect staleness.
+        self._version = 0
 
     @classmethod
     def from_models(
@@ -98,6 +101,7 @@ class LayerTable:
         table.params = None
         table._cache = {}
         table._objects = list(models)
+        table._version = 0
         return table
 
     # -- list-of-models interface --------------------------------------
@@ -126,6 +130,7 @@ class LayerTable:
         return model
 
     def __setitem__(self, j: int, model: Model) -> None:
+        self._version += 1
         if self._objects is not None:
             self._objects[j] = model
             return

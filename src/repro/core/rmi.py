@@ -173,6 +173,14 @@ class RMI:
         bit-exact for the spline families, up to summation order (a few
         ulp) for the mean-based ones; disable for the per-segment
         Listing-1 reference semantics.
+    ``kernels``
+        Kernel backend for the batch lookup hot path: a registry name
+        (``"numpy"``/``"numba"``/``"cext"``), ``"auto"``, or ``None``
+        to follow the process default / ``REPRO_KERNELS`` environment
+        chain (see :mod:`repro.kernels`).  Compiled backends serve
+        ``lookup_batch``/``predict_batch``/``serve_batch`` through the
+        fused packed-array kernels; all backends are bit-identical, so
+        this only affects speed.
     """
 
     def __init__(
@@ -186,6 +194,7 @@ class RMI:
         train_on_model_index: bool = True,
         cs_fallback: bool = True,
         grouped_fit: bool = True,
+        kernels: "str | None" = None,
     ) -> None:
         keys = np.ascontiguousarray(keys, dtype=np.uint64)
         if len(keys) == 0:
@@ -211,6 +220,8 @@ class RMI:
         self.train_on_model_index = train_on_model_index
         self.cs_fallback = cs_fallback
         self.grouped_fit = grouped_fit
+        self.kernels = kernels
+        self._packed_cache: "tuple | None" = None
 
         self.layers: list[LayerTable] = []
         self.bounds: ErrorBounds = NoBounds(self.n)
@@ -410,6 +421,65 @@ class RMI:
         self._leaf_linear = (slopes, intercepts)
 
     # ------------------------------------------------------------------
+    # Kernel backend dispatch
+    # ------------------------------------------------------------------
+
+    def _packed_rmi(self):
+        """Kernel-ready packing of this RMI, cached until mutation.
+
+        The cache token is the bounds object's identity plus every
+        layer's mutation counter, so in-place model replacement
+        (``rmi.layers[d][j] = model``) or a bounds swap re-packs on the
+        next batch call.  Returns ``None`` for representations the
+        kernels cannot evaluate (object-mode layers, extension model
+        families, custom bounds) -- callers then stay on the staged
+        NumPy path.
+        """
+        versions = tuple(getattr(l, "_version", 0) for l in self.layers)
+        cached = self._packed_cache
+        if (
+            cached is not None
+            and cached[0] is self.bounds
+            and cached[1] == versions
+        ):
+            return cached[2]
+        from ..kernels import pack_rmi
+
+        packed = pack_rmi(self)
+        self._packed_cache = (self.bounds, versions, packed)
+        return packed
+
+    def _kernel_state(self):
+        """``(backend, packed)`` when a compiled backend serves this RMI.
+
+        ``None`` keeps the staged NumPy batch path: the active backend
+        is not compiled, or this RMI is not packable.
+        """
+        from ..kernels import get_backend
+
+        backend = get_backend(self.kernels)
+        if not backend.compiled:
+            return None
+        packed = self._packed_rmi()
+        if packed is None:
+            return None
+        return backend, packed
+
+    def warm_kernels(self) -> None:
+        """Compile/load the active backend's kernels off the hot path.
+
+        Idempotent.  Runs a one-element ``serve_batch`` probe so every
+        kernel entry point (routing, prediction, bounded search, fused
+        serve) is compiled -- or loaded from the JIT cache -- before
+        live traffic arrives.
+        """
+        from ..kernels import get_backend
+
+        get_backend(self.kernels).warmup()
+        probe = self.keys[:1]
+        self.serve_batch(probe, probe, probe)
+
+    # ------------------------------------------------------------------
     # Prediction
     # ------------------------------------------------------------------
 
@@ -442,6 +512,10 @@ class RMI:
     def predict_batch(self, queries: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Vectorized prediction: ``(model_ids, position_estimates)``."""
         queries = np.asarray(queries, dtype=np.uint64)
+        state = self._kernel_state()
+        if state is not None:
+            backend, packed = state
+            return backend.rmi_predict(packed, queries)
         model_ids = self._route_batch(queries)
         return model_ids, self._predict_positions(queries, model_ids)
 
@@ -513,6 +587,10 @@ class RMI:
         search, batched across queries.
         """
         queries = np.asarray(queries, dtype=np.uint64)
+        state = self._kernel_state()
+        if state is not None:
+            backend, packed = state
+            return backend.rmi_lookup(packed, self.keys, queries)
         model_ids, preds = self.predict_batch(queries)
         lo, hi = self.bounds.intervals(preds, model_ids)
         lo = np.clip(lo, 0, self.n - 1)
@@ -535,6 +613,43 @@ class RMI:
         starts = self.lookup_batch(lows)
         ends = self.lookup_batch(highs)
         return starts, ends - starts
+
+    def serve_batch(
+        self,
+        point_queries: np.ndarray,
+        range_lows: np.ndarray,
+        range_highs: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Fused serving unit: ``(positions, range_starts, range_counts)``.
+
+        Same contract as ``OrderedIndex.serve_batch``.  On a compiled
+        backend the whole batch -- routing, prediction, bounded search
+        with escape repair, for points and both range boundaries --
+        runs in one kernel call without returning to Python between
+        stages.
+        """
+        points = np.asarray(point_queries, dtype=np.uint64)
+        lows = np.asarray(range_lows, dtype=np.uint64)
+        highs = np.asarray(range_highs, dtype=np.uint64)
+        if len(lows) != len(highs):
+            raise ValueError("serve_batch needs equal-length range bounds")
+        if np.any(highs < lows):
+            raise ValueError("serve_batch requires low <= high")
+        state = self._kernel_state()
+        if state is not None:
+            backend, packed = state
+            return backend.rmi_serve(packed, self.keys, points, lows, highs)
+        if len(points):
+            positions = self.lookup_batch(points)
+        else:
+            positions = np.empty(0, dtype=np.int64)
+        if len(lows):
+            starts = self.lookup_batch(lows)
+            counts = self.lookup_batch(highs) - starts
+        else:
+            starts = np.empty(0, dtype=np.int64)
+            counts = np.empty(0, dtype=np.int64)
+        return positions, starts, counts
 
     # ------------------------------------------------------------------
     # Introspection

@@ -368,16 +368,15 @@ def batch_exponential_search(
     return result
 
 
-def batch_lower_bound_window(
+def _batch_lower_bound_window_numpy(
     keys: np.ndarray,
     queries: np.ndarray,
     lo: np.ndarray,
     hi: np.ndarray,
 ) -> np.ndarray:
-    """Window-restricted batch lower bound with interval-escape repair.
+    """Staged NumPy implementation of :func:`batch_lower_bound_window`.
 
-    The shared completion step of every index's batch lookup path:
-    binary search each query inside its candidate window ``[lo, hi]``
+    Binary search each query inside its candidate window ``[lo, hi]``
     (inclusive, already clamped to the array), then repair the rare
     escapes -- a result pinned to the window's left edge while the key
     left of the window still satisfies the query (duplicate runs or
@@ -401,6 +400,30 @@ def batch_lower_bound_window(
     if bad.any():
         out[bad] = np.searchsorted(keys, queries[bad], side="left")
     return out
+
+
+def batch_lower_bound_window(
+    keys: np.ndarray,
+    queries: np.ndarray,
+    lo: np.ndarray,
+    hi: np.ndarray,
+) -> np.ndarray:
+    """Window-restricted batch lower bound with interval-escape repair.
+
+    The shared completion step of every index's batch lookup path; see
+    :func:`_batch_lower_bound_window_numpy` for the exact semantics.
+    Dispatches to the active kernel backend
+    (:func:`repro.kernels.get_backend`: ``REPRO_KERNELS`` env var,
+    process default, or auto-detection), so every baseline index picks
+    up a compiled bounded search with no call-site changes.  All
+    backends return bit-identical positions (the conformance suite
+    pins this); the NumPy staged path is the universal fallback.
+    """
+    # Deferred import: repro.kernels imports this module for the
+    # reference implementation.
+    from ..kernels import get_backend
+
+    return get_backend().lower_bound_window(keys, queries, lo, hi)
 
 
 def expected_comparisons(interval_sizes: np.ndarray, algorithm: str) -> np.ndarray:

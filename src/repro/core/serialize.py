@@ -188,6 +188,8 @@ def rmi_from_payload(data, keys: np.ndarray | None = None) -> RMI:
     rmi.copy_keys = False
     rmi.cs_fallback = True
     rmi.grouped_fit = True
+    rmi.kernels = None  # deserialized RMIs follow the process default
+    rmi._packed_cache = None
     from .rmi import BuildStats
 
     rmi.build_stats = BuildStats()

@@ -26,7 +26,11 @@ import numpy as np
 
 from .model import MachineModel
 
-__all__ = ["measure_chase_latency", "calibrate_machine"]
+__all__ = [
+    "measure_chase_latency",
+    "calibrate_machine",
+    "calibrate_kernel_overhead",
+]
 
 
 def _pointer_chase(size_bytes: int, hops: int, seed: int = 0) -> float:
@@ -104,3 +108,56 @@ def calibrate_machine(
     ):  # pragma: no cover - construction forbids it
         return base
     return fitted
+
+
+def calibrate_kernel_overhead(
+    backend: "str | None" = None,
+    n: int = 100_000,
+    batch: int = 4096,
+    repeats: int = 5,
+    seed: int = 0,
+) -> dict:
+    """Measure the fixed per-lookup cost of a kernel backend's dispatch.
+
+    Times :meth:`~repro.kernels.base.KernelBackend.lower_bound_window`
+    over width-1 windows (``lo == hi`` at the true position), where the
+    search itself does near-zero work -- so the median per-lookup time
+    approximates the backend's call/dispatch overhead.  This is the
+    value to install as ``CostModel.per_lookup_overhead_ns``.
+
+    Unlike built indexes, this is a *performance* measurement: the
+    result depends on the executing backend, so the returned dict
+    carries an explicit ``backend`` field and pairs with
+    :func:`repro.cache.fingerprint.calibration_fingerprint` (which
+    fingerprints per backend and never serves cross-backend).
+    """
+    from ..kernels import get_backend
+
+    be = get_backend(backend)
+    be.warmup()
+    rng = np.random.default_rng(seed)
+    keys = np.sort(rng.integers(0, 2**63, size=n, dtype=np.uint64))
+    queries = keys[rng.integers(0, n, size=batch)]
+    true_pos = np.searchsorted(keys, queries, side="left").astype(np.int64)
+    # Warm call outside the timed loop (loads code paths, page-faults
+    # the arrays); JIT backends already compiled in warmup().
+    be.lower_bound_window(keys, queries, true_pos, true_pos)
+    per_call = []
+    for _ in range(max(repeats, 1)):
+        t0 = time.perf_counter()
+        got = be.lower_bound_window(keys, queries, true_pos, true_pos)
+        per_call.append(time.perf_counter() - t0)
+    if not np.array_equal(got, true_pos):  # pragma: no cover - conformance
+        raise RuntimeError(f"backend {be.name!r} mis-answered the probe")
+    overhead_ns = float(np.median(per_call)) / batch * 1e9
+    return {
+        "backend": be.name,
+        "compiled": bool(be.compiled),
+        "per_lookup_overhead_ns": overhead_ns,
+        "params": {
+            "n": int(n),
+            "batch": int(batch),
+            "repeats": int(repeats),
+            "seed": int(seed),
+        },
+    }

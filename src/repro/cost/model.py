@@ -69,6 +69,14 @@ class CostModel:
 
     machine: MachineModel = XEON_E5_2620V4
 
+    #: Fixed per-lookup dispatch cost of the executing kernel backend
+    #: (call overhead amortized over a batch), measured by
+    #: :func:`repro.cost.calibrate.calibrate_kernel_overhead`.  Zero by
+    #: default: the analytic model then prices pure index work, as the
+    #: paper's C++ numbers do.  Set per backend to project end-to-end
+    #: batch throughput instead.
+    per_lookup_overhead_ns: float = 0.0
+
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
@@ -187,7 +195,7 @@ class CostModel:
             search_ns = self.exponential_search_ns(err, data_bytes)
         else:
             raise ValueError(f"unknown search algorithm {search!r}")
-        return eval_ns + search_ns
+        return eval_ns + search_ns + self.per_lookup_overhead_ns
 
     # ------------------------------------------------------------------
     # Build

@@ -1,0 +1,84 @@
+"""Abstract interface every kernel backend implements.
+
+A backend provides the three hot kernels of the lookup path over flat
+arrays (see :mod:`repro.kernels.packed`):
+
+``lower_bound_window``
+    Window-restricted batch lower bound with interval-escape repair --
+    the shared completion step of *every* index's batch lookup
+    (``core/search.batch_lower_bound_window`` dispatches here).
+``rmi_predict`` / ``rmi_lookup`` / ``rmi_serve``
+    The RMI-specific fused paths: Equation-3 routing + Equation-4 leaf
+    prediction, the full predict→bounds→bounded-search lookup, and the
+    serving-layer point+range unit chaining three lookups in one call.
+
+Contract: every backend returns **bit-identical positions** to the
+staged NumPy reference on the same inputs -- the conformance suite
+(`tests/test_conformance.py`, `tests/test_kernels.py`) pins this per
+backend.  Inputs follow the repo-wide conventions: ``keys``/``queries``
+are ``uint64``, windows are inclusive ``int64`` bounds already clamped
+to ``[0, n-1]``, results are ``int64`` lower-bound positions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["KernelBackend"]
+
+
+class KernelBackend:
+    """One implementation of the hot lookup kernels."""
+
+    #: Registry name (``"numpy"``, ``"numba"``, ``"cext"``).
+    name: str = "?"
+    #: True when the kernels run as machine code outside the NumPy
+    #: staged path.  ``RMI`` only diverts to ``rmi_*`` for compiled
+    #: backends; the NumPy backend's packed implementations exist for
+    #: conformance testing and as the benchmark baseline.
+    compiled: bool = False
+
+    def lower_bound_window(
+        self,
+        keys: np.ndarray,
+        queries: np.ndarray,
+        lo: np.ndarray,
+        hi: np.ndarray,
+    ) -> np.ndarray:
+        """Batch lower bound inside inclusive ``[lo, hi]`` windows."""
+        raise NotImplementedError
+
+    def rmi_predict(
+        self, packed, queries: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Fused routing + leaf prediction: ``(model_ids, positions)``."""
+        raise NotImplementedError
+
+    def rmi_lookup(
+        self, packed, keys: np.ndarray, queries: np.ndarray
+    ) -> np.ndarray:
+        """Full fused lookup: route→predict→bounds→bounded search."""
+        raise NotImplementedError
+
+    def rmi_serve(
+        self,
+        packed,
+        keys: np.ndarray,
+        point_queries: np.ndarray,
+        range_lows: np.ndarray,
+        range_highs: np.ndarray,
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """Fused serving unit: ``(positions, range_starts, range_counts)``."""
+        raise NotImplementedError
+
+    def warmup(self) -> None:
+        """Force compilation/loading now, off the serving hot path.
+
+        Idempotent and cheap when already warm.  ``IndexServer`` calls
+        this at start and after a hot swap so JIT compilation never
+        lands inside a live request's deadline.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "compiled" if self.compiled else "interpreted"
+        return f"<KernelBackend {self.name} ({kind})>"

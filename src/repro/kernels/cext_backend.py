@@ -1,0 +1,450 @@
+"""Compiled C backend: gcc-built shared library loaded via ctypes.
+
+ROADMAP item 4 allows "numba njit or a small C extension"; this is the
+small C extension.  The kernel source below is compiled once per source
+revision (output keyed by a SHA-256 of source + flags, so upgrades
+never load a stale library) with ``-O3 -ffp-contract=off`` -- contract
+*off* matters: GCC's default of fused multiply-adds in ``-std=gnu``
+mode would change last-ulp results of the polynomial evaluations and
+break the bit-identical contract with the NumPy reference.  No
+setuptools, no Python.h: the library is plain C called through
+``ctypes``, so building needs nothing beyond a C compiler.
+
+The C functions replay exactly the arithmetic of the staged NumPy path
+(see the comments in the source); positions are additionally guaranteed
+equal by construction because the window search plus escape repair
+always lands on the global ``searchsorted`` answer.
+
+Availability: :func:`load` raises :class:`CExtUnavailable` when no C
+compiler is present or compilation fails; the registry treats that as
+"backend absent" and falls back.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+
+import numpy as np
+from numpy.ctypeslib import ndpointer
+
+from .base import KernelBackend
+from .packed import PackedRMI
+
+__all__ = ["CExtBackend", "CExtUnavailable", "load"]
+
+
+class CExtUnavailable(RuntimeError):
+    """No C compiler, or the kernel library failed to build/load."""
+
+
+_C_SOURCE = r"""
+#include <stdint.h>
+#include <math.h>
+
+/* Lower bound (numpy.searchsorted side="left") on the half-open range
+ * [left, right). */
+static int64_t lower_bound(const uint64_t *keys, int64_t left,
+                           int64_t right, uint64_t q) {
+    while (left < right) {
+        int64_t mid = (int64_t)(((uint64_t)left + (uint64_t)right) >> 1);
+        if (keys[mid] < q) left = mid + 1;
+        else right = mid;
+    }
+    return left;
+}
+
+/* Queries per block: the per-lane window state must stay L1-resident
+ * alongside the touched key lines, and a block is the unit of
+ * prefetch pipelining (phase k computes addresses and prefetches for
+ * phase k+1 across the whole block, so by the time a line is probed
+ * its miss has already been in flight for ~BLOCK iterations). */
+#define BLOCK 256
+
+#if defined(__GNUC__) || defined(__clang__)
+#define PREFETCH(addr) __builtin_prefetch((addr), 0, 1)
+#else
+#define PREFETCH(addr)
+#endif
+
+/* One window-restricted lower bound with interval-escape repair: the
+ * compiled twin of core/search.batch_lower_bound_window for a single
+ * query.  lo/hi are inclusive and already clamped to [0, n-1].
+ *
+ * The repair searches are restricted to [0, lo) / [hi+1, n), which
+ * provably equals the unrestricted searchsorted the NumPy path uses:
+ * a left escape implies the global answer is < lo, a right escape
+ * implies it is >= hi+1.  Escapes are rare, so they stay scalar. */
+static inline int64_t lb_window_one(const uint64_t *keys, int64_t n,
+                                    uint64_t q, int64_t lo, int64_t hi) {
+    int64_t res = lower_bound(keys, lo, hi + 1, q);
+    if (res == lo && lo > 0 && keys[lo - 1] >= q) {
+        res = lower_bound(keys, 0, lo, q);
+    } else if (res == hi + 1 && hi + 1 < n) {
+        res = lower_bound(keys, hi + 1, n, q);
+    }
+    return res;
+}
+
+/* Window search over one block.  The first probe of every lane is
+ * prefetched one full block ahead of the searches, so the initial
+ * (and usually only distinct) cache line of each window is in flight
+ * while other lanes compute; the remaining probes of a lane land in
+ * the same or adjacent lines for the small windows a fitted RMI
+ * produces.  Per lane the arithmetic is exactly lower_bound()'s, so
+ * results are bit-identical to the staged NumPy path. */
+static void lb_block(const uint64_t *keys, int64_t n, const uint64_t *q,
+                     const int64_t *lo, const int64_t *hi, int64_t c,
+                     int64_t *out) {
+    for (int64_t i = 0; i < c; i++) {
+        PREFETCH(keys + (int64_t)(((uint64_t)lo[i] + (uint64_t)hi[i] + 1) >> 1));
+    }
+    for (int64_t i = 0; i < c; i++) {
+        out[i] = lb_window_one(keys, n, q[i], lo[i], hi[i]);
+    }
+}
+
+/* One model evaluation; codes and row layout match core/models.py's SoA
+ * registry (serialize.py's on-disk codes).  Formulas are copied from
+ * each family's eval_soa, same operation order for bit-identity. */
+static double eval_model(int8_t code, const double *p, uint64_t q) {
+    switch (code) {
+    case 0:  /* ConstantModel */
+        return p[0];
+    case 1:  /* LinearRegression */
+    case 2:  /* LinearSpline */
+        return p[0] * (double)q + p[1];
+    case 3: {  /* CubicSpline (normalized Horner form) */
+        double t = ((double)q - p[4]) * p[5];
+        return ((p[0] * t + p[1]) * t + p[2]) * t + p[3];
+    }
+    case 4: {  /* Radix: (x << a) >> b; rs >= 64 means "predict 0" */
+        double rs = p[1];
+        if (rs >= 64.0) return 0.0;
+        uint64_t ls = (uint64_t)p[0];
+        if (ls >= 64) return 0.0;  /* unreachable by construction */
+        return (double)((q << ls) >> (uint64_t)rs);
+    }
+    }
+    return 0.0;
+}
+
+/* Equation 3: route one query through the inner layers.  Matches
+ * RMI._assignments: scale (unless trained on model indexes), nan -> 0,
+ * clamp to [0, fanout-1] in float space, floor, cast. */
+static int64_t route_leaf(const int8_t *codes, const double *params,
+                          const int64_t *offsets, int64_t num_layers,
+                          const double *scales, int32_t scaled,
+                          uint64_t q) {
+    int64_t j = 0;
+    for (int64_t d = 0; d + 1 < num_layers; d++) {
+        int64_t row = offsets[d] + j;
+        double pred = eval_model(codes[row], params + row * 6, q);
+        double est = scaled ? pred : pred * scales[d];
+        if (isnan(est) || est < 0.0) est = 0.0;
+        double cap = (double)(offsets[d + 2] - offsets[d + 1] - 1);
+        if (est > cap) est = cap;
+        j = (int64_t)floor(est);
+    }
+    return j;
+}
+
+/* Equation 4: leaf position estimate, clamped to [0, n-1] (truncating
+ * cast == astype(int64) for non-negative values). */
+static int64_t predict_pos(const int8_t *codes, const double *params,
+                           const int64_t *offsets, int64_t num_layers,
+                           int64_t n, int64_t leaf, uint64_t q) {
+    int64_t row = offsets[num_layers - 1] + leaf;
+    double est = eval_model(codes[row], params + row * 6, q);
+    if (isnan(est) || est < 0.0) est = 0.0;
+    double cap = (double)(n - 1);
+    if (est > cap) est = cap;
+    return (int64_t)est;
+}
+
+/* Fused lookup over a query batch, in three block-wide phases so every
+ * random access is prefetched one phase (~BLOCK queries) before it is
+ * consumed: (1) route through the inner layers -- root params are hot,
+ * the landing leaf's param row and error-bound rows are only now
+ * known, so prefetch them; (2) predict + window arithmetic on those
+ * now-resident rows, prefetching each window's first probe line;
+ * (3) the window search itself.  bkind: 0 none, 1 per-model, 2 global
+ * (blo/bhi row 0). */
+static void lookup_batch(const uint64_t *keys, int64_t n,
+                         const int8_t *codes, const double *params,
+                         const int64_t *offsets, int64_t num_layers,
+                         const double *scales, int32_t scaled,
+                         int32_t bkind, const int64_t *blo,
+                         const int64_t *bhi,
+                         const uint64_t *queries, int64_t m,
+                         int64_t *out) {
+    int64_t leaf_a[BLOCK], wlo[BLOCK], whi[BLOCK];
+    int64_t leaf_off = offsets[num_layers - 1];
+    for (int64_t b = 0; b < m; b += BLOCK) {
+        int64_t c = m - b < BLOCK ? m - b : BLOCK;
+        for (int64_t i = 0; i < c; i++) {
+            int64_t leaf = route_leaf(codes, params, offsets,
+                                      num_layers, scales, scaled,
+                                      queries[b + i]);
+            leaf_a[i] = leaf;
+            PREFETCH(params + (leaf_off + leaf) * 6);
+            if (bkind == 1) {
+                PREFETCH(blo + leaf);
+                PREFETCH(bhi + leaf);
+            }
+        }
+        for (int64_t i = 0; i < c; i++) {
+            uint64_t q = queries[b + i];
+            int64_t leaf = leaf_a[i];
+            int64_t pos = predict_pos(codes, params, offsets,
+                                      num_layers, n, leaf, q);
+            int64_t lo, hi;
+            if (bkind == 0) {
+                lo = 0; hi = n - 1;
+            } else if (bkind == 1) {
+                lo = pos + blo[leaf]; hi = pos + bhi[leaf];
+            } else {
+                lo = pos + blo[0]; hi = pos + bhi[0];
+            }
+            if (lo < 0) lo = 0; else if (lo > n - 1) lo = n - 1;
+            if (hi < 0) hi = 0; else if (hi > n - 1) hi = n - 1;
+            wlo[i] = lo; whi[i] = hi;
+            PREFETCH(keys + (int64_t)(((uint64_t)lo + (uint64_t)hi + 1) >> 1));
+        }
+        for (int64_t i = 0; i < c; i++) {
+            out[b + i] = lb_window_one(keys, n, queries[b + i],
+                                       wlo[i], whi[i]);
+        }
+    }
+}
+
+void repro_lower_bound_window(const uint64_t *keys, int64_t n,
+                              const uint64_t *queries, int64_t m,
+                              const int64_t *lo, const int64_t *hi,
+                              int64_t *out) {
+    for (int64_t b = 0; b < m; b += BLOCK) {
+        int64_t c = m - b < BLOCK ? m - b : BLOCK;
+        lb_block(keys, n, queries + b, lo + b, hi + b, c, out + b);
+    }
+}
+
+void repro_rmi_predict(const int8_t *codes, const double *params,
+                       const int64_t *offsets, int64_t num_layers,
+                       const double *scales, int32_t scaled, int64_t n,
+                       const uint64_t *queries, int64_t m,
+                       int64_t *ids_out, int64_t *pos_out) {
+    for (int64_t i = 0; i < m; i++) {
+        int64_t leaf = route_leaf(codes, params, offsets, num_layers,
+                                  scales, scaled, queries[i]);
+        ids_out[i] = leaf;
+        pos_out[i] = predict_pos(codes, params, offsets, num_layers,
+                                 n, leaf, queries[i]);
+    }
+}
+
+void repro_rmi_lookup(const uint64_t *keys, int64_t n,
+                      const int8_t *codes, const double *params,
+                      const int64_t *offsets, int64_t num_layers,
+                      const double *scales, int32_t scaled,
+                      int32_t bkind, const int64_t *blo,
+                      const int64_t *bhi,
+                      const uint64_t *queries, int64_t m, int64_t *out) {
+    lookup_batch(keys, n, codes, params, offsets, num_layers, scales,
+                 scaled, bkind, blo, bhi, queries, m, out);
+}
+
+/* Fused serving unit: point positions, range starts, range counts in
+ * one call -- three lookup passes without ever returning to Python. */
+void repro_rmi_serve(const uint64_t *keys, int64_t n,
+                     const int8_t *codes, const double *params,
+                     const int64_t *offsets, int64_t num_layers,
+                     const double *scales, int32_t scaled,
+                     int32_t bkind, const int64_t *blo,
+                     const int64_t *bhi,
+                     const uint64_t *points, int64_t mp,
+                     const uint64_t *lows, const uint64_t *highs,
+                     int64_t mr,
+                     int64_t *pos_out, int64_t *start_out,
+                     int64_t *count_out) {
+    lookup_batch(keys, n, codes, params, offsets, num_layers, scales,
+                 scaled, bkind, blo, bhi, points, mp, pos_out);
+    lookup_batch(keys, n, codes, params, offsets, num_layers, scales,
+                 scaled, bkind, blo, bhi, lows, mr, start_out);
+    lookup_batch(keys, n, codes, params, offsets, num_layers, scales,
+                 scaled, bkind, blo, bhi, highs, mr, count_out);
+    for (int64_t i = 0; i < mr; i++) {
+        count_out[i] -= start_out[i];
+    }
+}
+"""
+
+#: Contract OFF is load-bearing for bit-identity (see module docstring).
+_CFLAGS = ("-O3", "-ffp-contract=off", "-fno-math-errno",
+           "-shared", "-fPIC")
+
+
+def _cache_dir() -> Path:
+    override = os.environ.get("REPRO_KERNELS_CACHE")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-kernels"
+
+
+def _build_library() -> Path:
+    """Compile the kernel source, keyed by source+flags digest."""
+    cc = os.environ.get("CC") or shutil.which("cc") or shutil.which("gcc")
+    if cc is None:
+        raise CExtUnavailable("no C compiler (cc/gcc) on PATH")
+    digest = hashlib.sha256(
+        (_C_SOURCE + "\0" + " ".join(_CFLAGS)).encode()
+    ).hexdigest()[:16]
+    cache = _cache_dir()
+    lib_path = cache / f"repro_kernels_{digest}.so"
+    if lib_path.exists():
+        return lib_path
+    cache.mkdir(parents=True, exist_ok=True)
+    src_path = cache / f"repro_kernels_{digest}.c"
+    src_path.write_text(_C_SOURCE)
+    # Build to a temp name, then atomically publish: concurrent builders
+    # (e.g. a process pool warming up) race harmlessly.
+    fd, tmp_name = tempfile.mkstemp(suffix=".so", dir=cache)
+    os.close(fd)
+    try:
+        proc = subprocess.run(
+            [cc, *_CFLAGS, str(src_path), "-o", tmp_name, "-lm"],
+            capture_output=True, text=True, timeout=120,
+        )
+        if proc.returncode != 0:
+            raise CExtUnavailable(
+                f"kernel compilation failed:\n{proc.stderr.strip()}"
+            )
+        os.replace(tmp_name, lib_path)
+    except (OSError, subprocess.SubprocessError) as exc:
+        raise CExtUnavailable(f"kernel compilation failed: {exc}") from exc
+    finally:
+        if os.path.exists(tmp_name):
+            os.unlink(tmp_name)
+    return lib_path
+
+
+_u64 = ndpointer(np.uint64, flags="C_CONTIGUOUS")
+_i64 = ndpointer(np.int64, flags="C_CONTIGUOUS")
+_i8 = ndpointer(np.int8, flags="C_CONTIGUOUS")
+_f64 = ndpointer(np.float64, flags="C_CONTIGUOUS")
+_c_i64 = ctypes.c_int64
+_c_i32 = ctypes.c_int32
+
+#: (name, argtypes) for every exported kernel.
+_SIGNATURES = {
+    "repro_lower_bound_window":
+        [_u64, _c_i64, _u64, _c_i64, _i64, _i64, _i64],
+    "repro_rmi_predict":
+        [_i8, _f64, _i64, _c_i64, _f64, _c_i32, _c_i64,
+         _u64, _c_i64, _i64, _i64],
+    "repro_rmi_lookup":
+        [_u64, _c_i64, _i8, _f64, _i64, _c_i64, _f64, _c_i32,
+         _c_i32, _i64, _i64, _u64, _c_i64, _i64],
+    "repro_rmi_serve":
+        [_u64, _c_i64, _i8, _f64, _i64, _c_i64, _f64, _c_i32,
+         _c_i32, _i64, _i64, _u64, _c_i64, _u64, _u64, _c_i64,
+         _i64, _i64, _i64],
+}
+
+
+def load() -> "CExtBackend":
+    """Build (if needed) and load the C kernels; raises CExtUnavailable."""
+    lib_path = _build_library()
+    try:
+        lib = ctypes.CDLL(str(lib_path))
+    except OSError as exc:
+        raise CExtUnavailable(f"cannot load {lib_path}: {exc}") from exc
+    for fname, argtypes in _SIGNATURES.items():
+        try:
+            fn = getattr(lib, fname)
+        except AttributeError as exc:
+            raise CExtUnavailable(f"{lib_path} lacks {fname}") from exc
+        fn.argtypes = argtypes
+        fn.restype = None
+    return CExtBackend(lib)
+
+
+def _packed_args(packed: PackedRMI):
+    return (
+        packed.codes, packed.params, packed.offsets,
+        packed.num_layers, packed.scales,
+        1 if packed.scaled else 0, packed.bkind,
+        packed.blo, packed.bhi,
+    )
+
+
+class CExtBackend(KernelBackend):
+    """ctypes wrapper over the gcc-compiled kernel library."""
+
+    name = "cext"
+    compiled = True
+
+    def __init__(self, lib: ctypes.CDLL) -> None:
+        self._lib = lib
+
+    def lower_bound_window(self, keys, queries, lo, hi):
+        keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        queries = np.ascontiguousarray(queries, dtype=np.uint64)
+        n = len(keys)
+        # Same clamp every in-repo caller already applies; defensive
+        # here because the C loop indexes without probe clipping.
+        lo = np.clip(np.ascontiguousarray(lo, dtype=np.int64), 0, n - 1)
+        hi = np.clip(np.ascontiguousarray(hi, dtype=np.int64), 0, n - 1)
+        out = np.empty(len(queries), dtype=np.int64)
+        self._lib.repro_lower_bound_window(
+            keys, n, queries, len(queries), lo, hi, out
+        )
+        return out
+
+    def rmi_predict(self, packed: PackedRMI, queries):
+        queries = np.ascontiguousarray(queries, dtype=np.uint64)
+        m = len(queries)
+        ids = np.empty(m, dtype=np.int64)
+        pos = np.empty(m, dtype=np.int64)
+        self._lib.repro_rmi_predict(
+            packed.codes, packed.params, packed.offsets,
+            packed.num_layers, packed.scales,
+            1 if packed.scaled else 0, packed.n,
+            queries, m, ids, pos,
+        )
+        return ids, pos
+
+    def rmi_lookup(self, packed: PackedRMI, keys, queries):
+        keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        queries = np.ascontiguousarray(queries, dtype=np.uint64)
+        out = np.empty(len(queries), dtype=np.int64)
+        self._lib.repro_rmi_lookup(
+            keys, len(keys), *_packed_args(packed),
+            queries, len(queries), out,
+        )
+        return out
+
+    def rmi_serve(self, packed: PackedRMI, keys, point_queries,
+                  range_lows, range_highs):
+        keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        points = np.ascontiguousarray(point_queries, dtype=np.uint64)
+        lows = np.ascontiguousarray(range_lows, dtype=np.uint64)
+        highs = np.ascontiguousarray(range_highs, dtype=np.uint64)
+        positions = np.empty(len(points), dtype=np.int64)
+        starts = np.empty(len(lows), dtype=np.int64)
+        counts = np.empty(len(lows), dtype=np.int64)
+        self._lib.repro_rmi_serve(
+            keys, len(keys), *_packed_args(packed),
+            points, len(points), lows, highs, len(lows),
+            positions, starts, counts,
+        )
+        return positions, starts, counts
+
+    def warmup(self) -> None:
+        """The library is ahead-of-time compiled; loading was the warm-up."""

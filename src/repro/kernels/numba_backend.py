@@ -1,0 +1,277 @@
+"""Numba ``@njit`` kernel backend (optional dependency).
+
+Importing this module raises :class:`NumbaUnavailable` when numba is
+not installed -- the registry treats that as "backend absent" and the
+repo keeps working on the NumPy fallback (tier-1 CI runs numba-free on
+purpose; the dedicated ``kernels`` CI job installs numba and runs the
+gated legs).
+
+The jitted functions are line-for-line ports of the C kernels in
+:mod:`repro.kernels.cext_backend` (same evaluation order, no fastmath,
+so no FMA contraction) and therefore bit-identical to the staged NumPy
+reference.  ``cache=True`` persists compiled machine code next to the
+package, so a warmed CI cache or a second process skips JIT entirely;
+``nogil=True`` lets the serving executor overlap kernel execution with
+the event loop.  First-call compilation is expensive (seconds), which
+is exactly why :meth:`NumbaBackend.warmup` exists and is invoked by
+``IndexServer`` before traffic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import KernelBackend
+from .packed import PackedRMI
+
+__all__ = ["NumbaBackend", "NumbaUnavailable", "load"]
+
+
+class NumbaUnavailable(RuntimeError):
+    """numba is not importable in this environment."""
+
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit
+except ImportError:  # pragma: no cover
+    njit = None
+
+
+def load() -> "NumbaBackend":
+    if njit is None:
+        raise NumbaUnavailable("numba is not installed")
+    return NumbaBackend()
+
+
+if njit is not None:  # pragma: no cover - compiled only with numba
+
+    @njit(cache=True, nogil=True)
+    def _lower_bound(keys, left, right, q):
+        while left < right:
+            mid = (left + right) >> 1
+            if keys[mid] < q:
+                left = mid + 1
+            else:
+                right = mid
+        return left
+
+    @njit(cache=True, nogil=True)
+    def _lb_window(keys, n, q, lo, hi):
+        r = _lower_bound(keys, lo, hi + 1, q)
+        if r == lo and lo > 0 and keys[lo - 1] >= q:
+            r = _lower_bound(keys, 0, lo, q)
+        elif r == hi + 1 and hi + 1 < n:
+            r = _lower_bound(keys, hi + 1, n, q)
+        return r
+
+    @njit(cache=True, nogil=True)
+    def _eval_model(code, params, row, q):
+        # Row layouts match core/models.py's SoA registry; operation
+        # order matches each family's eval_soa for bit-identity.
+        if code == 0:
+            return params[row, 0]
+        if code == 1 or code == 2:
+            return params[row, 0] * np.float64(q) + params[row, 1]
+        if code == 3:
+            t = (np.float64(q) - params[row, 4]) * params[row, 5]
+            return ((params[row, 0] * t + params[row, 1]) * t
+                    + params[row, 2]) * t + params[row, 3]
+        if code == 4:
+            rs = params[row, 1]
+            if rs >= 64.0:
+                return 0.0
+            ls = np.uint64(params[row, 0])
+            if ls >= np.uint64(64):
+                return 0.0  # unreachable by construction
+            return np.float64((q << ls) >> np.uint64(rs))
+        return 0.0
+
+    @njit(cache=True, nogil=True)
+    def _route_leaf(codes, params, offsets, num_layers, scales,
+                    scaled, q):
+        j = np.int64(0)
+        for d in range(num_layers - 1):
+            row = offsets[d] + j
+            pred = _eval_model(codes[row], params, row, q)
+            est = pred if scaled else pred * scales[d]
+            if np.isnan(est) or est < 0.0:
+                est = 0.0
+            cap = np.float64(offsets[d + 2] - offsets[d + 1] - 1)
+            if est > cap:
+                est = cap
+            j = np.int64(np.floor(est))
+        return j
+
+    @njit(cache=True, nogil=True)
+    def _predict_pos(codes, params, offsets, num_layers, n, leaf, q):
+        row = offsets[num_layers - 1] + leaf
+        est = _eval_model(codes[row], params, row, q)
+        if np.isnan(est) or est < 0.0:
+            est = 0.0
+        cap = np.float64(n - 1)
+        if est > cap:
+            est = cap
+        return np.int64(est)  # truncating cast == astype(int64) here
+
+    @njit(cache=True, nogil=True)
+    def _lookup_one(keys, n, codes, params, offsets, num_layers,
+                    scales, scaled, bkind, blo, bhi, q):
+        leaf = _route_leaf(codes, params, offsets, num_layers,
+                           scales, scaled, q)
+        pos = _predict_pos(codes, params, offsets, num_layers,
+                           n, leaf, q)
+        if bkind == 0:
+            lo = np.int64(0)
+            hi = n - 1
+        elif bkind == 1:
+            lo = pos + blo[leaf]
+            hi = pos + bhi[leaf]
+        else:
+            lo = pos + blo[0]
+            hi = pos + bhi[0]
+        if lo < 0:
+            lo = 0
+        elif lo > n - 1:
+            lo = n - 1
+        if hi < 0:
+            hi = 0
+        elif hi > n - 1:
+            hi = n - 1
+        return _lb_window(keys, n, q, lo, hi)
+
+    @njit(cache=True, nogil=True)
+    def _k_lower_bound_window(keys, queries, lo, hi):
+        n = np.int64(len(keys))
+        out = np.empty(len(queries), dtype=np.int64)
+        for i in range(len(queries)):
+            l = lo[i]
+            h = hi[i]
+            if l < 0:
+                l = 0
+            elif l > n - 1:
+                l = n - 1
+            if h < 0:
+                h = 0
+            elif h > n - 1:
+                h = n - 1
+            out[i] = _lb_window(keys, n, queries[i], l, h)
+        return out
+
+    @njit(cache=True, nogil=True)
+    def _k_rmi_predict(codes, params, offsets, num_layers, scales,
+                       scaled, n, queries):
+        m = len(queries)
+        ids = np.empty(m, dtype=np.int64)
+        pos = np.empty(m, dtype=np.int64)
+        for i in range(m):
+            leaf = _route_leaf(codes, params, offsets, num_layers,
+                               scales, scaled, queries[i])
+            ids[i] = leaf
+            pos[i] = _predict_pos(codes, params, offsets, num_layers,
+                                  n, leaf, queries[i])
+        return ids, pos
+
+    @njit(cache=True, nogil=True)
+    def _k_rmi_lookup(keys, n, codes, params, offsets, num_layers,
+                      scales, scaled, bkind, blo, bhi, queries):
+        out = np.empty(len(queries), dtype=np.int64)
+        for i in range(len(queries)):
+            out[i] = _lookup_one(keys, n, codes, params, offsets,
+                                 num_layers, scales, scaled, bkind,
+                                 blo, bhi, queries[i])
+        return out
+
+    @njit(cache=True, nogil=True)
+    def _k_rmi_serve(keys, n, codes, params, offsets, num_layers,
+                     scales, scaled, bkind, blo, bhi,
+                     points, lows, highs):
+        positions = np.empty(len(points), dtype=np.int64)
+        starts = np.empty(len(lows), dtype=np.int64)
+        counts = np.empty(len(lows), dtype=np.int64)
+        for i in range(len(points)):
+            positions[i] = _lookup_one(keys, n, codes, params, offsets,
+                                       num_layers, scales, scaled,
+                                       bkind, blo, bhi, points[i])
+        for i in range(len(lows)):
+            starts[i] = _lookup_one(keys, n, codes, params, offsets,
+                                    num_layers, scales, scaled,
+                                    bkind, blo, bhi, lows[i])
+        for i in range(len(lows)):
+            counts[i] = _lookup_one(keys, n, codes, params, offsets,
+                                    num_layers, scales, scaled,
+                                    bkind, blo, bhi, highs[i]) - starts[i]
+        return positions, starts, counts
+
+
+def _packed_args(packed: PackedRMI):
+    return (
+        packed.codes, packed.params, packed.offsets,
+        np.int64(packed.num_layers), packed.scales,
+        packed.scaled, np.int32(packed.bkind),
+        packed.blo, packed.bhi,
+    )
+
+
+class NumbaBackend(KernelBackend):  # pragma: no cover - needs numba
+    """JIT-compiled kernels; see module docstring for caching/warm-up."""
+
+    name = "numba"
+    compiled = True
+
+    def lower_bound_window(self, keys, queries, lo, hi):
+        return _k_lower_bound_window(
+            np.ascontiguousarray(keys, dtype=np.uint64),
+            np.ascontiguousarray(queries, dtype=np.uint64),
+            np.ascontiguousarray(lo, dtype=np.int64),
+            np.ascontiguousarray(hi, dtype=np.int64),
+        )
+
+    def rmi_predict(self, packed: PackedRMI, queries):
+        return _k_rmi_predict(
+            packed.codes, packed.params, packed.offsets,
+            np.int64(packed.num_layers), packed.scales,
+            packed.scaled, np.int64(packed.n),
+            np.ascontiguousarray(queries, dtype=np.uint64),
+        )
+
+    def rmi_lookup(self, packed: PackedRMI, keys, queries):
+        keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        return _k_rmi_lookup(
+            keys, np.int64(len(keys)), *_packed_args(packed),
+            np.ascontiguousarray(queries, dtype=np.uint64),
+        )
+
+    def rmi_serve(self, packed: PackedRMI, keys, point_queries,
+                  range_lows, range_highs):
+        keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        return _k_rmi_serve(
+            keys, np.int64(len(keys)), *_packed_args(packed),
+            np.ascontiguousarray(point_queries, dtype=np.uint64),
+            np.ascontiguousarray(range_lows, dtype=np.uint64),
+            np.ascontiguousarray(range_highs, dtype=np.uint64),
+        )
+
+    def warmup(self) -> None:
+        """Trigger (or load from cache) every kernel's compilation."""
+        keys = np.arange(4, dtype=np.uint64)
+        queries = np.asarray([1, 3], dtype=np.uint64)
+        win = np.asarray([0, 0], dtype=np.int64)
+        top = np.asarray([3, 3], dtype=np.int64)
+        self.lower_bound_window(keys, queries, win, top)
+        packed = PackedRMI(
+            codes=np.asarray([2, 2], dtype=np.int8),
+            params=np.asarray(
+                [[1.0, 0.0, 0, 0, 0, 0], [1.0, 0.0, 0, 0, 0, 0]],
+                dtype=np.float64,
+            ),
+            offsets=np.asarray([0, 1, 2], dtype=np.int64),
+            scales=np.asarray([2.0 / 4.0], dtype=np.float64),
+            scaled=False,
+            n=4,
+            bkind=2,
+            blo=np.asarray([-1], dtype=np.int64),
+            bhi=np.asarray([1], dtype=np.int64),
+        )
+        self.rmi_predict(packed, queries)
+        self.rmi_lookup(packed, keys, queries)
+        self.rmi_serve(packed, keys, queries, queries, queries)

@@ -83,6 +83,7 @@ class IndexServer:
         default_timeout_s: "float | None" = None,
         metrics: "ServeMetrics | None" = None,
         log_interval_s: "float | None" = None,
+        kernels: "str | None" = None,
     ) -> None:
         if shed_policy not in SHED_POLICIES:
             raise ValueError(
@@ -97,6 +98,12 @@ class IndexServer:
         )
         self.shed_policy = shed_policy
         self.default_timeout_s = default_timeout_s
+        #: Kernel backend to serve with (``"numpy"``/``"numba"``/
+        #: ``"cext"``/``"auto"``); installed as the process-wide default
+        #: at :meth:`start` so every index this process serves -- the
+        #: swapped-in ones included -- uses it.  ``None`` leaves the
+        #: ``REPRO_KERNELS`` / auto-detection chain in charge.
+        self.kernels = kernels
         self.metrics = metrics if metrics is not None else ServeMetrics()
         self.log_interval_s = log_interval_s
         self._task: "asyncio.Task | None" = None
@@ -122,6 +129,18 @@ class IndexServer:
         # event loop; the loop stays responsive to accept/coalesce.
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-serve"
+        )
+        if self.kernels is not None:
+            from ..kernels import set_default_backend
+
+            set_default_backend(self.kernels)
+        # Warm the kernel backend on the worker thread before accepting
+        # traffic: a JIT backend (numba) pays seconds of compilation on
+        # first call, which must never land inside a live request's
+        # deadline.  Warm-up failures are non-fatal -- the batch path
+        # falls back to NumPy.
+        await asyncio.get_running_loop().run_in_executor(
+            self._executor, self._warm_index, self._index
         )
         self._accepting = True
         self._task = asyncio.create_task(self._run(), name="repro-serve-loop")
@@ -175,12 +194,30 @@ class IndexServer:
         dispatched keeps executing against it -- zero in-flight
         requests are dropped by a swap.
         """
+        # Warm the incoming index before it becomes visible.  The
+        # backend's kernels were already compiled at start() (they are
+        # per-function, not per-index), so this probe is microseconds
+        # -- it only builds the new index's packed representation and
+        # is safe on the event-loop thread.
+        self._warm_index(new_index)
         old, self._index = self._index, new_index
         self.metrics.swaps.inc()
         log.info("index swapped: %s -> %s",
                  getattr(old, "name", type(old).__name__),
                  getattr(new_index, "name", type(new_index).__name__))
         return old
+
+    @staticmethod
+    def _warm_index(index: Any) -> None:
+        """Best-effort ``warm_kernels``; never fails the caller."""
+        warm = getattr(index, "warm_kernels", None)
+        if warm is None:
+            return
+        try:
+            warm()
+        except Exception:
+            log.warning("kernel warm-up failed; serving will fall back",
+                        exc_info=True)
 
     # -- request API -----------------------------------------------------
 

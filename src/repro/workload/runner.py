@@ -75,6 +75,10 @@ class WorkloadResult:
     estimated_search_ns: float
     #: Batch-vs-scalar agreement on a deterministic query sample.
     scalar_agreement_ok: bool = True
+    #: Kernel backend that executed the batch path ("numpy", "cext",
+    #: "numba") -- wall-clock numbers are only comparable within one
+    #: backend, so results record which one ran.
+    kernel_backend: str = "numpy"
 
     @property
     def wall_ns_per_lookup(self) -> float:
@@ -202,6 +206,13 @@ def run_workload(
         counters.mean_interval,
         index.n * 8,
     )
+    from ..kernels import get_backend
+
+    # Resolve the backend the index's batch path actually dispatched
+    # to: an explicit per-RMI spec if set (adapters hold it on .rmi),
+    # otherwise the process default.
+    spec_holder = getattr(index, "rmi", index)
+    backend_name = get_backend(getattr(spec_holder, "kernels", None)).name
     return WorkloadResult(
         index_name=name,
         index_bytes=index_bytes,
@@ -209,10 +220,13 @@ def run_workload(
         wall_seconds=float(np.median(durations)),
         checksum_ok=checksum_ok,
         counters=counters,
-        estimated_ns_per_lookup=eval_ns + search_ns,
+        estimated_ns_per_lookup=(
+            eval_ns + search_ns + cm.per_lookup_overhead_ns
+        ),
         estimated_eval_ns=eval_ns,
         estimated_search_ns=search_ns,
         scalar_agreement_ok=scalar_ok,
+        kernel_backend=backend_name,
     )
 
 

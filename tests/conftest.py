@@ -8,6 +8,40 @@ import pytest
 from repro import data
 
 
+def kernel_backend_params() -> list:
+    """One pytest param per known kernel backend.
+
+    Backends that cannot load in this environment (numba not
+    installed, no C compiler) come back skip-marked, so parity suites
+    show the leg as skipped rather than silently dropping it.
+    """
+    from repro import kernels
+
+    params = []
+    for name in kernels.KNOWN_BACKENDS:
+        marks = (
+            []
+            if kernels.backend_available(name)
+            else [pytest.mark.skip(reason=f"{name} backend not available")]
+        )
+        params.append(pytest.param(name, marks=marks, id=name))
+    return params
+
+
+@pytest.fixture(params=kernel_backend_params())
+def kernel_backend(request):
+    """Each available kernel backend, installed as the process default.
+
+    Tests that depend on this fixture (directly or through an autouse
+    shim) run once per backend; the previous default is restored on
+    teardown.
+    """
+    from repro import kernels
+
+    with kernels.use_backend(request.param) as backend:
+        yield backend
+
+
 @pytest.fixture(scope="session")
 def rng():
     return np.random.default_rng(1234)

@@ -48,6 +48,22 @@ REJECTS_DUPLICATES = {"hist-tree", "art"}
 DATASETS = ["books", "osmc", "fb", "wiki"]
 
 
+@pytest.fixture(autouse=True)
+def _every_backend(request, kernel_backend):
+    """Every conformance assertion runs once per kernel backend.
+
+    The batch engine completes all lookups through the kernel
+    dispatcher (``core/search.batch_lower_bound_window``; the RMI
+    adapter additionally fuses routing and prediction), so the whole
+    contract -- oracle parity, scalar agreement, duplicates,
+    out-of-range, adversarial families -- re-runs with each available
+    backend installed as the process default.  The speed smoke at the
+    bottom is backend-independent and only runs its numpy leg.
+    """
+    if "smoke" in request.keywords and kernel_backend.name != "numpy":
+        pytest.skip("speed smoke runs on one backend leg only")
+
+
 @pytest.fixture(scope="module")
 def built(small_datasets):
     """Cache of built indexes keyed by (index name, dataset name)."""

@@ -19,6 +19,11 @@ from repro.core.rmi import RMI
 from .conftest import lower_bound_oracle
 
 
+@pytest.fixture(autouse=True)
+def _every_backend(kernel_backend):
+    """Every parity assertion runs once per available kernel backend."""
+
+
 def assert_parity(rmi: RMI, queries: np.ndarray) -> None:
     queries = np.asarray(queries, dtype=np.uint64)
     batch = rmi.lookup_batch(queries)
