@@ -263,6 +263,19 @@ class BTreeIndex(OrderedIndex):
             hi = self.n - 1
         return SearchBounds(lo=lo, hi=hi, hint=lo, evaluation_steps=steps)
 
+    def pack(self):
+        """Flatten the sampled-key directory for the compiled backends.
+
+        The leaf level as a whole is the sorted sampled-key array (see
+        :meth:`lookup_batch`), so the packed form is exactly that
+        directory plus the sampled positions.
+        """
+        from ..kernels import pack_sparse_directory
+
+        return pack_sparse_directory(
+            self.name, self._sampled_keys, self._positions, self.n
+        )
+
     def lookup_batch(self, queries: np.ndarray) -> np.ndarray:
         """Vectorized lookup over the flattened leaf directory.
 
@@ -274,6 +287,13 @@ class BTreeIndex(OrderedIndex):
         a SIMD-batched B-tree achieves within nodes).  The data-page
         scan then runs as a window-restricted batch binary search.
         """
+        state = self._kernel_state()
+        if state is not None:
+            backend, packed = state
+            return backend.lookup(
+                packed, self.keys,
+                np.ascontiguousarray(queries, dtype=np.uint64),
+            )
         q = np.asarray(queries, dtype=np.uint64)
         entry = np.searchsorted(self._sampled_keys, q, side="right") - 1
         found = entry >= 0

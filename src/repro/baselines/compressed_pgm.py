@@ -75,9 +75,28 @@ class CompressedPGMIndex(PGMIndex):
             evaluation_steps=b.evaluation_steps,
         )
 
+    def pack(self):
+        """Pack with the *effective* (quantization-repaired) ε.
+
+        The instance levels already hold the quantized slopes and
+        intercepts, so the only delta against ``PGMIndex.pack`` is the
+        widened bottom window.
+        """
+        from ..kernels import PLA_DESCEND, pack_pla_levels
+
+        return pack_pla_levels(
+            self.name, PLA_DESCEND,
+            [(lvl.first_keys, lvl.slopes, lvl.first_values)
+             for lvl in self.levels],
+            eps=self._effective_eps, n=self.n,
+            eps_internal=self.eps_internal,
+        )
+
     def lookup_batch(self, queries: np.ndarray) -> np.ndarray:
         # The vectorized PGM path uses self.eps for the bottom window;
         # temporarily widening keeps it correct without duplication.
+        # (The fused kernel path inside super() packs _effective_eps
+        # directly via the pack() override above.)
         original = self.eps
         try:
             self.eps = self._effective_eps

@@ -82,11 +82,35 @@ class FITingTree(OrderedIndex):
         hi = min(center + self.error, self.n - 1)
         return SearchBounds(lo=lo, hi=hi, hint=center, evaluation_steps=steps + 1)
 
+    def pack(self):
+        """Flatten the segment table for the compiled kernel backends.
+
+        The B+-tree directory only accelerates scalar descent; the
+        batch path's predecessor search runs over the flat segment
+        table, which is exactly the packed single-level form.
+        """
+        from ..kernels import PLA_SEGMENT, pack_pla_levels
+
+        return pack_pla_levels(
+            self.name, PLA_SEGMENT,
+            [(self._first_keys, self._slopes, self._first_values)],
+            eps=self.error, n=self.n,
+        )
+
     def lookup_batch(self, queries: np.ndarray) -> np.ndarray:
         """Vectorized lookup: route all queries to their segment with
         one predecessor ``searchsorted`` over the segment table (the
         directory the B+-tree indexes), interpolate every estimate,
-        and finish with a window-restricted batch binary search."""
+        and finish with a window-restricted batch binary search --
+        fused in machine code when a compiled kernel backend is
+        active."""
+        state = self._kernel_state()
+        if state is not None:
+            backend, packed = state
+            return backend.lookup(
+                packed, self.keys,
+                np.ascontiguousarray(queries, dtype=np.uint64),
+            )
         q = np.asarray(queries, dtype=np.uint64)
         seg = np.searchsorted(self._first_keys, q, side="right") - 1
         before = seg < 0  # query precedes every segment

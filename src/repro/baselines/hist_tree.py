@@ -139,6 +139,16 @@ class HistTree(OrderedIndex):
                 )
             node = child
 
+    def pack(self):
+        """Flatten the node graph breadth-first for the compiled
+        backends; the per-query shift-descent then runs over parallel
+        arrays with no Python objects or dict probes."""
+        from ..kernels import pack_hist_nodes
+
+        return pack_hist_nodes(
+            self.name, self.root, self.num_bins, self._min_key, self.n
+        )
+
     def lookup_batch(self, queries: np.ndarray) -> np.ndarray:
         """Vectorized lookup: grouped level-by-level bin descent.
 
@@ -149,6 +159,13 @@ class HistTree(OrderedIndex):
         per *node visited*, not per query.  Terminal-bin windows then
         finish through the shared window-restricted batch search.
         """
+        state = self._kernel_state()
+        if state is not None:
+            backend, packed = state
+            return backend.lookup(
+                packed, self.keys,
+                np.ascontiguousarray(queries, dtype=np.uint64),
+            )
         q = np.asarray(queries, dtype=np.uint64)
         lo = np.zeros(len(q), dtype=np.int64)
         hi = np.zeros(len(q), dtype=np.int64)

@@ -185,6 +185,49 @@ class OrderedIndex:
         ends = self.lookup_batch(highs)
         return starts, ends - starts
 
+    # -- compiled kernels ------------------------------------------------
+
+    def pack(self):
+        """Flatten the built structure for the compiled kernel backends.
+
+        Returns a packed structure (``PackedPLA``/``PackedTree``/...,
+        anything carrying a ``packed_kind`` dispatch tag) or ``None``
+        when this index has no kernel-compatible flat form -- the
+        staged NumPy batch path is then used unchanged (the same soft
+        contract as ``pack_rmi``).  The base class packs nothing.
+        """
+        return None
+
+    def _packed(self):
+        """Cached :meth:`pack` result (``None`` cached too).
+
+        The cache lives in the instance ``__dict__`` under
+        ``_packed_cache`` and is excluded from snapshots; mutating
+        subclasses must invalidate it themselves (none of the packable
+        in-repo baselines mutate after build).
+        """
+        if "_packed_cache" not in self.__dict__:
+            self.__dict__["_packed_cache"] = self.pack()
+        return self.__dict__["_packed_cache"]
+
+    def _kernel_state(self):
+        """The ``(backend, packed)`` pair when the fused path applies.
+
+        ``None`` unless the resolved backend is compiled *and* this
+        index packs: the NumPy backend's packed kernels replay the
+        staged arithmetic without being faster, so the staged path
+        (whose intermediate arrays feed no one) stays canonical there.
+        """
+        from ..kernels import get_backend
+
+        backend = get_backend(getattr(self, "kernels", None))
+        if not backend.compiled:
+            return None
+        packed = self._packed()
+        if packed is None:
+            return None
+        return backend, packed
+
     def serve_batch(
         self,
         point_queries: np.ndarray,
@@ -198,10 +241,19 @@ class OrderedIndex:
         an index pays one dispatch for the whole batch.  Returns
         ``(positions, range_starts, range_counts)``; either query array
         may be empty.  The default composes :meth:`lookup_batch` and
-        :meth:`range_query_batch`; subclasses may override to fuse the
-        three underlying lower-bound passes into fewer kernel
-        invocations.
+        :meth:`range_query_batch` -- or, when a compiled backend is
+        active and the index packs (:meth:`_kernel_state`), fuses all
+        three lower-bound passes into one kernel invocation.
         """
+        state = self._kernel_state()
+        if state is not None:
+            backend, packed = state
+            return backend.serve(
+                packed, self.keys,
+                np.ascontiguousarray(point_queries, dtype=np.uint64),
+                np.ascontiguousarray(range_lows, dtype=np.uint64),
+                np.ascontiguousarray(range_highs, dtype=np.uint64),
+            )
         if len(point_queries):
             positions = self.lookup_batch(
                 np.asarray(point_queries, dtype=np.uint64)
@@ -227,7 +279,10 @@ class OrderedIndex:
         live request's deadline.  ``IndexServer`` calls this at start
         and after every hot swap.  The default warms the active backend
         and runs a one-element ``serve_batch`` probe through this
-        index's own batch path; idempotent and cheap when warm.
+        index's own batch path -- which, under a compiled backend, also
+        builds and caches this index's packed representation
+        (:meth:`pack` via :meth:`_packed`), so the first real request
+        never pays the packing cost.  Idempotent and cheap when warm.
         """
         from ..kernels import get_backend
 
@@ -248,7 +303,7 @@ class OrderedIndex:
         -- such indexes are simply rebuilt instead of cached.
         """
         state = {k: v for k, v in self.__dict__.items()
-                 if k not in ("keys", "n")}
+                 if k not in ("keys", "n", "_packed_cache")}
         blob = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
         return {"pickled_state": np.frombuffer(blob, dtype=np.uint8)}
 
@@ -265,7 +320,11 @@ class OrderedIndex:
         obj = cls.__new__(cls)
         OrderedIndex.__init__(obj, keys)
         blob = np.asarray(state["pickled_state"], dtype=np.uint8)
-        obj.__dict__.update(pickle.loads(blob.tobytes()))
+        restored = pickle.loads(blob.tobytes())
+        # Packed kernels cache is derived state; re-pack lazily against
+        # the restored structure instead of trusting a stale snapshot.
+        restored.pop("_packed_cache", None)
+        obj.__dict__.update(restored)
         obj._after_restore()
         return obj
 

@@ -207,13 +207,37 @@ class PGMIndex(OrderedIndex):
         # key; clamp for queries preceding the whole key space.
         return max(idx, 0)
 
+    def pack(self):
+        """Flatten the PLA levels for the compiled kernel backends.
+
+        Returns ``None`` (soft fallback) only when the level stack has
+        a non-kernel shape; any fitted PGM packs.
+        """
+        from ..kernels import PLA_DESCEND, pack_pla_levels
+
+        return pack_pla_levels(
+            self.name, PLA_DESCEND,
+            [(lvl.first_keys, lvl.slopes, lvl.first_values)
+             for lvl in self.levels],
+            eps=self.eps, n=self.n, eps_internal=self.eps_internal,
+        )
+
     def lookup_batch(self, queries: np.ndarray) -> np.ndarray:
         """Vectorized lookup: descend all levels for the whole batch.
 
         Each level performs the same ±eps_internal window search as the
-        scalar path, batched; the bottom level finishes with a
-        window-restricted batch binary search over the data.
+        scalar path, batched (or, with a compiled kernel backend, the
+        whole descent runs fused in machine code -- bit-identical); the
+        bottom level finishes with a window-restricted batch binary
+        search over the data.
         """
+        state = self._kernel_state()
+        if state is not None:
+            backend, packed = state
+            return backend.lookup(
+                packed, self.keys,
+                np.ascontiguousarray(queries, dtype=np.uint64),
+            )
         q = np.asarray(queries, dtype=np.uint64)
         qf = q.astype(np.float64)
         seg = np.zeros(len(q), dtype=np.int64)

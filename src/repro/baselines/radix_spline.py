@@ -55,28 +55,47 @@ def greedy_spline_corridor(
     # accepted so far); accepting it narrows the corridor by the point's
     # own error window.  On violation, the previously accepted point --
     # whose chord was verified -- becomes the next knot.
+    # Distinct uint64 keys can collide to one float64 (ulp > 1 above
+    # 2**53, e.g. keys near 2**64): a vertical chord bounds no slope,
+    # so collided points are accepted with the corridor left open.  The
+    # +-max_error guarantee cannot hold at collided x anyway; that is
+    # safe because every consumer finishes through the escape-repairing
+    # window search, which is correct for any window.
     prev_x, prev_y = float(keys[1]), float(values[1])
+    prev_key = int(keys[1])
     dx = prev_x - base_x
-    slope_lo = (prev_y - max_error - base_y) / dx
-    slope_hi = (prev_y + max_error - base_y) / dx
+    if dx > 0.0:
+        slope_lo = (prev_y - max_error - base_y) / dx
+        slope_hi = (prev_y + max_error - base_y) / dx
+    else:
+        slope_lo, slope_hi = float("-inf"), float("inf")
 
     for i in range(2, n):
         x = float(keys[i])
         y = float(values[i])
         dx = x - base_x
-        chord = (y - base_y) / dx
+        # dx == 0 implies the corridor is open (the corridor is always
+        # rebuilt from a point at or after the current x), so any
+        # finite chord stands in for the unbounded vertical one.
+        chord = (y - base_y) / dx if dx > 0.0 else 0.0
         if chord < slope_lo or chord > slope_hi:
             # Previous point becomes a knot; restart the corridor there.
-            xs.append(int(prev_x))
+            # Knots keep the exact integer key -- the rounded float
+            # overflows uint64 at the very top of the key space.
+            xs.append(prev_key)
             ys.append(prev_y)
             base_x, base_y = prev_x, prev_y
             dx = x - base_x
-            slope_lo = (y - max_error - base_y) / dx
-            slope_hi = (y + max_error - base_y) / dx
-        else:
+            if dx > 0.0:
+                slope_lo = (y - max_error - base_y) / dx
+                slope_hi = (y + max_error - base_y) / dx
+            else:
+                slope_lo, slope_hi = float("-inf"), float("inf")
+        elif dx > 0.0:
             slope_lo = max(slope_lo, (y - max_error - base_y) / dx)
             slope_hi = min(slope_hi, (y + max_error - base_y) / dx)
         prev_x, prev_y = x, y
+        prev_key = int(keys[i])
     xs.append(int(keys[-1]))
     ys.append(float(values[-1]))
     return np.asarray(xs, dtype=np.uint64), np.asarray(ys, dtype=np.float64)
@@ -165,10 +184,34 @@ class RadixSpline(OrderedIndex):
         hi = min(center + self.max_error, self.n - 1)
         return SearchBounds(lo=lo, hi=hi, hint=center, evaluation_steps=steps)
 
+    def pack(self):
+        """Flatten the spline knots for the compiled kernel backends.
+
+        The batch path searches the knot array directly (the radix
+        table is a scalar-path accelerator), so the packed form is the
+        knot ``(x, y)`` pairs with an all-zero slopes array.
+        """
+        from ..kernels import PLA_SPLINE, pack_pla_levels
+
+        return pack_pla_levels(
+            self.name, PLA_SPLINE,
+            [(self._spline_x, np.zeros(len(self._spline_x)),
+              self._spline_y)],
+            eps=self.max_error, n=self.n,
+        )
+
     def lookup_batch(self, queries: np.ndarray) -> np.ndarray:
         """Vectorized lookup: interpolate all estimates, then perform a
         window-restricted batch binary search (same per-query work as
-        the scalar path, amortized across the batch)."""
+        the scalar path, amortized across the batch; fused in machine
+        code when a compiled kernel backend is active)."""
+        state = self._kernel_state()
+        if state is not None:
+            backend, packed = state
+            return backend.lookup(
+                packed, self.keys,
+                np.ascontiguousarray(queries, dtype=np.uint64),
+            )
         q = np.asarray(queries, dtype=np.uint64)
         idx = np.searchsorted(self._spline_x, q, side="right")
         left = np.clip(idx - 1, 0, len(self._spline_x) - 1)

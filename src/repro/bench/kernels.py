@@ -17,6 +17,17 @@ entry points is timed on every loadable backend:
 ``serve``
     the fused point+range serving unit (``rmi_serve``).
 
+Beyond the RMI smoke, the report carries one section per *family
+baseline* (``--index`` selects which): each packable index of Table 5
+-- PGM, CompressedPGM, RadixSpline, FITing-Tree (``pla`` family),
+B-tree and Hist-Tree (``tree`` family) -- is built on the same keys,
+packed, and its fused ``lookup``/``serve`` kernels timed per compiled
+backend against the index's own staged NumPy batch path.  A final
+``sorted_narrowing`` section times the pure-NumPy sorted-batch
+narrowing fast path in ``core/search.py`` against the plain windowed
+search, so the report also states what indexes gain where nothing
+compiles.
+
 Every backend's outputs are asserted bit-identical to the staged NumPy
 reference (and ``lookup`` additionally to the ``searchsorted`` oracle)
 before its timings count: a fast wrong kernel must fail the bench, not
@@ -37,24 +48,59 @@ from pathlib import Path
 
 import numpy as np
 
+from ..baselines.btree import BTreeIndex
+from ..baselines.compressed_pgm import CompressedPGMIndex
+from ..baselines.fiting_tree import FITingTree
+from ..baselines.hist_tree import HistTree
+from ..baselines.interfaces import UnsupportedDataError
+from ..baselines.pgm import PGMIndex
+from ..baselines.radix_spline import RadixSpline
 from ..core.rmi import RMI
 from ..data import sosd
-from ..kernels import KNOWN_BACKENDS, get_backend, pack_rmi
+from ..kernels import KNOWN_BACKENDS, get_backend, pack_rmi, use_backend
 
 __all__ = [
     "KERNELS",
+    "FAMILY_KERNELS",
     "GATE_METRIC",
+    "INDEX_CHOICES",
     "kernels_report",
     "render_kernels_report",
     "write_kernels_report",
     "resolve_gate_backend",
+    "gate_speedups",
 ]
 
-#: Kernel names in report order.
+#: Kernel names in report order (RMI section).
 KERNELS = ("predict", "lower_bound_window", "lookup", "serve")
+
+#: Kernel names timed per family baseline (the packed generic entry
+#: points; predict/lower_bound_window are RMI-internal stages).
+FAMILY_KERNELS = ("lookup", "serve")
 
 #: The kernel whose speedup the ``--min-speedup`` gate binds on.
 GATE_METRIC = "lookup"
+
+#: The family-baseline smokes: ``(index name, packed family, builder)``.
+#: Builders return ``(index, config)`` where ``config`` records any
+#: non-default constructor choice the report should state.  The B-tree
+#: runs sparse (the paper's Section 4.5 size knob) so the bench
+#: exercises the directory-plus-page-scan shape rather than a dense
+#: ``searchsorted`` rename; the Hist-Tree deduplicates the keys it
+#: indexes (it rejects duplicate runs by contract).
+FAMILY_SMOKES = (
+    ("pgm-index", "pla", lambda keys: (PGMIndex(keys), {})),
+    ("compressed-pgm", "pla", lambda keys: (CompressedPGMIndex(keys), {})),
+    ("radix-spline", "pla", lambda keys: (RadixSpline(keys), {})),
+    ("fiting-tree", "pla", lambda keys: (FITingTree(keys), {})),
+    ("b-tree", "tree",
+     lambda keys: (BTreeIndex(keys, sparsity=8), {"sparsity": 8})),
+    ("hist-tree", "tree",
+     lambda keys: (HistTree(np.unique(keys)), {"deduplicated": True})),
+)
+
+#: Valid ``--index`` selections.
+INDEX_CHOICES = ("rmi",) + tuple(name for name, _, _ in FAMILY_SMOKES)
 
 
 def _smoke_queries(keys: np.ndarray, m: int, seed: int) -> np.ndarray:
@@ -97,6 +143,123 @@ def _best_of(fn, runs: int) -> float:
     return best
 
 
+def _family_section(family: str, build, keys: np.ndarray, qs: np.ndarray,
+                    runs: int, loaded: "dict[str, object]") -> dict:
+    """One family baseline: staged-NumPy timings plus every compiled
+    backend's fused kernels, bit-identity enforced throughout."""
+    try:
+        index, config = build(keys)
+    except (UnsupportedDataError, ValueError) as exc:
+        return {"family": family, "built": False, "error": str(exc)}
+    m = len(qs)
+    oracle = np.searchsorted(index.keys, qs, side="left").astype(np.int64)
+    packed = index.pack()
+    with use_backend("numpy"):
+        if not np.array_equal(index.lookup_batch(qs), oracle):
+            raise RuntimeError(
+                f"{index.name}: staged batch path disagrees with the oracle"
+            )
+        staged_serve = index.serve_batch(qs, qs, qs)
+        staged = {
+            "lookup": _best_of(lambda: index.lookup_batch(qs), runs),
+            "serve": _best_of(lambda: index.serve_batch(qs, qs, qs), runs),
+        }
+    section = {
+        "family": family,
+        "built": True,
+        "n": int(index.n),
+        "config": config,
+        "packed": packed is not None,
+        "backends": {
+            "numpy": {
+                "available": True,
+                "compiled": False,
+                "staged": True,
+                "kernels": {
+                    kernel: {"best_s": t, "ns_per_op": t / m * 1e9}
+                    for kernel, t in staged.items()
+                },
+            }
+        },
+        "speedups": {},
+    }
+    if packed is None:
+        return section
+    for name, backend in loaded.items():
+        if name == "numpy" or not backend.compiled:
+            continue
+        got = backend.lookup(packed, index.keys, qs)
+        got_serve = backend.serve(packed, index.keys, qs, qs, qs)
+        if not (np.array_equal(got, oracle)
+                and all(np.array_equal(g, r)
+                        for g, r in zip(got_serve, staged_serve))):
+            raise RuntimeError(
+                f"backend {name!r} is not bit-identical to the staged "
+                f"{index.name} path"
+            )
+        timings = {
+            "lookup": _best_of(
+                lambda b=backend: b.lookup(packed, index.keys, qs), runs),
+            "serve": _best_of(
+                lambda b=backend: b.serve(packed, index.keys, qs, qs, qs),
+                runs),
+        }
+        section["backends"][name] = {
+            "available": True,
+            "compiled": True,
+            "staged": False,
+            "bit_identical": True,
+            "kernels": {
+                kernel: {"best_s": t, "ns_per_op": t / m * 1e9}
+                for kernel, t in timings.items()
+            },
+        }
+        section["speedups"][name] = {
+            kernel: staged[kernel] / timings[kernel]
+            for kernel in FAMILY_KERNELS
+        }
+    return section
+
+
+def _sorted_narrowing_section(keys: np.ndarray, qs: np.ndarray,
+                              runs: int, half_width: int = 2048) -> dict:
+    """Plain vs sorted-batch-narrowed window search on the pure-NumPy
+    path: windows of ``±half_width`` around the true positions, the
+    shape a coarse index (sparse directory, wide-eps PLA) hands the
+    shared search."""
+    from ..core.search import (
+        NARROW_MIN_BATCH,
+        NARROW_MIN_MEAN_WIDTH,
+        _batch_lower_bound_window_narrowed,
+        _batch_lower_bound_window_plain,
+    )
+
+    n = len(keys)
+    q = np.ascontiguousarray(qs, dtype=np.uint64)
+    oracle = np.searchsorted(keys, q, side="left").astype(np.int64)
+    lo = np.maximum(oracle - half_width, 0)
+    hi = np.minimum(oracle + half_width, n - 1)
+    if not np.array_equal(
+        _batch_lower_bound_window_narrowed(keys, q, lo, hi), oracle
+    ):
+        raise RuntimeError("narrowed window search disagrees with the oracle")
+    plain = _best_of(
+        lambda: _batch_lower_bound_window_plain(keys, q, lo, hi), runs)
+    narrowed = _best_of(
+        lambda: _batch_lower_bound_window_narrowed(keys, q, lo, hi), runs)
+    width = 2 * half_width + 1
+    return {
+        "batch": len(q),
+        "window_width": width,
+        "engages": bool(len(q) >= NARROW_MIN_BATCH
+                        and width >= NARROW_MIN_MEAN_WIDTH),
+        "plain": {"best_s": plain, "ns_per_op": plain / len(q) * 1e9},
+        "narrowed": {"best_s": narrowed,
+                     "ns_per_op": narrowed / len(q) * 1e9},
+        "speedup": plain / narrowed,
+    }
+
+
 def kernels_report(
     n: int = 100_000,
     dataset: str = "books",
@@ -107,18 +270,85 @@ def kernels_report(
     queries: "int | None" = None,
     runs: int = 9,
     backends: "list[str] | None" = None,
+    indexes: "list[str] | None" = None,
 ) -> dict:
     """Time every kernel on every loadable backend; JSON-ready dict.
 
     Timings are best-of-``runs`` (microbenchmarks want the noise
     floor, not the scheduler).  Speedups are per kernel against the
-    NumPy backend on the same arrays.
+    NumPy backend on the same arrays.  ``indexes`` selects which
+    sections run (``"rmi"`` and/or family baseline names; default
+    all); the RMI section keeps its historical top-level
+    ``backends``/``speedups`` keys, family sections live under
+    ``families``.
     """
+    selected = list(indexes) if indexes else list(INDEX_CHOICES)
+    unknown = [s for s in selected if s not in INDEX_CHOICES]
+    if unknown:
+        raise ValueError(
+            f"unknown index selection(s) {unknown}; pick from {INDEX_CHOICES}"
+        )
     keys = sosd.generate(dataset, n=n, seed=seed)
     keys = np.ascontiguousarray(keys, dtype=np.uint64)
     m = int(queries) if queries is not None else int(n)
     qs = _smoke_queries(keys, m, seed + 1)
 
+    names = list(backends) if backends else list(KNOWN_BACKENDS)
+    backend_status: "dict[str, dict]" = {}
+    loaded: "dict[str, object]" = {}
+    for name in names:
+        try:
+            backend = get_backend(name)
+        except (ValueError, RuntimeError) as exc:
+            backend_status[name] = {"available": False, "error": str(exc)}
+            continue
+        backend.warmup()
+        backend_status[name] = {
+            "available": True, "compiled": bool(backend.compiled),
+        }
+        loaded[name] = backend
+
+    report_backends: "dict[str, dict]" = {}
+    speedups: "dict[str, dict[str, float]]" = {}
+    if "rmi" in selected:
+        report_backends, speedups = _rmi_sections(
+            keys, qs, layer2_size, model_types, bound_type, runs,
+            names, loaded, backend_status,
+        )
+    families = {
+        name: _family_section(family, build, keys, qs, runs, loaded)
+        for name, family, build in FAMILY_SMOKES
+        if name in selected
+    }
+
+    return {
+        "kind": "kernels",
+        "dataset": dataset,
+        "n": int(n),
+        "queries": m,
+        "layer2_size": int(layer2_size),
+        "model_types": list(model_types),
+        "bound_type": bound_type,
+        "runs": int(runs),
+        "gate_metric": GATE_METRIC,
+        "indexes": selected,
+        "machine": {
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "backend_status": backend_status,
+        "backends": report_backends,
+        "speedups": speedups,
+        "families": families,
+        "sorted_narrowing": _sorted_narrowing_section(keys, qs, runs),
+    }
+
+
+def _rmi_sections(keys, qs, layer2_size, model_types, bound_type, runs,
+                  names, loaded, backend_status):
+    """The historical RMI smoke: per-backend timings and speedups."""
     rmi = RMI(
         keys,
         layer_sizes=[int(layer2_size)],
@@ -137,15 +367,16 @@ def kernels_report(
     if not np.array_equal(reference.rmi_lookup(packed, keys, qs), oracle):
         raise RuntimeError("numpy backend disagrees with the oracle")
 
-    names = list(backends) if backends else list(KNOWN_BACKENDS)
+    m = len(qs)
     report_backends: "dict[str, dict]" = {}
     for name in names:
-        try:
-            backend = get_backend(name)
-        except (ValueError, RuntimeError) as exc:
-            report_backends[name] = {"available": False, "error": str(exc)}
+        if name not in loaded:
+            report_backends[name] = {
+                "available": False,
+                "error": backend_status[name].get("error", "not loadable"),
+            }
             continue
-        backend.warmup()
+        backend = loaded[name]
 
         got_ids, got_pos = backend.rmi_predict(packed, qs)
         got_lbw = backend.lower_bound_window(keys, qs, win_lo, win_hi)
@@ -205,25 +436,43 @@ def kernels_report(
                          / entry["kernels"][kernel]["best_s"])
                 for kernel in KERNELS
             }
+    return report_backends, speedups
 
+
+def gate_speedups(report: dict) -> "dict[str, float]":
+    """Per-backend speedup the ``--min-speedup`` gate binds on.
+
+    When the RMI section ran, its gate-metric speedup (the historical
+    gate, unchanged).  Otherwise -- an ``--index`` run selecting only
+    family baselines -- the *minimum* gate-metric speedup across the
+    selected families: a multi-family gate must clear the bar
+    everywhere, not just on its best index.
+    """
+    if report.get("speedups"):
+        return {
+            name: per[GATE_METRIC]
+            for name, per in report["speedups"].items()
+        }
+    out: "dict[str, float]" = {}
+    for fam in report.get("families", {}).values():
+        for name, per in fam.get("speedups", {}).items():
+            value = per.get(GATE_METRIC)
+            if value is not None:
+                out[name] = min(out.get(name, float("inf")), value)
+    return out
+
+
+def _backend_status(report: dict) -> dict:
+    """Availability map, tolerating pre-``backend_status`` reports."""
+    status = report.get("backend_status")
+    if status:
+        return status
     return {
-        "kind": "kernels",
-        "dataset": dataset,
-        "n": int(n),
-        "queries": m,
-        "layer2_size": int(layer2_size),
-        "model_types": list(model_types),
-        "bound_type": bound_type,
-        "runs": int(runs),
-        "gate_metric": GATE_METRIC,
-        "machine": {
-            "platform": platform.platform(),
-            "machine": platform.machine(),
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-        },
-        "backends": report_backends,
-        "speedups": speedups,
+        name: {
+            "available": bool(entry.get("available")),
+            "compiled": bool(entry.get("compiled")),
+        }
+        for name, entry in report.get("backends", {}).items()
     }
 
 
@@ -231,21 +480,22 @@ def resolve_gate_backend(report: dict, gate_backend: str) -> "str | None":
     """Backend name the gate binds on, or ``None`` when none qualifies.
 
     ``"best-compiled"`` picks the available compiled backend with the
-    highest gate-metric speedup; a concrete name requires that backend
-    to be available (CI's numba leg must fail loudly when the install
-    broke, not silently gate on cext).
+    highest gate-metric speedup (see :func:`gate_speedups`); a concrete
+    name requires that backend to be available (CI's numba leg must
+    fail loudly when the install broke, not silently gate on cext).
     """
+    status = _backend_status(report)
     if gate_backend != "best-compiled":
-        entry = report["backends"].get(gate_backend)
+        entry = status.get(gate_backend)
         if not (entry and entry.get("available") and entry.get("compiled")):
             return None
         return gate_backend
     best_name, best = None, -1.0
-    for name, per_kernel in report["speedups"].items():
-        if not report["backends"][name].get("compiled"):
+    for name, value in gate_speedups(report).items():
+        if not status.get(name, {}).get("compiled"):
             continue
-        if per_kernel[GATE_METRIC] > best:
-            best_name, best = name, per_kernel[GATE_METRIC]
+        if value > best:
+            best_name, best = name, value
     return best_name
 
 
@@ -271,6 +521,37 @@ def render_kernels_report(report: dict) -> str:
                 f"  {name:6s} {kernel:18s} {t['best_s'] * 1e3:8.2f}ms  "
                 f"{t['ns_per_op']:7.1f}ns/op{suffix}"
             )
+    for fam_name, fam in report.get("families", {}).items():
+        if not fam.get("built"):
+            lines.append(
+                f"  {fam_name}: not built ({fam.get('error', 'unknown')})"
+            )
+            continue
+        tag = f"{fam_name} [{fam['family']}]"
+        for name, entry in fam["backends"].items():
+            for kernel in FAMILY_KERNELS:
+                t = entry["kernels"][kernel]
+                speed = fam["speedups"].get(name, {}).get(kernel)
+                if speed:
+                    suffix = f"  {speed:5.2f}x vs numpy"
+                else:
+                    suffix = "  (staged)" if entry.get("staged") else ""
+                lines.append(
+                    f"  {tag:24s} {name:6s} {kernel:6s} "
+                    f"{t['best_s'] * 1e3:8.2f}ms  "
+                    f"{t['ns_per_op']:7.1f}ns/op{suffix}"
+                )
+        if not fam.get("packed"):
+            lines.append(f"  {tag:24s} unpackable: staged path only")
+    narrowing = report.get("sorted_narrowing")
+    if narrowing:
+        lines.append(
+            f"  sorted-narrowing (numpy, batch={narrowing['batch']:,}, "
+            f"window={narrowing['window_width']}): plain "
+            f"{narrowing['plain']['ns_per_op']:.1f}ns/op -> narrowed "
+            f"{narrowing['narrowed']['ns_per_op']:.1f}ns/op "
+            f"({narrowing['speedup']:.2f}x)"
+        )
     return "\n".join(lines)
 
 

@@ -152,14 +152,18 @@ def figure_fingerprint(figure_id: str, kwargs: Mapping[str, Any]) -> dict:
 
 
 def calibration_fingerprint(machine_id: str, backend: str,
-                            params: Mapping[str, Any]) -> dict:
+                            params: Mapping[str, Any],
+                            family: str = "search") -> dict:
     """Fingerprint of a cost-model calibration run.
 
     Unlike built indexes, calibrations are *performance* measurements:
-    the kernel ``backend`` changes the numbers, so it is an explicit
-    fingerprint field and calibrations are never served cross-backend.
-    ``machine_id`` names the measured host; ``params`` carries the
-    calibration procedure's knobs (sizes, repetitions).
+    the kernel ``backend`` and kernel ``family`` (``"search"``, or a
+    packed family ``"rmi"``/``"pla"``/``"tree"`` -- see
+    :func:`repro.cost.calibrate.calibrate_kernel_overhead`) both change
+    the numbers, so each is an explicit fingerprint field and
+    calibrations are never served across either.  ``machine_id`` names
+    the measured host; ``params`` carries the calibration procedure's
+    knobs (sizes, repetitions).
     """
     return {
         "kind": "calibration",
@@ -167,6 +171,7 @@ def calibration_fingerprint(machine_id: str, backend: str,
         "calibration": CALIBRATION_VERSION,
         "machine": str(machine_id),
         "backend": str(backend),
+        "family": str(family),
         "params": canonicalize(dict(params)),
     }
 

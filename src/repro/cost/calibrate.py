@@ -30,6 +30,7 @@ __all__ = [
     "measure_chase_latency",
     "calibrate_machine",
     "calibrate_kernel_overhead",
+    "KERNEL_FAMILIES",
 ]
 
 
@@ -110,48 +111,113 @@ def calibrate_machine(
     return fitted
 
 
+#: Kernel families :func:`calibrate_kernel_overhead` can probe.
+KERNEL_FAMILIES = ("search", "rmi", "pla", "tree")
+
+
+def _family_probe(family: str, n: int):
+    """A ``(keys, packed)`` pair whose fused lookup does near-zero
+    search work, so timing it isolates the family's dispatch/descent
+    overhead.
+
+    The keys are ``0..n-1``, making every structure's prediction exact
+    (windows of width <= a few slots) and the true position of query
+    ``q`` simply ``q``.
+    """
+    keys = np.arange(n, dtype=np.uint64)
+    if family == "rmi":
+        from ..core.rmi import RMI
+        from ..kernels import pack_rmi
+
+        packed = pack_rmi(RMI(keys, layer_sizes=[64], bound_type="labs"))
+    elif family == "pla":
+        from ..kernels import PLA_SEGMENT, pack_pla_levels
+
+        packed = pack_pla_levels(
+            "calibration", PLA_SEGMENT,
+            [(np.asarray([0], dtype=np.uint64), np.asarray([1.0]),
+              np.asarray([0.0]))],
+            eps=1, n=n,
+        )
+    elif family == "tree":
+        from ..kernels import pack_sparse_directory
+
+        packed = pack_sparse_directory(
+            "calibration", keys[::8],
+            np.arange(0, n, 8, dtype=np.int64), n,
+        )
+    else:
+        raise ValueError(
+            f"unknown kernel family {family!r}; pick from {KERNEL_FAMILIES}"
+        )
+    if packed is None:  # pragma: no cover - shapes above always pack
+        raise RuntimeError(f"calibration probe for {family!r} did not pack")
+    return keys, packed
+
+
 def calibrate_kernel_overhead(
     backend: "str | None" = None,
     n: int = 100_000,
     batch: int = 4096,
     repeats: int = 5,
     seed: int = 0,
+    family: str = "search",
 ) -> dict:
     """Measure the fixed per-lookup cost of a kernel backend's dispatch.
 
-    Times :meth:`~repro.kernels.base.KernelBackend.lower_bound_window`
-    over width-1 windows (``lo == hi`` at the true position), where the
+    ``family="search"`` (the default) times
+    :meth:`~repro.kernels.base.KernelBackend.lower_bound_window` over
+    width-1 windows (``lo == hi`` at the true position), where the
     search itself does near-zero work -- so the median per-lookup time
     approximates the backend's call/dispatch overhead.  This is the
     value to install as ``CostModel.per_lookup_overhead_ns``.
 
+    The packed families (``"rmi"``, ``"pla"``, ``"tree"``) instead time
+    the backend's *fused* lookup over a tiny synthetic structure whose
+    predictions are exact, isolating that family's dispatch-plus-
+    descent floor -- the constant a cost model should charge a packed
+    index on this backend before any real search work.
+
     Unlike built indexes, this is a *performance* measurement: the
-    result depends on the executing backend, so the returned dict
-    carries an explicit ``backend`` field and pairs with
+    result depends on the executing backend and family, so the returned
+    dict carries explicit ``backend``/``family`` fields and pairs with
     :func:`repro.cache.fingerprint.calibration_fingerprint` (which
-    fingerprints per backend and never serves cross-backend).
+    fingerprints per ``(backend, family)`` and never serves across
+    either).
     """
     from ..kernels import get_backend
 
     be = get_backend(backend)
     be.warmup()
     rng = np.random.default_rng(seed)
-    keys = np.sort(rng.integers(0, 2**63, size=n, dtype=np.uint64))
-    queries = keys[rng.integers(0, n, size=batch)]
-    true_pos = np.searchsorted(keys, queries, side="left").astype(np.int64)
+    if family == "search":
+        keys = np.sort(rng.integers(0, 2**63, size=n, dtype=np.uint64))
+        queries = keys[rng.integers(0, n, size=batch)]
+        true_pos = np.searchsorted(keys, queries, side="left").astype(np.int64)
+
+        def probe():
+            return be.lower_bound_window(keys, queries, true_pos, true_pos)
+    else:
+        keys, packed = _family_probe(family, n)
+        queries = keys[rng.integers(0, n, size=batch)]
+        true_pos = queries.astype(np.int64)
+
+        def probe():
+            return be.lookup(packed, keys, queries)
     # Warm call outside the timed loop (loads code paths, page-faults
     # the arrays); JIT backends already compiled in warmup().
-    be.lower_bound_window(keys, queries, true_pos, true_pos)
+    probe()
     per_call = []
     for _ in range(max(repeats, 1)):
         t0 = time.perf_counter()
-        got = be.lower_bound_window(keys, queries, true_pos, true_pos)
+        got = probe()
         per_call.append(time.perf_counter() - t0)
     if not np.array_equal(got, true_pos):  # pragma: no cover - conformance
         raise RuntimeError(f"backend {be.name!r} mis-answered the probe")
     overhead_ns = float(np.median(per_call)) / batch * 1e9
     return {
         "backend": be.name,
+        "family": str(family),
         "compiled": bool(be.compiled),
         "per_lookup_overhead_ns": overhead_ns,
         "params": {

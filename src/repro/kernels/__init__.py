@@ -41,11 +41,35 @@ from typing import Callable, Iterator
 
 from .base import KernelBackend
 from .packed import PackedRMI, pack_rmi
+from .packed_pla import (
+    PLA_DESCEND,
+    PLA_SEGMENT,
+    PLA_SPLINE,
+    PackedPLA,
+    pack_pla_levels,
+)
+from .packed_tree import (
+    TREE_HIST,
+    TREE_SPARSE,
+    PackedTree,
+    pack_hist_nodes,
+    pack_sparse_directory,
+)
 
 __all__ = [
     "KernelBackend",
     "PackedRMI",
     "pack_rmi",
+    "PackedPLA",
+    "PLA_DESCEND",
+    "PLA_SEGMENT",
+    "PLA_SPLINE",
+    "pack_pla_levels",
+    "PackedTree",
+    "TREE_SPARSE",
+    "TREE_HIST",
+    "pack_sparse_directory",
+    "pack_hist_nodes",
     "KNOWN_BACKENDS",
     "get_backend",
     "set_default_backend",

@@ -1,7 +1,8 @@
 """Abstract interface every kernel backend implements.
 
-A backend provides the three hot kernels of the lookup path over flat
-arrays (see :mod:`repro.kernels.packed`):
+A backend provides the hot kernels of the lookup path over flat arrays
+(see :mod:`repro.kernels.packed`, :mod:`repro.kernels.packed_pla`,
+:mod:`repro.kernels.packed_tree`):
 
 ``lower_bound_window``
     Window-restricted batch lower bound with interval-escape repair --
@@ -11,6 +12,18 @@ arrays (see :mod:`repro.kernels.packed`):
     The RMI-specific fused paths: Equation-3 routing + Equation-4 leaf
     prediction, the full predict→bounds→bounded-search lookup, and the
     serving-layer point+range unit chaining three lookups in one call.
+``pla_lookup`` / ``pla_serve``
+    The same fused shapes over a :class:`~repro.kernels.packed_pla.PackedPLA`
+    (PGM descent, FITing-Tree segment routing, RadixSpline knot
+    interpolation).
+``tree_lookup`` / ``tree_serve``
+    Fused descent over a :class:`~repro.kernels.packed_tree.PackedTree`
+    (sparse B+-tree directory, Hist-Tree bin descent).
+
+:meth:`KernelBackend.lookup` / :meth:`KernelBackend.serve` dispatch a
+packed structure of any family to the right kernel via its
+``packed_kind`` tag, so the baselines' kernel hand-off is one generic
+call site (``OrderedIndex._kernel_state``).
 
 Contract: every backend returns **bit-identical positions** to the
 staged NumPy reference on the same inputs -- the conformance suite
@@ -24,7 +37,14 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["KernelBackend"]
+__all__ = ["KernelBackend", "PACKED_DISPATCH"]
+
+#: ``packed_kind`` tag -> (lookup method, serve method) names.
+PACKED_DISPATCH = {
+    "rmi": ("rmi_lookup", "rmi_serve"),
+    "pla": ("pla_lookup", "pla_serve"),
+    "tree": ("tree_lookup", "tree_serve"),
+}
 
 
 class KernelBackend:
@@ -70,6 +90,62 @@ class KernelBackend:
     ) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
         """Fused serving unit: ``(positions, range_starts, range_counts)``."""
         raise NotImplementedError
+
+    def pla_lookup(
+        self, packed, keys: np.ndarray, queries: np.ndarray
+    ) -> np.ndarray:
+        """Fused PLA lookup: route→evaluate→window→bounded search."""
+        raise NotImplementedError
+
+    def pla_serve(
+        self,
+        packed,
+        keys: np.ndarray,
+        point_queries: np.ndarray,
+        range_lows: np.ndarray,
+        range_highs: np.ndarray,
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """Fused PLA serving unit: ``(positions, starts, counts)``."""
+        raise NotImplementedError
+
+    def tree_lookup(
+        self, packed, keys: np.ndarray, queries: np.ndarray
+    ) -> np.ndarray:
+        """Fused tree lookup: descend→window→bounded search."""
+        raise NotImplementedError
+
+    def tree_serve(
+        self,
+        packed,
+        keys: np.ndarray,
+        point_queries: np.ndarray,
+        range_lows: np.ndarray,
+        range_highs: np.ndarray,
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """Fused tree serving unit: ``(positions, starts, counts)``."""
+        raise NotImplementedError
+
+    # -- generic dispatch ------------------------------------------------
+
+    def lookup(self, packed, keys: np.ndarray,
+               queries: np.ndarray) -> np.ndarray:
+        """Fused lookup for any packed family (``packed_kind`` dispatch)."""
+        method = PACKED_DISPATCH[packed.packed_kind][0]
+        return getattr(self, method)(packed, keys, queries)
+
+    def serve(
+        self,
+        packed,
+        keys: np.ndarray,
+        point_queries: np.ndarray,
+        range_lows: np.ndarray,
+        range_highs: np.ndarray,
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """Fused serving unit for any packed family."""
+        method = PACKED_DISPATCH[packed.packed_kind][1]
+        return getattr(self, method)(
+            packed, keys, point_queries, range_lows, range_highs
+        )
 
     def warmup(self) -> None:
         """Force compilation/loading now, off the serving hot path.

@@ -28,6 +28,7 @@ import os
 import shutil
 import subprocess
 import tempfile
+import time
 from pathlib import Path
 
 import numpy as np
@@ -35,6 +36,8 @@ from numpy.ctypeslib import ndpointer
 
 from .base import KernelBackend
 from .packed import PackedRMI
+from .packed_pla import PackedPLA
+from .packed_tree import PackedTree
 
 __all__ = ["CExtBackend", "CExtUnavailable", "load"]
 
@@ -53,8 +56,28 @@ static int64_t lower_bound(const uint64_t *keys, int64_t left,
                            int64_t right, uint64_t q) {
     while (left < right) {
         int64_t mid = (int64_t)(((uint64_t)left + (uint64_t)right) >> 1);
-        if (keys[mid] < q) left = mid + 1;
-        else right = mid;
+        /* Mask-select halving step: the comparison outcome is a coin
+         * flip on real keys, so a branch here mispredicts roughly
+         * every other probe and the flush costs more than the probe.
+         * Compilers re-branch ternaries, hence the explicit masks --
+         * pure ALU selects, nothing to predict, same values as the
+         * branchy form bit for bit. */
+        int64_t m = -(int64_t)(keys[mid] < q);
+        left = (m & (mid + 1)) | (~m & left);
+        right = (m & right) | (~m & mid);
+    }
+    return left;
+}
+
+/* Upper bound (numpy.searchsorted side="right") on the half-open range
+ * [left, right). */
+static int64_t upper_bound(const uint64_t *keys, int64_t left,
+                           int64_t right, uint64_t q) {
+    while (left < right) {
+        int64_t mid = (int64_t)(((uint64_t)left + (uint64_t)right) >> 1);
+        int64_t m = -(int64_t)(keys[mid] <= q);
+        left = (m & (mid + 1)) | (~m & left);
+        right = (m & right) | (~m & mid);
     }
     return left;
 }
@@ -72,40 +95,123 @@ static int64_t lower_bound(const uint64_t *keys, int64_t left,
 #define PREFETCH(addr)
 #endif
 
+/* Branchy lower bound: computes the same values as lower_bound(), but
+ * with a real conditional branch per probe.  On windows whose answer
+ * sits at a *predictable* offset -- a well-fitted RMI's labs windows,
+ * where the prediction error is usually 0 or 1, so every query walks
+ * the same probe path -- the branch predictor learns that path and the
+ * core speculates ahead through the whole chain of loads, which the
+ * mask-select form (a serial load->ALU->address dependence) cannot do.
+ * When probe outcomes are coin flips this is ~3x *slower* than the
+ * mask-select breadth-first sweep; lb_block picks per block. */
+static int64_t lower_bound_spec(const uint64_t *keys, int64_t left,
+                                int64_t right, uint64_t q) {
+    while (left < right) {
+        int64_t mid = (int64_t)(((uint64_t)left + (uint64_t)right) >> 1);
+        if (keys[mid] < q) left = mid + 1;
+        else right = mid;
+    }
+    return left;
+}
+
+/* Windows at or under this width with no uniform-offset hint take the
+ * speculative depth-first path: tight windows come from models whose
+ * predictions are usually exact, which is exactly when the branch
+ * predictor wins.  Wide windows mean spread-out errors, i.e. coin-flip
+ * probes, where the mask-select sweep is ~3x faster. */
+#define TIGHT_MAX_WIDTH 32
+
 /* One window-restricted lower bound with interval-escape repair: the
  * compiled twin of core/search.batch_lower_bound_window for a single
- * query.  lo/hi are inclusive and already clamped to [0, n-1].
- *
- * The repair searches are restricted to [0, lo) / [hi+1, n), which
- * provably equals the unrestricted searchsorted the NumPy path uses:
- * a left escape implies the global answer is < lo, a right escape
- * implies it is >= hi+1.  Escapes are rare, so they stay scalar. */
+ * query.  The repair searches are restricted to [0, lo) / [hi+1, n),
+ * which provably equals the unrestricted searchsorted the NumPy path
+ * uses: a left escape implies the global answer is < lo, a right
+ * escape implies it is >= hi+1.  Escapes stay scalar, and they use the
+ * *branchy* search even though their probe outcomes are coin flips: a
+ * repair is one lone serial descent over a huge range (cold loads,
+ * ~log2(n) levels), with no sibling lanes to overlap against, so
+ * speculative execution down the mispredicted-but-prefetching branch
+ * path is the only latency hiding available -- the mask-select form
+ * serializes the whole chain of cache misses and loses ~10ns/lookup
+ * overall once even ~10% of queries escape (absent keys overshooting
+ * labs bounds).  Search and repair fuse into one register-resident
+ * pass per lane -- splitting them into separate block loops measurably
+ * loses ~10ns/lookup to the extra loads and stores. */
 static inline int64_t lb_window_one(const uint64_t *keys, int64_t n,
                                     uint64_t q, int64_t lo, int64_t hi) {
-    int64_t res = lower_bound(keys, lo, hi + 1, q);
+    int64_t res = lower_bound_spec(keys, lo, hi + 1, q);
     if (res == lo && lo > 0 && keys[lo - 1] >= q) {
-        res = lower_bound(keys, 0, lo, q);
+        res = lower_bound_spec(keys, 0, lo, q);
     } else if (res == hi + 1 && hi + 1 < n) {
-        res = lower_bound(keys, hi + 1, n, q);
+        res = lower_bound_spec(keys, hi + 1, n, q);
     }
     return res;
 }
 
-/* Window search over one block.  The first probe of every lane is
- * prefetched one full block ahead of the searches, so the initial
- * (and usually only distinct) cache line of each window is in flight
- * while other lanes compute; the remaining probes of a lane land in
- * the same or adjacent lines for the small windows a fitted RMI
- * produces.  Per lane the arithmetic is exactly lower_bound()'s, so
- * results are bit-identical to the staged NumPy path. */
+/* Window search over one block, two strategies sharing one contract:
+ * per lane the arithmetic is exactly lower_bound()'s -- same midpoint
+ * expression, same comparison, same selected values -- so the
+ * converged position, and the escape repair applied to it, are
+ * bit-identical to the staged NumPy path whichever strategy runs.
+ *
+ * The default strategy is breadth-first and branch-free: all lanes
+ * advance one mask-select halving step per sweep, so there is no
+ * data-dependent branch to flush and within a sweep the probes of
+ * different lanes are independent loads the out-of-order core overlaps
+ * freely.  That wins whenever the answer sits at an unpredictable
+ * offset in its window (``uniform`` hint: +/-eps PLA windows, tree
+ * node gaps).  Blocks of tight windows without the hint take the
+ * speculative depth-first path instead -- see lower_bound_spec. */
 static void lb_block(const uint64_t *keys, int64_t n, const uint64_t *q,
                      const int64_t *lo, const int64_t *hi, int64_t c,
-                     int64_t *out) {
-    for (int64_t i = 0; i < c; i++) {
-        PREFETCH(keys + (int64_t)(((uint64_t)lo[i] + (uint64_t)hi[i] + 1) >> 1));
+                     int64_t *out, int uniform) {
+    if (!uniform) {
+        int64_t maxw = 0;
+        for (int64_t i = 0; i < c; i++) {
+            int64_t w = hi[i] - lo[i] + 1;
+            maxw = w > maxw ? w : maxw;
+        }
+        if (maxw <= TIGHT_MAX_WIDTH) {
+            for (int64_t i = 0; i < c; i++) {
+                PREFETCH(keys +
+                         (int64_t)(((uint64_t)lo[i] + (uint64_t)hi[i] + 1)
+                                   >> 1));
+            }
+            for (int64_t i = 0; i < c; i++) {
+                out[i] = lb_window_one(keys, n, q[i], lo[i], hi[i]);
+            }
+            return;
+        }
     }
+    int64_t left[BLOCK], right[BLOCK];
+    int active = 0;
     for (int64_t i = 0; i < c; i++) {
-        out[i] = lb_window_one(keys, n, q[i], lo[i], hi[i]);
+        left[i] = lo[i];
+        right[i] = hi[i] + 1;
+        active |= (left[i] < right[i]);
+    }
+    while (active) {
+        active = 0;
+        for (int64_t i = 0; i < c; i++) {
+            int64_t l = left[i], r = right[i];
+            if (l >= r) continue;  /* converged lanes: cheap skip */
+            int64_t mid = (int64_t)(((uint64_t)l + (uint64_t)r) >> 1);
+            int64_t m = -(int64_t)(keys[mid] < q[i]);
+            left[i] = (m & (mid + 1)) | (~m & l);
+            right[i] = (m & r) | (~m & mid);
+            active |= (left[i] < right[i]);
+        }
+    }
+    /* Escape repair for the breadth-first strategy (see lb_window_one
+     * for the contract, the proof, and why repairs are branchy). */
+    for (int64_t i = 0; i < c; i++) {
+        int64_t res = left[i];
+        if (res == lo[i] && lo[i] > 0 && keys[lo[i] - 1] >= q[i]) {
+            res = lower_bound_spec(keys, 0, lo[i], q[i]);
+        } else if (res == hi[i] + 1 && hi[i] + 1 < n) {
+            res = lower_bound_spec(keys, hi[i] + 1, n, q[i]);
+        }
+        out[i] = res;
     }
 }
 
@@ -173,8 +279,8 @@ static int64_t predict_pos(const int8_t *codes, const double *params,
  * the landing leaf's param row and error-bound rows are only now
  * known, so prefetch them; (2) predict + window arithmetic on those
  * now-resident rows, prefetching each window's first probe line;
- * (3) the window search itself.  bkind: 0 none, 1 per-model, 2 global
- * (blo/bhi row 0). */
+ * (3) the breadth-first block search on the already-in-flight lines.
+ * bkind: 0 none, 1 per-model, 2 global (blo/bhi row 0). */
 static void lookup_batch(const uint64_t *keys, int64_t n,
                          const int8_t *codes, const double *params,
                          const int64_t *offsets, int64_t num_layers,
@@ -214,12 +320,205 @@ static void lookup_batch(const uint64_t *keys, int64_t n,
             if (lo < 0) lo = 0; else if (lo > n - 1) lo = n - 1;
             if (hi < 0) hi = 0; else if (hi > n - 1) hi = n - 1;
             wlo[i] = lo; whi[i] = hi;
-            PREFETCH(keys + (int64_t)(((uint64_t)lo + (uint64_t)hi + 1) >> 1));
         }
+        lb_block(keys, n, queries + b, wlo, whi, c, out + b, 0);
+    }
+}
+
+/* One PLA query's data window, replaying the staged lookup_batch
+ * arithmetic of the matching baseline.  kind: 0 PGM-style multi-level
+ * descent (PGMIndex / CompressedPGM), 1 predecessor segment routing
+ * (FITing-Tree), 2 spline-knot interpolation (RadixSpline).  The float
+ * pipeline copies each baseline's operation order exactly; "nan or
+ * negative -> 0, over cap -> cap" is np.clip(np.nan_to_num(x), 0, cap)
+ * for the kinds that apply it (the spline path, like its staged twin,
+ * clips without a nan_to_num -- spline interpolation over finite knots
+ * cannot produce one). */
+static void pla_window_one(const uint64_t *seg_keys, const double *slopes,
+                           const double *icepts, const int64_t *offsets,
+                           int64_t num_levels, int32_t kind,
+                           int64_t eps, int64_t eps_internal, int64_t n,
+                           uint64_t q, int64_t *wlo, int64_t *whi) {
+    double qf = (double)q;
+    int64_t lo, hi;
+    if (kind == 0) {  /* PLA_DESCEND */
+        int64_t seg = 0;
+        for (int64_t depth = num_levels - 1; depth > 0; depth--) {
+            int64_t row = offsets[depth] + seg;
+            int64_t bl = offsets[depth - 1];
+            int64_t msz = offsets[depth] - bl;
+            double pred = icepts[row] +
+                slopes[row] * (qf - (double)seg_keys[row]);
+            if (isnan(pred) || pred < 0.0) pred = 0.0;
+            double cap = (double)(msz - 1);
+            if (pred > cap) pred = cap;
+            int64_t center = (int64_t)pred;
+            int64_t slo = center - eps_internal;
+            if (slo < 0) slo = 0;
+            int64_t shi = center + eps_internal;
+            if (shi > msz - 1) shi = msz - 1;
+            int64_t lb = lower_bound(seg_keys + bl, slo, shi + 1, q);
+            /* Predecessor semantics: the segment whose first key <= q. */
+            int64_t cl = lb > msz - 1 ? msz - 1 : lb;
+            int exact = lb <= shi && seg_keys[bl + cl] == q;
+            seg = exact ? lb : lb - 1;
+            if (seg < 0) seg = 0;
+            else if (seg > msz - 1) seg = msz - 1;
+        }
+        int64_t row = offsets[0] + seg;
+        double pred = icepts[row] +
+            slopes[row] * (qf - (double)seg_keys[row]);
+        if (isnan(pred) || pred < 0.0) pred = 0.0;
+        double cap = (double)(n - 1);
+        if (pred > cap) pred = cap;
+        int64_t center = (int64_t)pred;
+        lo = center - eps;
+        if (lo < 0) lo = 0;
+        hi = center + eps;
+        if (hi > n - 1) hi = n - 1;
+    } else if (kind == 1) {  /* PLA_SEGMENT */
+        int64_t nseg = offsets[1];
+        int64_t idx = upper_bound(seg_keys, 0, nseg, q) - 1;
+        int64_t seg = idx;
+        if (seg < 0) seg = 0;
+        else if (seg > nseg - 1) seg = nseg - 1;
+        double pred = icepts[seg] +
+            slopes[seg] * (qf - (double)seg_keys[seg]);
+        if (isnan(pred) || pred < 0.0) pred = 0.0;
+        double cap = (double)(n - 1);
+        if (pred > cap) pred = cap;
+        int64_t center = (int64_t)pred;
+        lo = center - eps;
+        if (lo < 0) lo = 0;
+        hi = center + eps;
+        if (hi > n - 1) hi = n - 1;
+        if (idx < 0) {  /* query precedes every segment */
+            lo = 0;
+            hi = 0;
+        }
+    } else {  /* PLA_SPLINE */
+        int64_t mkn = offsets[1];
+        int64_t idx = upper_bound(seg_keys, 0, mkn, q);
+        int64_t left = idx - 1;
+        if (left < 0) left = 0;
+        else if (left > mkn - 1) left = mkn - 1;
+        int64_t right = idx;
+        if (right > mkn - 1) right = mkn - 1;
+        double x0 = (double)seg_keys[left];
+        double x1 = (double)seg_keys[right];
+        double dx = x1 - x0;
+        double frac = dx > 0.0 ? (qf - x0) / dx : 0.0;
+        double pred = icepts[left] + (icepts[right] - icepts[left]) * frac;
+        if (pred < 0.0) pred = 0.0;
+        double cap = (double)(n - 1);
+        if (pred > cap) pred = cap;
+        int64_t center = (int64_t)pred;
+        lo = center - eps;
+        if (lo < 0) lo = 0;
+        hi = center + eps;
+        if (hi > n - 1) hi = n - 1;
+    }
+    *wlo = lo;
+    *whi = hi;
+}
+
+/* One tree query's data window.  kind: 0 sparse B+-tree directory
+ * (predecessor over the sampled keys, window spans the entry's gap),
+ * 1 Hist-Tree shift-descent over the breadth-first node arrays --
+ * both replay the staged lookup_batch windows exactly (the grouped
+ * NumPy descent computes the same per-query function). */
+static void tree_window_one(int64_t n, int32_t kind,
+                            const uint64_t *entry_keys,
+                            const int64_t *positions, int64_t num_entries,
+                            const uint64_t *node_lo,
+                            const int64_t *node_shift,
+                            const int64_t *node_base,
+                            const int64_t *node_pref,
+                            const int64_t *node_child,
+                            int64_t num_bins, uint64_t min_key,
+                            uint64_t q, int64_t *wlo, int64_t *whi) {
+    int64_t lo, hi;
+    if (kind == 0) {  /* TREE_SPARSE */
+        int64_t entry = upper_bound(entry_keys, 0, num_entries, q) - 1;
+        int64_t safe = entry < 0 ? 0 : entry;
+        lo = entry >= 0 ? positions[safe] : 0;
+        hi = safe + 1 < num_entries ? positions[safe + 1] : n - 1;
+        if (entry < 0) hi = positions[0];
+    } else {  /* TREE_HIST */
+        lo = 0;
+        hi = 0;  /* queries below the key space keep the [0, 0] window */
+        if (q >= min_key) {
+            uint64_t off = q - min_key;
+            int64_t node = 0;
+            for (;;) {
+                uint64_t raw = (off - node_lo[node]) >>
+                    (uint64_t)node_shift[node];
+                if (raw >= (uint64_t)num_bins) {
+                    /* Beyond the covered range: answer is at the end. */
+                    lo = n - 1;
+                    hi = n - 1;
+                    break;
+                }
+                int64_t b = (int64_t)raw;
+                int64_t child = node_child[node * num_bins + b];
+                if (child >= 0) {
+                    node = child;
+                    continue;
+                }
+                const int64_t *pref = node_pref + node * (num_bins + 1);
+                int64_t tlo = node_base[node] + pref[b];
+                int64_t thi = node_base[node] + pref[b + 1];
+                lo = tlo < n - 1 ? tlo : n - 1;
+                hi = thi < n - 1 ? thi : n - 1;
+                break;
+            }
+        }
+    }
+    *wlo = lo;
+    *whi = hi;
+}
+
+/* Fused PLA lookup over a query batch: block phase 1 computes every
+ * lane's window (segment tables are small and stay hot); phase 2 is
+ * the breadth-first block search, which issues and overlaps the data
+ * probes itself. */
+static void pla_batch(const uint64_t *keys, int64_t n,
+                      const uint64_t *seg_keys, const double *slopes,
+                      const double *icepts, const int64_t *offsets,
+                      int64_t num_levels, int32_t kind,
+                      int64_t eps, int64_t eps_internal,
+                      const uint64_t *queries, int64_t m, int64_t *out) {
+    int64_t wlo[BLOCK], whi[BLOCK];
+    for (int64_t b = 0; b < m; b += BLOCK) {
+        int64_t c = m - b < BLOCK ? m - b : BLOCK;
         for (int64_t i = 0; i < c; i++) {
-            out[b + i] = lb_window_one(keys, n, queries[b + i],
-                                       wlo[i], whi[i]);
+            pla_window_one(seg_keys, slopes, icepts, offsets, num_levels,
+                           kind, eps, eps_internal, n, queries[b + i],
+                           &wlo[i], &whi[i]);
         }
+        lb_block(keys, n, queries + b, wlo, whi, c, out + b, 1);
+    }
+}
+
+/* Fused tree lookup over a query batch, same two-phase block shape. */
+static void tree_batch(const uint64_t *keys, int64_t n, int32_t kind,
+                       const uint64_t *entry_keys,
+                       const int64_t *positions, int64_t num_entries,
+                       const uint64_t *node_lo, const int64_t *node_shift,
+                       const int64_t *node_base, const int64_t *node_pref,
+                       const int64_t *node_child, int64_t num_bins,
+                       uint64_t min_key,
+                       const uint64_t *queries, int64_t m, int64_t *out) {
+    int64_t wlo[BLOCK], whi[BLOCK];
+    for (int64_t b = 0; b < m; b += BLOCK) {
+        int64_t c = m - b < BLOCK ? m - b : BLOCK;
+        for (int64_t i = 0; i < c; i++) {
+            tree_window_one(n, kind, entry_keys, positions, num_entries,
+                            node_lo, node_shift, node_base, node_pref,
+                            node_child, num_bins, min_key, queries[b + i],
+                            &wlo[i], &whi[i]);
+        }
+        lb_block(keys, n, queries + b, wlo, whi, c, out + b, 1);
     }
 }
 
@@ -229,7 +528,7 @@ void repro_lower_bound_window(const uint64_t *keys, int64_t n,
                               int64_t *out) {
     for (int64_t b = 0; b < m; b += BLOCK) {
         int64_t c = m - b < BLOCK ? m - b : BLOCK;
-        lb_block(keys, n, queries + b, lo + b, hi + b, c, out + b);
+        lb_block(keys, n, queries + b, lo + b, hi + b, c, out + b, 0);
     }
 }
 
@@ -281,6 +580,76 @@ void repro_rmi_serve(const uint64_t *keys, int64_t n,
         count_out[i] -= start_out[i];
     }
 }
+
+void repro_pla_lookup(const uint64_t *keys, int64_t n,
+                      const uint64_t *seg_keys, const double *slopes,
+                      const double *icepts, const int64_t *offsets,
+                      int64_t num_levels, int32_t kind,
+                      int64_t eps, int64_t eps_internal,
+                      const uint64_t *queries, int64_t m, int64_t *out) {
+    pla_batch(keys, n, seg_keys, slopes, icepts, offsets, num_levels,
+              kind, eps, eps_internal, queries, m, out);
+}
+
+void repro_pla_serve(const uint64_t *keys, int64_t n,
+                     const uint64_t *seg_keys, const double *slopes,
+                     const double *icepts, const int64_t *offsets,
+                     int64_t num_levels, int32_t kind,
+                     int64_t eps, int64_t eps_internal,
+                     const uint64_t *points, int64_t mp,
+                     const uint64_t *lows, const uint64_t *highs,
+                     int64_t mr,
+                     int64_t *pos_out, int64_t *start_out,
+                     int64_t *count_out) {
+    pla_batch(keys, n, seg_keys, slopes, icepts, offsets, num_levels,
+              kind, eps, eps_internal, points, mp, pos_out);
+    pla_batch(keys, n, seg_keys, slopes, icepts, offsets, num_levels,
+              kind, eps, eps_internal, lows, mr, start_out);
+    pla_batch(keys, n, seg_keys, slopes, icepts, offsets, num_levels,
+              kind, eps, eps_internal, highs, mr, count_out);
+    for (int64_t i = 0; i < mr; i++) {
+        count_out[i] -= start_out[i];
+    }
+}
+
+void repro_tree_lookup(const uint64_t *keys, int64_t n, int32_t kind,
+                       const uint64_t *entry_keys,
+                       const int64_t *positions, int64_t num_entries,
+                       const uint64_t *node_lo, const int64_t *node_shift,
+                       const int64_t *node_base, const int64_t *node_pref,
+                       const int64_t *node_child, int64_t num_bins,
+                       uint64_t min_key,
+                       const uint64_t *queries, int64_t m, int64_t *out) {
+    tree_batch(keys, n, kind, entry_keys, positions, num_entries,
+               node_lo, node_shift, node_base, node_pref, node_child,
+               num_bins, min_key, queries, m, out);
+}
+
+void repro_tree_serve(const uint64_t *keys, int64_t n, int32_t kind,
+                      const uint64_t *entry_keys,
+                      const int64_t *positions, int64_t num_entries,
+                      const uint64_t *node_lo, const int64_t *node_shift,
+                      const int64_t *node_base, const int64_t *node_pref,
+                      const int64_t *node_child, int64_t num_bins,
+                      uint64_t min_key,
+                      const uint64_t *points, int64_t mp,
+                      const uint64_t *lows, const uint64_t *highs,
+                      int64_t mr,
+                      int64_t *pos_out, int64_t *start_out,
+                      int64_t *count_out) {
+    tree_batch(keys, n, kind, entry_keys, positions, num_entries,
+               node_lo, node_shift, node_base, node_pref, node_child,
+               num_bins, min_key, points, mp, pos_out);
+    tree_batch(keys, n, kind, entry_keys, positions, num_entries,
+               node_lo, node_shift, node_base, node_pref, node_child,
+               num_bins, min_key, lows, mr, start_out);
+    tree_batch(keys, n, kind, entry_keys, positions, num_entries,
+               node_lo, node_shift, node_base, node_pref, node_child,
+               num_bins, min_key, highs, mr, count_out);
+    for (int64_t i = 0; i < mr; i++) {
+        count_out[i] -= start_out[i];
+    }
+}
 """
 
 #: Contract OFF is load-bearing for bit-identity (see module docstring).
@@ -297,14 +666,86 @@ def _cache_dir() -> Path:
     return base / "repro-kernels"
 
 
+def _source_digest() -> str:
+    """Digest keying the build cache: any source/flag change rekeys."""
+    return hashlib.sha256(
+        (_C_SOURCE + "\0" + " ".join(_CFLAGS)).encode()
+    ).hexdigest()[:16]
+
+
+def _cache_entries(cache: Path):
+    """The ``(path, digest)`` pairs of build-cache artifacts on disk."""
+    if not cache.is_dir():
+        return
+    for path in sorted(cache.glob("repro_kernels_*")):
+        if path.suffix in (".so", ".c"):
+            yield path, path.stem.rsplit("_", 1)[-1]
+
+
+def build_cache_stats() -> dict:
+    """Inventory of the on-demand ``.so`` build cache.
+
+    Surfaced by ``python -m repro.bench cache stats`` alongside the
+    artifact store: the compiled-kernel artifacts live outside that
+    store (they are keyed by source digest, not by fingerprint), so
+    this is how they become visible and collectable.
+    """
+    cache = _cache_dir()
+    current = _source_digest()
+    entries = []
+    for path, digest in _cache_entries(cache):
+        entries.append({
+            "file": path.name,
+            "digest": digest,
+            "bytes": path.stat().st_size,
+            "current": digest == current,
+        })
+    return {
+        "dir": str(cache),
+        "current_digest": current,
+        "entries": entries,
+        "bytes": sum(e["bytes"] for e in entries),
+        "stale": sum(1 for e in entries if not e["current"]),
+    }
+
+
+def build_cache_gc(max_age_days: "float | None" = None,
+                   drop_all: bool = False) -> dict:
+    """Collect the ``.so`` build cache: stale digests always, the
+    current build on request.
+
+    Artifacts whose source digest no longer matches the in-tree kernel
+    source are dead (nothing will ever load them again) and are always
+    removed.  ``drop_all`` / ``max_age_days`` additionally drop the
+    current build, which is harmless: the next backend load recompiles
+    it.  Returns ``{"removed": ..., "kept": ...}`` like the artifact
+    store's gc.
+    """
+    cache = _cache_dir()
+    current = _source_digest()
+    removed = kept = 0
+    now = time.time()
+    for path, digest in _cache_entries(cache):
+        stale = drop_all or digest != current
+        if not stale and max_age_days is not None:
+            stale = now - path.stat().st_mtime > max_age_days * 86_400
+        if stale:
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - concurrent collector
+                kept += 1
+        else:
+            kept += 1
+    return {"removed": removed, "kept": kept}
+
+
 def _build_library() -> Path:
     """Compile the kernel source, keyed by source+flags digest."""
     cc = os.environ.get("CC") or shutil.which("cc") or shutil.which("gcc")
     if cc is None:
         raise CExtUnavailable("no C compiler (cc/gcc) on PATH")
-    digest = hashlib.sha256(
-        (_C_SOURCE + "\0" + " ".join(_CFLAGS)).encode()
-    ).hexdigest()[:16]
+    digest = _source_digest()
     cache = _cache_dir()
     lib_path = cache / f"repro_kernels_{digest}.so"
     if lib_path.exists():
@@ -340,6 +781,17 @@ _i8 = ndpointer(np.int8, flags="C_CONTIGUOUS")
 _f64 = ndpointer(np.float64, flags="C_CONTIGUOUS")
 _c_i64 = ctypes.c_int64
 _c_i32 = ctypes.c_int32
+_c_u64 = ctypes.c_uint64
+
+#: The (seg_keys, slopes, icepts, offsets, num_levels, kind, eps,
+#: eps_internal) argument run shared by the pla entry points.
+_PLA_ARGS = [_u64, _f64, _f64, _i64, _c_i64, _c_i32, _c_i64, _c_i64]
+
+#: The (kind, entry_keys, positions, num_entries, node_lo, node_shift,
+#: node_base, node_pref, node_child, num_bins, min_key) run shared by
+#: the tree entry points.
+_TREE_ARGS = [_c_i32, _u64, _i64, _c_i64, _u64, _i64, _i64, _i64,
+              _i64, _c_i64, _c_u64]
 
 #: (name, argtypes) for every exported kernel.
 _SIGNATURES = {
@@ -354,6 +806,16 @@ _SIGNATURES = {
     "repro_rmi_serve":
         [_u64, _c_i64, _i8, _f64, _i64, _c_i64, _f64, _c_i32,
          _c_i32, _i64, _i64, _u64, _c_i64, _u64, _u64, _c_i64,
+         _i64, _i64, _i64],
+    "repro_pla_lookup":
+        [_u64, _c_i64, *_PLA_ARGS, _u64, _c_i64, _i64],
+    "repro_pla_serve":
+        [_u64, _c_i64, *_PLA_ARGS, _u64, _c_i64, _u64, _u64, _c_i64,
+         _i64, _i64, _i64],
+    "repro_tree_lookup":
+        [_u64, _c_i64, *_TREE_ARGS, _u64, _c_i64, _i64],
+    "repro_tree_serve":
+        [_u64, _c_i64, *_TREE_ARGS, _u64, _c_i64, _u64, _u64, _c_i64,
          _i64, _i64, _i64],
 }
 
@@ -381,6 +843,22 @@ def _packed_args(packed: PackedRMI):
         packed.num_layers, packed.scales,
         1 if packed.scaled else 0, packed.bkind,
         packed.blo, packed.bhi,
+    )
+
+
+def _pla_args(packed: PackedPLA):
+    return (
+        packed.seg_keys, packed.slopes, packed.icepts, packed.offsets,
+        packed.num_levels, packed.kind, packed.eps, packed.eps_internal,
+    )
+
+
+def _tree_args(packed: PackedTree):
+    return (
+        packed.kind, packed.entry_keys, packed.positions,
+        packed.num_entries, packed.node_lo, packed.node_shift,
+        packed.node_base, packed.node_pref, packed.node_child,
+        packed.num_bins, packed.min_key,
     )
 
 
@@ -441,6 +919,58 @@ class CExtBackend(KernelBackend):
         counts = np.empty(len(lows), dtype=np.int64)
         self._lib.repro_rmi_serve(
             keys, len(keys), *_packed_args(packed),
+            points, len(points), lows, highs, len(lows),
+            positions, starts, counts,
+        )
+        return positions, starts, counts
+
+    def pla_lookup(self, packed: PackedPLA, keys, queries):
+        keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        queries = np.ascontiguousarray(queries, dtype=np.uint64)
+        out = np.empty(len(queries), dtype=np.int64)
+        self._lib.repro_pla_lookup(
+            keys, len(keys), *_pla_args(packed),
+            queries, len(queries), out,
+        )
+        return out
+
+    def pla_serve(self, packed: PackedPLA, keys, point_queries,
+                  range_lows, range_highs):
+        keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        points = np.ascontiguousarray(point_queries, dtype=np.uint64)
+        lows = np.ascontiguousarray(range_lows, dtype=np.uint64)
+        highs = np.ascontiguousarray(range_highs, dtype=np.uint64)
+        positions = np.empty(len(points), dtype=np.int64)
+        starts = np.empty(len(lows), dtype=np.int64)
+        counts = np.empty(len(lows), dtype=np.int64)
+        self._lib.repro_pla_serve(
+            keys, len(keys), *_pla_args(packed),
+            points, len(points), lows, highs, len(lows),
+            positions, starts, counts,
+        )
+        return positions, starts, counts
+
+    def tree_lookup(self, packed: PackedTree, keys, queries):
+        keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        queries = np.ascontiguousarray(queries, dtype=np.uint64)
+        out = np.empty(len(queries), dtype=np.int64)
+        self._lib.repro_tree_lookup(
+            keys, len(keys), *_tree_args(packed),
+            queries, len(queries), out,
+        )
+        return out
+
+    def tree_serve(self, packed: PackedTree, keys, point_queries,
+                   range_lows, range_highs):
+        keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        points = np.ascontiguousarray(point_queries, dtype=np.uint64)
+        lows = np.ascontiguousarray(range_lows, dtype=np.uint64)
+        highs = np.ascontiguousarray(range_highs, dtype=np.uint64)
+        positions = np.empty(len(points), dtype=np.int64)
+        starts = np.empty(len(lows), dtype=np.int64)
+        counts = np.empty(len(lows), dtype=np.int64)
+        self._lib.repro_tree_serve(
+            keys, len(keys), *_tree_args(packed),
             points, len(points), lows, highs, len(lows),
             positions, starts, counts,
         )

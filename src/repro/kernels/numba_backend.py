@@ -23,6 +23,8 @@ import numpy as np
 
 from .base import KernelBackend
 from .packed import PackedRMI
+from .packed_pla import PLA_DESCEND, PLA_SEGMENT, PLA_SPLINE, PackedPLA
+from .packed_tree import PackedTree, pack_hist_nodes, pack_sparse_directory
 
 __all__ = ["NumbaBackend", "NumbaUnavailable", "load"]
 
@@ -202,6 +204,224 @@ if njit is not None:  # pragma: no cover - compiled only with numba
                                     bkind, blo, bhi, highs[i]) - starts[i]
         return positions, starts, counts
 
+    @njit(cache=True, nogil=True)
+    def _upper_bound(keys, left, right, q):
+        while left < right:
+            mid = (left + right) >> 1
+            if keys[mid] <= q:
+                left = mid + 1
+            else:
+                right = mid
+        return left
+
+    @njit(cache=True, nogil=True)
+    def _pla_window_one(seg_keys, slopes, icepts, offsets, num_levels,
+                        kind, eps, eps_internal, n, q):
+        # Port of cext_backend's pla_window_one; see its comments for
+        # the per-kind staged-arithmetic correspondence.
+        qf = np.float64(q)
+        if kind == 0:  # PLA_DESCEND
+            seg = np.int64(0)
+            for depth in range(num_levels - 1, 0, -1):
+                row = offsets[depth] + seg
+                bl = offsets[depth - 1]
+                msz = offsets[depth] - bl
+                pred = icepts[row] + slopes[row] * (
+                    qf - np.float64(seg_keys[row])
+                )
+                if np.isnan(pred) or pred < 0.0:
+                    pred = 0.0
+                cap = np.float64(msz - 1)
+                if pred > cap:
+                    pred = cap
+                center = np.int64(pred)
+                slo = center - eps_internal
+                if slo < 0:
+                    slo = np.int64(0)
+                shi = center + eps_internal
+                if shi > msz - 1:
+                    shi = msz - 1
+                lb = _lower_bound(seg_keys, bl + slo, bl + shi + 1, q) - bl
+                cl = lb if lb <= msz - 1 else msz - 1
+                exact = lb <= shi and seg_keys[bl + cl] == q
+                seg = lb if exact else lb - 1
+                if seg < 0:
+                    seg = np.int64(0)
+                elif seg > msz - 1:
+                    seg = msz - 1
+            row = offsets[0] + seg
+            pred = icepts[row] + slopes[row] * (
+                qf - np.float64(seg_keys[row])
+            )
+            if np.isnan(pred) or pred < 0.0:
+                pred = 0.0
+            cap = np.float64(n - 1)
+            if pred > cap:
+                pred = cap
+            center = np.int64(pred)
+            lo = center - eps
+            if lo < 0:
+                lo = np.int64(0)
+            hi = center + eps
+            if hi > n - 1:
+                hi = n - 1
+            return lo, hi
+        if kind == 1:  # PLA_SEGMENT
+            nseg = offsets[1]
+            idx = _upper_bound(seg_keys, np.int64(0), nseg, q) - 1
+            seg = idx
+            if seg < 0:
+                seg = np.int64(0)
+            elif seg > nseg - 1:
+                seg = nseg - 1
+            pred = icepts[seg] + slopes[seg] * (
+                qf - np.float64(seg_keys[seg])
+            )
+            if np.isnan(pred) or pred < 0.0:
+                pred = 0.0
+            cap = np.float64(n - 1)
+            if pred > cap:
+                pred = cap
+            center = np.int64(pred)
+            lo = center - eps
+            if lo < 0:
+                lo = np.int64(0)
+            hi = center + eps
+            if hi > n - 1:
+                hi = n - 1
+            if idx < 0:  # query precedes every segment
+                lo = np.int64(0)
+                hi = np.int64(0)
+            return lo, hi
+        # PLA_SPLINE
+        mkn = offsets[1]
+        idx = _upper_bound(seg_keys, np.int64(0), mkn, q)
+        left = idx - 1
+        if left < 0:
+            left = np.int64(0)
+        elif left > mkn - 1:
+            left = mkn - 1
+        right = idx
+        if right > mkn - 1:
+            right = mkn - 1
+        x0 = np.float64(seg_keys[left])
+        x1 = np.float64(seg_keys[right])
+        dx = x1 - x0
+        frac = (qf - x0) / dx if dx > 0.0 else 0.0
+        pred = icepts[left] + (icepts[right] - icepts[left]) * frac
+        if pred < 0.0:
+            pred = 0.0
+        cap = np.float64(n - 1)
+        if pred > cap:
+            pred = cap
+        center = np.int64(pred)
+        lo = center - eps
+        if lo < 0:
+            lo = np.int64(0)
+        hi = center + eps
+        if hi > n - 1:
+            hi = n - 1
+        return lo, hi
+
+    @njit(cache=True, nogil=True)
+    def _tree_window_one(kind, entry_keys, positions, node_lo, node_shift,
+                         node_base, node_pref, node_child, num_bins,
+                         min_key, n, q):
+        # Port of cext_backend's tree_window_one.
+        if kind == 0:  # TREE_SPARSE
+            m = np.int64(len(entry_keys))
+            entry = _upper_bound(entry_keys, np.int64(0), m, q) - 1
+            safe = entry if entry >= 0 else np.int64(0)
+            lo = positions[safe] if entry >= 0 else np.int64(0)
+            hi = positions[safe + 1] if safe + 1 < m else n - 1
+            if entry < 0:
+                hi = positions[0]
+            return lo, hi
+        # TREE_HIST
+        lo = np.int64(0)
+        hi = np.int64(0)
+        if q >= min_key:
+            off = q - min_key
+            node = np.int64(0)
+            while True:
+                raw = (off - node_lo[node]) >> np.uint64(node_shift[node])
+                if raw >= np.uint64(num_bins):
+                    lo = n - 1
+                    hi = n - 1
+                    break
+                b = np.int64(raw)
+                child = node_child[node * num_bins + b]
+                if child >= 0:
+                    node = child
+                    continue
+                pbase = node * (num_bins + 1)
+                tlo = node_base[node] + node_pref[pbase + b]
+                thi = node_base[node] + node_pref[pbase + b + 1]
+                lo = tlo if tlo < n - 1 else n - 1
+                hi = thi if thi < n - 1 else n - 1
+                break
+        return lo, hi
+
+    @njit(cache=True, nogil=True)
+    def _k_pla_lookup(keys, n, seg_keys, slopes, icepts, offsets,
+                      num_levels, kind, eps, eps_internal, queries):
+        out = np.empty(len(queries), dtype=np.int64)
+        for i in range(len(queries)):
+            lo, hi = _pla_window_one(seg_keys, slopes, icepts, offsets,
+                                     num_levels, kind, eps, eps_internal,
+                                     n, queries[i])
+            out[i] = _lb_window(keys, n, queries[i], lo, hi)
+        return out
+
+    @njit(cache=True, nogil=True)
+    def _k_pla_serve(keys, n, seg_keys, slopes, icepts, offsets,
+                     num_levels, kind, eps, eps_internal,
+                     points, lows, highs):
+        positions = _k_pla_lookup(keys, n, seg_keys, slopes, icepts,
+                                  offsets, num_levels, kind, eps,
+                                  eps_internal, points)
+        starts = _k_pla_lookup(keys, n, seg_keys, slopes, icepts,
+                               offsets, num_levels, kind, eps,
+                               eps_internal, lows)
+        counts = _k_pla_lookup(keys, n, seg_keys, slopes, icepts,
+                               offsets, num_levels, kind, eps,
+                               eps_internal, highs)
+        for i in range(len(counts)):
+            counts[i] -= starts[i]
+        return positions, starts, counts
+
+    @njit(cache=True, nogil=True)
+    def _k_tree_lookup(keys, n, kind, entry_keys, positions, node_lo,
+                       node_shift, node_base, node_pref, node_child,
+                       num_bins, min_key, queries):
+        out = np.empty(len(queries), dtype=np.int64)
+        for i in range(len(queries)):
+            lo, hi = _tree_window_one(kind, entry_keys, positions,
+                                      node_lo, node_shift, node_base,
+                                      node_pref, node_child, num_bins,
+                                      min_key, n, queries[i])
+            out[i] = _lb_window(keys, n, queries[i], lo, hi)
+        return out
+
+    @njit(cache=True, nogil=True)
+    def _k_tree_serve(keys, n, kind, entry_keys, positions, node_lo,
+                      node_shift, node_base, node_pref, node_child,
+                      num_bins, min_key, points, lows, highs):
+        pos = _k_tree_lookup(keys, n, kind, entry_keys, positions,
+                             node_lo, node_shift, node_base, node_pref,
+                             node_child, num_bins, min_key, points)
+        starts = _k_tree_lookup(keys, n, kind, entry_keys, positions,
+                                node_lo, node_shift, node_base,
+                                node_pref, node_child, num_bins,
+                                min_key, lows)
+        counts = _k_tree_lookup(keys, n, kind, entry_keys, positions,
+                                node_lo, node_shift, node_base,
+                                node_pref, node_child, num_bins,
+                                min_key, highs)
+        for i in range(len(counts)):
+            counts[i] -= starts[i]
+        return pos, starts, counts
+
 
 def _packed_args(packed: PackedRMI):
     return (
@@ -209,6 +429,23 @@ def _packed_args(packed: PackedRMI):
         np.int64(packed.num_layers), packed.scales,
         packed.scaled, np.int32(packed.bkind),
         packed.blo, packed.bhi,
+    )
+
+
+def _pla_args(packed: PackedPLA):
+    return (
+        packed.seg_keys, packed.slopes, packed.icepts, packed.offsets,
+        np.int64(packed.num_levels), np.int32(packed.kind),
+        np.int64(packed.eps), np.int64(packed.eps_internal),
+    )
+
+
+def _tree_args(packed: PackedTree):
+    return (
+        np.int32(packed.kind), packed.entry_keys, packed.positions,
+        packed.node_lo, packed.node_shift, packed.node_base,
+        packed.node_pref, packed.node_child, np.int64(packed.num_bins),
+        np.uint64(packed.min_key),
     )
 
 
@@ -251,6 +488,40 @@ class NumbaBackend(KernelBackend):  # pragma: no cover - needs numba
             np.ascontiguousarray(range_highs, dtype=np.uint64),
         )
 
+    def pla_lookup(self, packed: PackedPLA, keys, queries):
+        keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        return _k_pla_lookup(
+            keys, np.int64(len(keys)), *_pla_args(packed),
+            np.ascontiguousarray(queries, dtype=np.uint64),
+        )
+
+    def pla_serve(self, packed: PackedPLA, keys, point_queries,
+                  range_lows, range_highs):
+        keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        return _k_pla_serve(
+            keys, np.int64(len(keys)), *_pla_args(packed),
+            np.ascontiguousarray(point_queries, dtype=np.uint64),
+            np.ascontiguousarray(range_lows, dtype=np.uint64),
+            np.ascontiguousarray(range_highs, dtype=np.uint64),
+        )
+
+    def tree_lookup(self, packed: PackedTree, keys, queries):
+        keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        return _k_tree_lookup(
+            keys, np.int64(len(keys)), *_tree_args(packed),
+            np.ascontiguousarray(queries, dtype=np.uint64),
+        )
+
+    def tree_serve(self, packed: PackedTree, keys, point_queries,
+                   range_lows, range_highs):
+        keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        return _k_tree_serve(
+            keys, np.int64(len(keys)), *_tree_args(packed),
+            np.ascontiguousarray(point_queries, dtype=np.uint64),
+            np.ascontiguousarray(range_lows, dtype=np.uint64),
+            np.ascontiguousarray(range_highs, dtype=np.uint64),
+        )
+
     def warmup(self) -> None:
         """Trigger (or load from cache) every kernel's compilation."""
         keys = np.arange(4, dtype=np.uint64)
@@ -275,3 +546,37 @@ class NumbaBackend(KernelBackend):  # pragma: no cover - needs numba
         self.rmi_predict(packed, queries)
         self.rmi_lookup(packed, keys, queries)
         self.rmi_serve(packed, keys, queries, queries, queries)
+        # Every PLA kind (kind is a runtime value, one compilation
+        # covers all three, but exercise each branch anyway).
+        for kind, nlev in ((PLA_DESCEND, 2), (PLA_SEGMENT, 1),
+                           (PLA_SPLINE, 1)):
+            sizes = [2, 1] if kind == PLA_DESCEND else [1]
+            total = sum(sizes)
+            offs = np.zeros(nlev + 1, dtype=np.int64)
+            np.cumsum(sizes, out=offs[1:])
+            pla = PackedPLA(
+                family="warmup", kind=kind,
+                seg_keys=np.zeros(total, dtype=np.uint64),
+                slopes=np.zeros(total, dtype=np.float64) if
+                kind == PLA_SPLINE else np.ones(total, dtype=np.float64),
+                icepts=np.zeros(total, dtype=np.float64),
+                offsets=offs, eps=1, eps_internal=1, n=4,
+            )
+            self.pla_lookup(pla, keys, queries)
+            self.pla_serve(pla, keys, queries, queries, queries)
+        sparse = pack_sparse_directory(
+            "warmup", keys[::2], np.asarray([0, 2], dtype=np.int64), 4
+        )
+        self.tree_lookup(sparse, keys, queries)
+        self.tree_serve(sparse, keys, queries, queries, queries)
+
+        class _Node:
+            lo_key = 0
+            shift = 1
+            base = 0
+            counts = np.asarray([2, 2], dtype=np.int64)
+            children: "dict[int, object]" = {}
+
+        hist = pack_hist_nodes("warmup", _Node(), 2, 0, 4)
+        self.tree_lookup(hist, keys, queries)
+        self.tree_serve(hist, keys, queries, queries, queries)

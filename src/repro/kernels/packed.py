@@ -53,6 +53,9 @@ class PackedRMI:
     or broadcast from row 0 (``BOUNDS_GLOBAL``).
     """
 
+    #: Dispatch tag consumed by ``KernelBackend.lookup``/``serve``.
+    packed_kind = "rmi"
+
     codes: np.ndarray    # (total_models,) int8
     params: np.ndarray   # (total_models, 6) float64, C-contiguous
     offsets: np.ndarray  # (num_layers + 1,) int64

@@ -79,6 +79,11 @@ class WorkloadResult:
     #: "numba") -- wall-clock numbers are only comparable within one
     #: backend, so results record which one ran.
     kernel_backend: str = "numpy"
+    #: True when the batch path ran the backend's *fused* packed kernel
+    #: (the index packed and a compiled backend was active); False means
+    #: the staged path ran, even under a compiled backend -- an honesty
+    #: bit for comparing wall-clock numbers across indexes.
+    kernel_packed: bool = False
 
     @property
     def wall_ns_per_lookup(self) -> float:
@@ -213,6 +218,8 @@ def run_workload(
     # otherwise the process default.
     spec_holder = getattr(index, "rmi", index)
     backend_name = get_backend(getattr(spec_holder, "kernels", None)).name
+    state_fn = getattr(spec_holder, "_kernel_state", None)
+    kernel_packed = bool(state_fn is not None and state_fn() is not None)
     return WorkloadResult(
         index_name=name,
         index_bytes=index_bytes,
@@ -227,6 +234,7 @@ def run_workload(
         estimated_search_ns=search_ns,
         scalar_agreement_ok=scalar_ok,
         kernel_backend=backend_name,
+        kernel_packed=kernel_packed,
     )
 
 

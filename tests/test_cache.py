@@ -312,9 +312,12 @@ def test_cli_figures_plain_run_uses_cache(tmp_path, capsys):
     assert "[cache]" in capsys.readouterr().out
 
 
-def test_cli_cache_stats_and_gc(tmp_path, capsys):
+def test_cli_cache_stats_and_gc(tmp_path, capsys, monkeypatch):
     from repro.bench.__main__ import main
 
+    # Scope the compiled-kernel build cache too: ``cache gc`` collects
+    # both stores, and the test must not touch the user's real builds.
+    monkeypatch.setenv("REPRO_KERNELS_CACHE", str(tmp_path / "kernels"))
     cache.activate(tmp_path)
     cache.dataset("books", 500, 42)
     cache.deactivate()
@@ -322,13 +325,16 @@ def test_cli_cache_stats_and_gc(tmp_path, capsys):
     stats = json.loads(capsys.readouterr().out)
     assert stats["kinds"]["datasets"]["entries"] == 1
     assert main(["cache", "gc", "--cache-dir", str(tmp_path), "--all"]) == 0
-    assert "removed 1" in capsys.readouterr().out
+    out = capsys.readouterr().out
+    assert "removed 1" in out
+    assert "kernels gc:" in out
 
 
-def test_cli_cache_stats_json_flag(tmp_path, capsys):
+def test_cli_cache_stats_json_flag(tmp_path, capsys, monkeypatch):
     """``cache stats --json`` is single-line machine-readable output."""
     from repro.bench.__main__ import main
 
+    monkeypatch.setenv("REPRO_KERNELS_CACHE", str(tmp_path / "kernels"))
     cache.activate(tmp_path)
     cache.dataset("books", 500, 42)
     cache.deactivate()
@@ -339,10 +345,13 @@ def test_cli_cache_stats_json_flag(tmp_path, capsys):
     stats = json.loads(out)
     assert stats["kinds"]["datasets"]["entries"] == 1
     assert stats["entries"] >= 1 and stats["bytes"] > 0
+    assert stats["kernels"]["dir"] == str(tmp_path / "kernels")
+    assert stats["kernels"]["entries"] == []
     assert main(["cache", "gc", "--cache-dir", str(tmp_path), "--all",
                  "--json"]) == 0
     outcome = json.loads(capsys.readouterr().out)
-    assert outcome == {"removed": 1, "kept": 0}
+    assert outcome == {"removed": 1, "kept": 0,
+                       "kernels": {"removed": 0, "kept": 0}}
 
 
 def test_cli_data_npy_roundtrip(tmp_path, capsys):
