@@ -14,6 +14,8 @@ Usage::
         --out BENCH_build.json --min-speedup 20
     python -m repro.bench kernels --n 100000 --out BENCH_kernels.json \\
         --min-speedup 5 [--gate-backend numba]
+    python -m repro.bench updates --n 200000 --out BENCH_updates.json \\
+        --min-retention 0.5 --max-staleness-s 2.0
 """
 
 from __future__ import annotations
@@ -217,6 +219,131 @@ def _kernels_main(argv: "list[str]") -> int:
     return 0
 
 
+def _updates_main(argv: "list[str]") -> int:
+    """``updates`` subcommand: mixed read/write serving benchmark."""
+    from .updates import (
+        DEFAULT_WRITE_FRACTIONS,
+        render_updates_report,
+        updates_report,
+        write_updates_report,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench updates",
+        description="Serve a mixed read/write stream through the "
+        "writable tier (delta buffer + background rebuild + hot-swap) "
+        "and gate read-throughput retention and staleness",
+    )
+    parser.add_argument("--n", type=int, default=200_000,
+                        help="dataset size (default 200k)")
+    parser.add_argument("--dataset", default="books",
+                        help="dataset name (default books)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--index", dest="index_type", default="rmi",
+                        help="base index family (default rmi)")
+    parser.add_argument("--ops", type=int, default=20_000,
+                        help="operations per leg (default 20k)")
+    parser.add_argument("--segment-size", type=int, default=512,
+                        help="ops per closed-loop segment (default 512)")
+    parser.add_argument("--write-fractions", default=None,
+                        help="comma-separated write fractions (default "
+                        f"{','.join(str(f) for f in DEFAULT_WRITE_FRACTIONS)}"
+                        "; 0.0 is always included as the baseline)")
+    parser.add_argument("--delete-fraction", type=float, default=0.4,
+                        help="deletes among writes (default 0.4)")
+    parser.add_argument("--range-fraction", type=float, default=0.1,
+                        help="range queries among reads (default 0.1)")
+    parser.add_argument("--rebuild-interval-s", type=float, default=0.05,
+                        help="background rebuild poll interval")
+    parser.add_argument("--rebuild-min-delta", type=int, default=4096,
+                        help="delta entries before a rebuild fires "
+                        "(default 4096 ~ 2%% of n: a rebuild costs O(n), "
+                        "so the trigger must scale with n to amortize)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="fresh-state repeats per leg; the median-"
+                        "throughput repeat is reported (default 3)")
+    parser.add_argument("--out", metavar="FILE", default=None,
+                        help="write the JSON report here")
+    parser.add_argument("--min-retention", type=float, default=None,
+                        help="exit 1 unless the smoke mix (lowest "
+                        "non-zero write fraction) retains at least this "
+                        "fraction of read-only throughput")
+    parser.add_argument("--min-retention-worst", type=float, default=None,
+                        help="exit 1 unless every mixed leg (including "
+                        "the heaviest write mix) retains at least this")
+    parser.add_argument("--max-staleness-s", type=float, default=None,
+                        help="exit 1 if high-water staleness exceeds this")
+    args = parser.parse_args(argv)
+
+    fractions = DEFAULT_WRITE_FRACTIONS
+    if args.write_fractions:
+        fractions = tuple(float(f) for f in
+                          args.write_fractions.split(",") if f.strip())
+    report = updates_report(
+        n=args.n,
+        dataset=args.dataset,
+        seed=args.seed,
+        index_type=args.index_type,
+        num_ops=args.ops,
+        segment_size=args.segment_size,
+        delete_fraction=args.delete_fraction,
+        range_fraction=args.range_fraction,
+        write_fractions=fractions,
+        rebuild_interval_s=args.rebuild_interval_s,
+        rebuild_min_delta=args.rebuild_min_delta,
+        repeats=args.repeats,
+    )
+    gated = (args.min_retention is not None
+             or args.min_retention_worst is not None
+             or args.max_staleness_s is not None)
+    if gated:
+        report["gate"] = {
+            "min_retention": args.min_retention,
+            "min_retention_worst": args.min_retention_worst,
+            "max_staleness_s": args.max_staleness_s,
+            "smoke_retention": report["smoke_retention"],
+            "retention": report["min_retention"],
+            "staleness_s": report["max_staleness_s"],
+        }
+    print(render_updates_report(report))
+    if args.out:
+        write_updates_report(report, args.out)
+        print(f"[report written to {args.out}]")
+    failed = []
+    if report["total_wrong"]:
+        failed.append(f"{report['total_wrong']} oracle-mismatched answers")
+    if not report["all_final_states_ok"]:
+        failed.append("final live key set diverged from the oracle")
+    if (args.min_retention is not None
+            and report["smoke_retention"] < args.min_retention):
+        failed.append(
+            f"smoke-mix read retention {report['smoke_retention']:.2f}x "
+            f"is below the required {args.min_retention:.2f}x"
+        )
+    if (args.min_retention_worst is not None
+            and report["min_retention"] < args.min_retention_worst):
+        failed.append(
+            f"worst-leg read retention {report['min_retention']:.2f}x "
+            f"is below the required {args.min_retention_worst:.2f}x"
+        )
+    if (args.max_staleness_s is not None
+            and report["max_staleness_s"] > args.max_staleness_s):
+        failed.append(
+            f"high-water staleness {report['max_staleness_s']:.3f}s "
+            f"exceeds the {args.max_staleness_s:.3f}s bound"
+        )
+    for reason in failed:
+        print(f"FAIL: {reason}")
+    if not failed and gated:
+        print(
+            f"OK: smoke retention {report['smoke_retention']:.2f}x "
+            f"(curve min {report['min_retention']:.2f}x), staleness "
+            f"{report['max_staleness_s'] * 1e3:.1f}ms, all answers "
+            "oracle-validated"
+        )
+    return 1 if failed else 0
+
+
 def _cache_main(argv: "list[str]") -> int:
     """``cache`` subcommand: inspect and collect the artifact store
     plus the compiled-kernel build cache (which lives outside the
@@ -275,6 +402,8 @@ def main(argv: list[str] | None = None) -> int:
         return _figures_main(argv[1:])
     if argv and argv[0] == "kernels":
         return _kernels_main(argv[1:])
+    if argv and argv[0] == "updates":
+        return _updates_main(argv[1:])
     if argv and argv[0] == "cache":
         return _cache_main(argv[1:])
     parser = argparse.ArgumentParser(

@@ -8,6 +8,11 @@ A backend provides the hot kernels of the lookup path over flat arrays
     Window-restricted batch lower bound with interval-escape repair --
     the shared completion step of *every* index's batch lookup
     (``core/search.batch_lower_bound_window`` dispatches here).
+``delta_correct``
+    The writable tier's merged-lookup completion: full-range lower
+    bound over the sorted delta buffer plus a per-rank position
+    correction gather, fused into one pass
+    (``repro.writable.index._View.lookup`` dispatches here).
 ``rmi_predict`` / ``rmi_lookup`` / ``rmi_serve``
     The RMI-specific fused paths: Equation-3 routing + Equation-4 leaf
     prediction, the full predict→bounds→bounded-search lookup, and the
@@ -67,6 +72,31 @@ class KernelBackend:
     ) -> np.ndarray:
         """Batch lower bound inside inclusive ``[lo, hi]`` windows."""
         raise NotImplementedError
+
+    def delta_correct(
+        self,
+        delta_keys: np.ndarray,
+        corr: np.ndarray,
+        base_positions: np.ndarray,
+        queries: np.ndarray,
+    ) -> np.ndarray:
+        """Merged-lookup completion for the writable tier's dirty reads.
+
+        ``out[i] = base_positions[i] + corr[rank]`` where ``rank`` is
+        the full-range lower bound of ``queries[i]`` in the sorted,
+        per-key-unique ``delta_keys`` (``corr`` has ``len(delta_keys)
+        + 1`` entries).  This staged form is the reference every
+        backend must match bit-for-bit; the C backend overrides it
+        with a fused single-pass kernel
+        (:meth:`CExtBackend.delta_correct`).
+        """
+        idx = np.searchsorted(
+            np.ascontiguousarray(delta_keys, dtype=np.uint64),
+            np.ascontiguousarray(queries, dtype=np.uint64),
+            side="left",
+        )
+        return np.asarray(base_positions, dtype=np.int64) + \
+            np.asarray(corr, dtype=np.int64)[idx]
 
     def rmi_predict(
         self, packed, queries: np.ndarray

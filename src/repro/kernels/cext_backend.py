@@ -532,6 +532,32 @@ void repro_lower_bound_window(const uint64_t *keys, int64_t n,
     }
 }
 
+/* Writable-tier merged lookup completion: rank every query in the
+ * sorted delta key array (full-range lower bound, so lb_block's
+ * escape repair can never trigger) and add the per-rank position
+ * correction to the caller-supplied base answer.  One block-resident
+ * pass replaces the staged path's three (searchsorted, gather, add);
+ * the delta rank probes hit unpredictable offsets, so the block takes
+ * the breadth-first mask-select strategy (uniform=1). */
+void repro_delta_correct(const uint64_t *delta_keys, int64_t dn,
+                         const int64_t *corr,
+                         const int64_t *base_pos,
+                         const uint64_t *queries, int64_t m,
+                         int64_t *out) {
+    int64_t lo[BLOCK], hi[BLOCK], idx[BLOCK];
+    for (int64_t i = 0; i < BLOCK; i++) {
+        lo[i] = 0;
+        hi[i] = dn - 1;
+    }
+    for (int64_t b = 0; b < m; b += BLOCK) {
+        int64_t c = m - b < BLOCK ? m - b : BLOCK;
+        lb_block(delta_keys, dn, queries + b, lo, hi, c, idx, 1);
+        for (int64_t i = 0; i < c; i++) {
+            out[b + i] = base_pos[b + i] + corr[idx[i]];
+        }
+    }
+}
+
 void repro_rmi_predict(const int8_t *codes, const double *params,
                        const int64_t *offsets, int64_t num_layers,
                        const double *scales, int32_t scaled, int64_t n,
@@ -797,6 +823,8 @@ _TREE_ARGS = [_c_i32, _u64, _i64, _c_i64, _u64, _i64, _i64, _i64,
 _SIGNATURES = {
     "repro_lower_bound_window":
         [_u64, _c_i64, _u64, _c_i64, _i64, _i64, _i64],
+    "repro_delta_correct":
+        [_u64, _c_i64, _i64, _i64, _u64, _c_i64, _i64],
     "repro_rmi_predict":
         [_i8, _f64, _i64, _c_i64, _f64, _c_i32, _c_i64,
          _u64, _c_i64, _i64, _i64],
@@ -882,6 +910,21 @@ class CExtBackend(KernelBackend):
         out = np.empty(len(queries), dtype=np.int64)
         self._lib.repro_lower_bound_window(
             keys, n, queries, len(queries), lo, hi, out
+        )
+        return out
+
+    def delta_correct(self, delta_keys, corr, base_positions, queries):
+        delta_keys = np.ascontiguousarray(delta_keys, dtype=np.uint64)
+        corr = np.ascontiguousarray(corr, dtype=np.int64)
+        base_positions = np.ascontiguousarray(base_positions,
+                                              dtype=np.int64)
+        queries = np.ascontiguousarray(queries, dtype=np.uint64)
+        if not len(delta_keys):
+            return base_positions + corr[0]
+        out = np.empty(len(queries), dtype=np.int64)
+        self._lib.repro_delta_correct(
+            delta_keys, len(delta_keys), corr, base_positions,
+            queries, len(queries), out,
         )
         return out
 

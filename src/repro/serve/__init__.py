@@ -38,8 +38,12 @@ from .batcher import (
     Response,
 )
 from .cluster import Cluster, WorkerOptions, WorkerSpec, cluster_for_dataset
-from .loadgen import run_batch_closed_loop, run_open_loop
-from .metrics import Counter, Histogram, ServeMetrics, rollup_states
+from .loadgen import (
+    run_batch_closed_loop,
+    run_mixed_closed_loop,
+    run_open_loop,
+)
+from .metrics import Counter, Gauge, Histogram, ServeMetrics, rollup_states
 from .router import (
     LocalBackend,
     ShardDeadError,
@@ -52,6 +56,7 @@ from .server import IndexServer
 __all__ = [
     "Cluster",
     "Counter",
+    "Gauge",
     "Histogram",
     "IndexServer",
     "LocalBackend",
@@ -72,5 +77,6 @@ __all__ = [
     "plan_shards",
     "rollup_states",
     "run_batch_closed_loop",
+    "run_mixed_closed_loop",
     "run_open_loop",
 ]

@@ -16,8 +16,12 @@ contract :class:`~repro.serve.router.ShardRouter` routes through.
 
 Kinds: ``reqs`` (a frame of point/range requests, served through the
 worker's micro-batcher), ``bulk`` (a pre-formed array batch, served via
-:meth:`IndexServer.serve_bulk`), ``swap`` (rebuild + zero-loss
-``swap_index``), ``metrics`` (full-fidelity
+:meth:`IndexServer.serve_bulk`), ``write`` (a key/op burst applied to a
+writable shard via :meth:`IndexServer.apply_writes`; the reply carries
+the shard's post-write live cardinality for the router's offset
+stitching), ``swap`` (rebuild + zero-loss ``swap_index``; the
+``"@rebuild"`` payload compacts a writable shard's delta in place
+instead of replacing the index), ``metrics`` (full-fidelity
 :meth:`~repro.serve.metrics.ServeMetrics.state`), ``stop`` (graceful
 drain: every in-flight frame finishes, the server drains, the final
 metrics state comes back), and ``die`` (fault injection: the worker
@@ -197,6 +201,10 @@ async def _worker_serve(conn, spec: WorkerSpec, keys: np.ndarray,
                 task = asyncio.create_task(
                     _serve_bulk_frame(server, conn, msg_id, payload)
                 )
+            elif kind == "write":
+                task = asyncio.create_task(
+                    _write_frame(server, conn, msg_id, payload)
+                )
             elif kind == "swap":
                 task = asyncio.create_task(
                     _swap_frame(server, conn, msg_id, spec, keys, payload)
@@ -254,12 +262,37 @@ async def _serve_bulk_frame(server: IndexServer, conn, msg_id: int,
         _send_error(conn, msg_id, exc)
 
 
+async def _write_frame(server: IndexServer, conn, msg_id: int,
+                       payload: "tuple") -> None:
+    """Apply one write burst; reply ``(applied, live_cardinality)``."""
+    keys, ops = payload
+    try:
+        applied = await server.apply_writes(keys, ops)
+        conn.send((msg_id, True, (applied, len(server.index.keys))))
+    except Exception as exc:
+        _send_error(conn, msg_id, exc)
+
+
 async def _swap_frame(server: IndexServer, conn, msg_id: int,
                       spec: WorkerSpec, keys: np.ndarray,
                       payload: Any) -> None:
     """Rebuild this shard's index and hot-swap it (zero-loss)."""
     loop = asyncio.get_running_loop()
     try:
+        if isinstance(payload, str) and payload == "@rebuild":
+            # Compact a writable shard's delta into its base and re-arm
+            # the serving metrics through the normal swap protocol.
+            windex = server.index
+            rebuild = getattr(windex, "rebuild", None)
+            if not callable(rebuild):
+                raise TypeError(
+                    f"shard index {type(windex).__name__} is not "
+                    "writable; '@rebuild' needs a WritableIndex"
+                )
+            await loop.run_in_executor(None, rebuild)
+            server.swap_index(windex)
+            conn.send((msg_id, True, "@rebuild"))
+            return
         if callable(payload):
             new_index = await loop.run_in_executor(None, payload, keys)
         else:
@@ -540,12 +573,21 @@ class Cluster:
     async def execute_bulk(self, shard_id: int, points, lows, highs):
         return await self._rpc(shard_id, "bulk", (points, lows, highs))
 
+    async def execute_writes(self, shard_id: int, keys,
+                             ops) -> "tuple[int, int]":
+        """Apply a write burst on one shard; ``(applied, live)``."""
+        return await self._rpc(shard_id, "write", (
+            np.ascontiguousarray(keys, dtype=np.uint64),
+            np.ascontiguousarray(ops, dtype=np.int8),
+        ))
+
     async def swap_shard(self, shard_id: int, index_spec: Any) -> None:
         """Zero-loss hot-swap of one shard's index.
 
         ``index_spec`` is an index-type name (the worker rebuilds over
-        its shard keys, through the artifact cache when active) or a
-        picklable ``factory(keys)`` callable.
+        its shard keys, through the artifact cache when active), a
+        picklable ``factory(keys)`` callable, or the string
+        ``"@rebuild"`` to compact a writable shard's delta in place.
         """
         await self._rpc(shard_id, "swap", index_spec)
 

@@ -30,7 +30,12 @@ from ..workload import make_arrivals, make_range_workload, make_workload
 from .batcher import STATUS_OK
 from .server import IndexServer
 
-__all__ = ["run_open_loop", "run_batch_closed_loop", "loadgen_report"]
+__all__ = [
+    "run_open_loop",
+    "run_batch_closed_loop",
+    "run_mixed_closed_loop",
+    "loadgen_report",
+]
 
 
 async def run_open_loop(
@@ -229,6 +234,124 @@ async def run_batch_closed_loop(
         "wrong": int(wrong),
         "wall_s": round(wall_s, 4),
         "achieved_qps": round(served / wall_s, 1) if wall_s > 0 else 0.0,
+    }
+
+
+async def run_mixed_closed_loop(
+    target: Any,
+    workload: Any,
+    *,
+    timeout_s: "float | None" = None,
+    bulk: bool = False,
+) -> "dict[str, Any]":
+    """Replay a :class:`~repro.workload.MixedWorkload` against ``target``.
+
+    Closed-loop *by segment*: each segment's writes are applied (and
+    awaited) through ``target.apply_writes`` before its reads fire, so
+    every read has an exact incremental oracle even while a background
+    rebuild daemon swaps bases mid-stream.  ``bulk=True`` drives the
+    batch lanes (``lookup_batch`` / ``range_query_batch`` -- an
+    :class:`~repro.serve.router.ShardRouter` or a bare index);
+    ``bulk=False`` drives an :class:`IndexServer`'s per-request futures
+    through the coalescing batcher.
+
+    Read throughput is timed over the read phases only (``read_qps``),
+    so it is directly comparable with the read-only drivers: the
+    retention gate in ``python -m repro.bench updates`` is
+    ``read_qps(mixed) / read_qps(write_fraction=0)``.
+    """
+    statuses: "dict[str, int]" = {}
+    wrong = 0
+    reads = 0
+    writes = 0
+    read_wall_s = 0.0
+    write_wall_s = 0.0
+
+    for seg in workload.segments:
+        if seg.num_writes:
+            t0 = time.monotonic()
+            writes += int(await target.apply_writes(
+                seg.write_keys, seg.write_ops
+            ))
+            write_wall_s += time.monotonic() - t0
+        if not seg.num_reads:
+            continue
+        t0 = time.monotonic()
+        if bulk:
+            serve_bulk = getattr(target, "serve_bulk", None)
+            if callable(serve_bulk):
+                # IndexServer's fused bulk lane: one call serves points
+                # and ranges together through the worker executor.
+                positions, starts, counts = await serve_bulk(
+                    seg.queries, seg.range_lows, seg.range_highs
+                )
+                wrong += int(np.count_nonzero(
+                    np.asarray(positions, dtype=np.int64) != seg.expected
+                ))
+                wrong += int(np.count_nonzero(
+                    np.asarray(starts, dtype=np.int64)
+                    != seg.expected_starts
+                ))
+                wrong += int(np.count_nonzero(
+                    np.asarray(counts, dtype=np.int64)
+                    != seg.expected_counts
+                ))
+            else:
+                if len(seg.queries):
+                    got = await target.lookup_batch(seg.queries)
+                    wrong += int(np.count_nonzero(
+                        np.asarray(got, dtype=np.int64) != seg.expected
+                    ))
+                if len(seg.range_lows):
+                    starts, counts = await target.range_query_batch(
+                        seg.range_lows, seg.range_highs
+                    )
+                    wrong += int(np.count_nonzero(
+                        np.asarray(starts, dtype=np.int64)
+                        != seg.expected_starts
+                    ))
+                    wrong += int(np.count_nonzero(
+                        np.asarray(counts, dtype=np.int64)
+                        != seg.expected_counts
+                    ))
+            read_wall_s += time.monotonic() - t0
+            reads += seg.num_reads
+            statuses[STATUS_OK] = statuses.get(STATUS_OK, 0) + seg.num_reads
+            continue
+        tasks = [
+            target.lookup(int(q), timeout_s=timeout_s) for q in seg.queries
+        ] + [
+            target.range_query(int(lo), int(hi), timeout_s=timeout_s)
+            for lo, hi in zip(seg.range_lows, seg.range_highs)
+        ]
+        responses = await asyncio.gather(*tasks)
+        read_wall_s += time.monotonic() - t0
+        reads += seg.num_reads
+        num_points = len(seg.queries)
+        for i, resp in enumerate(responses):
+            statuses[resp.status] = statuses.get(resp.status, 0) + 1
+            if resp.status != STATUS_OK:
+                continue
+            if i < num_points:
+                if resp.position != int(seg.expected[i]):
+                    wrong += 1
+            else:
+                j = i - num_points
+                if (resp.position != int(seg.expected_starts[j])
+                        or resp.count != int(seg.expected_counts[j])):
+                    wrong += 1
+
+    return {
+        "segments": len(workload.segments),
+        "write_fraction": float(workload.write_fraction),
+        "reads": int(reads),
+        "writes": int(writes),
+        "statuses": statuses,
+        "wrong": int(wrong),
+        "read_wall_s": round(read_wall_s, 4),
+        "write_wall_s": round(write_wall_s, 4),
+        "read_qps": round(reads / read_wall_s, 1) if read_wall_s > 0
+        else 0.0,
     }
 
 

@@ -23,7 +23,8 @@ import math
 import time
 from typing import Any
 
-__all__ = ["Counter", "Histogram", "ServeMetrics", "rollup_states"]
+__all__ = ["Counter", "Gauge", "Histogram", "ServeMetrics",
+           "rollup_states"]
 
 #: Counter attributes of :class:`ServeMetrics`, in snapshot order.
 #: ``state()``/``merge_state()`` and the cluster roll-up iterate this
@@ -37,10 +38,16 @@ COUNTER_NAMES = (
     "batches",
     "coalesced",
     "swaps",
+    "writes",
 )
 
 #: Histogram attributes of :class:`ServeMetrics` (same contract).
 HISTOGRAM_NAMES = ("latency_s", "batch_size", "queue_depth")
+
+#: Gauge attributes of :class:`ServeMetrics` (same contract).  Older
+#: metric states without a ``gauges`` section merge cleanly -- the
+#: roll-up reads them with ``.get``.
+GAUGE_NAMES = ("staleness_s",)
 
 
 class Counter:
@@ -59,6 +66,49 @@ class Counter:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Counter({self.value})"
+
+
+class Gauge:
+    """A sampled level metric: the latest value plus its high-water mark.
+
+    The writable tier's staleness bound is the motivating instance:
+    ``value`` is the most recent sample (current staleness), ``max``
+    the worst observed over the process lifetime -- the number the
+    staleness-bound gate binds on.  :meth:`reset` re-arms ``value``
+    (after a rebuild hot-swap drains the delta) while ``max`` keeps the
+    high-water mark.  Single-writer, like :class:`Counter`.
+    """
+
+    __slots__ = ("value", "max", "samples")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self.max = 0.0
+        self.samples = 0
+
+    def set(self, value: float) -> None:
+        value = float(value)
+        self.value = value
+        if value > self.max:
+            self.max = value
+        self.samples += 1
+
+    def reset(self, value: float = 0.0) -> None:
+        """Re-arm the current level without touching the high-water mark."""
+        self.value = float(value)
+
+    def state(self) -> "dict[str, Any]":
+        return {"value": self.value, "max": self.max,
+                "samples": self.samples}
+
+    def merge_state(self, state: "dict[str, Any]") -> None:
+        """Fold another gauge's state in (cluster roll-up: worst wins)."""
+        self.value = max(self.value, float(state["value"]))
+        self.max = max(self.max, float(state["max"]))
+        self.samples += int(state.get("samples", 0))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge(value={self.value}, max={self.max})"
 
 
 class Histogram:
@@ -212,6 +262,11 @@ class ServeMetrics:
         self.batches = Counter()
         self.coalesced = Counter()
         self.swaps = Counter()
+        #: Accepted write operations (inserts + deletes).
+        self.writes = Counter()
+        #: Age of the oldest unmerged write (the staleness bound);
+        #: sampled by the server, reset on rebuild hot-swaps.
+        self.staleness_s = Gauge()
         #: Request latency (submit -> response), seconds.
         self.latency_s = Histogram(lo=1e-6, hi=1e3)
         #: Requests per executed batch.
@@ -269,6 +324,8 @@ class ServeMetrics:
             "coalesced_requests": self.coalesced.value,
             "coalesced_fraction": round(self.coalesced_fraction, 4),
             "swaps": self.swaps.value,
+            "writes": self.writes.value,
+            "staleness_s": _rounded(self.staleness_s.state()),
             "latency_s": _rounded(self.latency_s.summary()),
             "batch_size": _rounded(self.batch_size.summary()),
             "queue_depth": _rounded(self.queue_depth.summary()),
@@ -293,6 +350,8 @@ class ServeMetrics:
                          for name in COUNTER_NAMES},
             "histograms": {name: getattr(self, name).state()
                            for name in HISTOGRAM_NAMES},
+            "gauges": {name: getattr(self, name).state()
+                       for name in GAUGE_NAMES},
         }
 
     @classmethod
@@ -311,6 +370,10 @@ class ServeMetrics:
             hist_state = state["histograms"].get(name)
             if hist_state is not None:
                 getattr(self, name).merge_state(hist_state)
+        for name in GAUGE_NAMES:
+            gauge_state = state.get("gauges", {}).get(name)
+            if gauge_state is not None:
+                getattr(self, name).merge_state(gauge_state)
 
     def log_line(self) -> str:
         """One-line live summary, suitable for periodic logging."""
@@ -323,7 +386,8 @@ class ServeMetrics:
             f"coalesced={self.coalesced_fraction * 100:.1f}% "
             f"p50={lat.percentile(50) * 1e3:.2f}ms "
             f"p99={lat.percentile(99) * 1e3:.2f}ms "
-            f"swaps={self.swaps.value}"
+            f"swaps={self.swaps.value} writes={self.writes.value} "
+            f"stale={self.staleness_s.value * 1e3:.0f}ms"
         )
 
 

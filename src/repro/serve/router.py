@@ -222,6 +222,30 @@ class LocalBackend:
                 r += 1
         return out
 
+    async def execute_writes(self, shard_id: int, keys,
+                             ops) -> "tuple[int, int]":
+        """Apply a write burst to one shard; return ``(applied, live)``.
+
+        ``live`` is the shard's post-write live cardinality -- the
+        router rebuilds its global stitch offsets from these, since
+        writes change shard sizes out from under the static plan.
+        """
+        index = self._index(shard_id)
+        apply = getattr(index, "apply", None)
+        if not callable(apply):
+            raise TypeError(
+                f"shard {shard_id} index {type(index).__name__} is not "
+                "writable; wrap it in repro.writable.WritableIndex"
+            )
+        n = int(apply(np.asarray(keys, dtype=np.uint64),
+                      np.asarray(ops, dtype=np.int8)))
+        metrics = self.shard_metric_objs[shard_id]
+        metrics.writes.inc(n)
+        staleness = getattr(index, "staleness_s", None)
+        if callable(staleness):
+            metrics.staleness_s.set(float(staleness()))
+        return n, len(index.keys)
+
     async def execute_bulk(self, shard_id: int, points, lows, highs):
         index = self._index(shard_id)
         n = len(points) + len(lows)
@@ -242,6 +266,15 @@ class LocalBackend:
         if shard_id in self._dead:
             raise ShardDeadError(f"shard {shard_id} worker is dead")
         old = self._indexes[shard_id]
+        if isinstance(index_spec, str) and index_spec == "@rebuild":
+            # In-place delta compaction of a writable shard (the
+            # cluster's "@rebuild" swap payload, single-process form).
+            old.rebuild()
+            self.shard_metric_objs[shard_id].swaps.inc()
+            self.shard_metric_objs[shard_id].staleness_s.reset(
+                float(old.staleness_s())
+            )
+            return
         new = index_spec(old.keys) if callable(index_spec) else index_spec
         self._indexes[shard_id] = new
         self.shard_metric_objs[shard_id].swaps.inc()
@@ -313,6 +346,14 @@ class ShardRouter:
             raise ValueError(f"unknown shed policy {shed_policy!r}")
         self._backend = backend
         self.plan: ShardPlan = backend.plan
+        # Writes change shard cardinalities out from under the static
+        # plan, so global positions are stitched with *live* offsets,
+        # refreshed from the counts each write reply carries.  Routing
+        # still uses the plan's key boundaries (maxes), which writes
+        # never move.
+        self._live_counts = self.plan.shard_sizes().astype(np.int64)
+        self._offsets = np.asarray(self.plan.offsets,
+                                   dtype=np.int64).copy()
         self.shed_policy = shed_policy
         self.default_timeout_s = default_timeout_s
         self.metrics = metrics if metrics is not None else ServeMetrics()
@@ -516,7 +557,7 @@ class ShardRouter:
                                batch_size, error)
             return
         if status == STATUS_OK and position is not None:
-            position = int(position) + int(self.plan.offsets[shard_id])
+            position = int(position) + int(self._offsets[shard_id])
         self._resolve(request, Response(
             op=request.op,
             status=status,
@@ -537,7 +578,7 @@ class ShardRouter:
             scatter.count += int(count or 0)
             if shard_id == scatter.first_shard:
                 scatter.start = (int(position)
-                                 + int(self.plan.offsets[shard_id]))
+                                 + int(self._offsets[shard_id]))
         elif _STATUS_RANK[status] > _STATUS_RANK[scatter.worst]:
             scatter.worst = status
             scatter.error = error
@@ -589,7 +630,7 @@ class ShardRouter:
                 shard_id, queries[idx], _EMPTY_U64, _EMPTY_U64
             )
             out[idx] = (np.asarray(positions, dtype=np.int64)
-                        + int(self.plan.offsets[shard_id]))
+                        + int(self._offsets[shard_id]))
 
         await asyncio.gather(*(
             one(int(s), np.flatnonzero(ids == s)) for s in np.unique(ids)
@@ -628,10 +669,51 @@ class ShardRouter:
             counts_out[sel] += counts
             owns = first[sel] == shard_id
             starts_out[sel[owns]] = (starts[owns]
-                                     + int(self.plan.offsets[shard_id]))
+                                     + int(self._offsets[shard_id]))
 
         await asyncio.gather(*(one(s, idx) for s, idx in members.items()))
         return starts_out, counts_out
+
+    # -- write lane ------------------------------------------------------
+
+    async def apply_writes(self, keys: np.ndarray,
+                           ops: np.ndarray) -> int:
+        """Scatter one ordered write burst to its owning shards.
+
+        Keys route by the plan's static boundaries (``maxes``), which
+        writes never move -- a fresh key beyond every boundary lands on
+        the last shard, preserving global key order across shards.  The
+        per-shard sub-streams preserve the burst's op order, and every
+        reply's live count refreshes the stitch offsets, so reads
+        issued after this call resolves see consistent global
+        positions.  Requires every touched shard's index to be a
+        :class:`~repro.writable.WritableIndex` (or expose ``apply``).
+        """
+        keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        ops = np.ascontiguousarray(ops, dtype=np.int8)
+        if len(keys) != len(ops):
+            raise ValueError("apply_writes needs equal-length keys/ops")
+        if not len(keys):
+            return 0
+        ids = self.plan.route_points(keys)
+
+        async def one(shard_id: int, idx: np.ndarray) -> int:
+            applied, live = await self._backend.execute_writes(
+                shard_id, keys[idx], ops[idx]
+            )
+            self._live_counts[shard_id] = int(live)
+            return int(applied)
+
+        applied = await asyncio.gather(*(
+            one(int(s), np.flatnonzero(ids == s)) for s in np.unique(ids)
+        ))
+        self._offsets = np.concatenate((
+            np.zeros(1, dtype=np.int64),
+            np.cumsum(self._live_counts, dtype=np.int64),
+        ))
+        total = int(sum(applied))
+        self.metrics.writes.inc(total)
+        return total
 
     # -- shard management / metrics --------------------------------------
 
@@ -667,7 +749,7 @@ class ShardRouter:
         rolled = rollup_states([s for s in states if s is not None])
         return {
             "num_shards": self.num_shards,
-            "shard_sizes": [int(x) for x in self.plan.shard_sizes()],
+            "shard_sizes": [int(x) for x in self._live_counts],
             "router": self.metrics.snapshot(),
             "shards": shards,
             "cluster": rolled.snapshot(),

@@ -84,6 +84,7 @@ class IndexServer:
         metrics: "ServeMetrics | None" = None,
         log_interval_s: "float | None" = None,
         kernels: "str | None" = None,
+        gil_switch_interval_s: "float | None" = None,
     ) -> None:
         if shed_policy not in SHED_POLICIES:
             raise ValueError(
@@ -104,6 +105,15 @@ class IndexServer:
         #: swapped-in ones included -- uses it.  ``None`` leaves the
         #: ``REPRO_KERNELS`` / auto-detection chain in charge.
         self.kernels = kernels
+        #: Optional ``sys.setswitchinterval`` override while running.
+        #: The serving loop ping-pongs between the event loop and the
+        #: worker thread on every batch; CPython's default 5 ms GIL
+        #: slice makes each handoff pay up to that much whenever any
+        #: thread (a write apply, a background rebuild) is CPU-bound.
+        #: A sub-millisecond interval cuts that handoff latency by an
+        #: order of magnitude for batch-scale work.  Restored on stop.
+        self.gil_switch_interval_s = gil_switch_interval_s
+        self._saved_switch_interval: "float | None" = None
         self.metrics = metrics if metrics is not None else ServeMetrics()
         self.log_interval_s = log_interval_s
         self._task: "asyncio.Task | None" = None
@@ -130,6 +140,11 @@ class IndexServer:
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-serve"
         )
+        if self.gil_switch_interval_s is not None:
+            import sys
+
+            self._saved_switch_interval = sys.getswitchinterval()
+            sys.setswitchinterval(self.gil_switch_interval_s)
         if self.kernels is not None:
             from ..kernels import set_default_backend
 
@@ -177,6 +192,11 @@ class IndexServer:
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        if self._saved_switch_interval is not None:
+            import sys
+
+            sys.setswitchinterval(self._saved_switch_interval)
+            self._saved_switch_interval = None
 
     async def __aenter__(self) -> "IndexServer":
         return await self.start()
@@ -202,10 +222,31 @@ class IndexServer:
         self._warm_index(new_index)
         old, self._index = self._index, new_index
         self.metrics.swaps.inc()
+        # A rebuild swap drains the writable tier's delta; re-arm the
+        # staleness gauge from the incoming index's current level (its
+        # high-water mark is preserved for the staleness-bound gate).
+        self.metrics.staleness_s.reset(self._staleness_of(new_index))
         log.info("index swapped: %s -> %s",
                  getattr(old, "name", type(old).__name__),
                  getattr(new_index, "name", type(new_index).__name__))
         return old
+
+    @staticmethod
+    def _staleness_of(index: Any) -> float:
+        """Current staleness of ``index`` (0.0 for read-only indexes)."""
+        stale = getattr(index, "staleness_s", None)
+        if not callable(stale):
+            return 0.0
+        try:
+            return float(stale())
+        except Exception:  # pragma: no cover - defensive
+            return 0.0
+
+    def _sample_staleness(self) -> None:
+        """Feed the staleness gauge from the currently served index."""
+        stale = getattr(self._index, "staleness_s", None)
+        if callable(stale):
+            self.metrics.staleness_s.set(self._staleness_of(self._index))
 
     @staticmethod
     def _warm_index(index: Any) -> None:
@@ -277,6 +318,35 @@ class IndexServer:
             self.metrics.completed.inc(n)
         return positions, starts, counts
 
+    async def apply_writes(self, keys: np.ndarray,
+                           ops: np.ndarray) -> int:
+        """Apply one write batch to the served (writable) index.
+
+        The write lane of the serving tier: runs the index's ``apply``
+        on the same single worker thread as the read batches, so writes
+        and reads execute in submission order -- a read submitted after
+        this call resolves sees every write in the batch.  Requires the
+        served index to expose the writable contract
+        (:class:`~repro.writable.index.WritableIndex`); read-only
+        indexes raise ``TypeError``.
+        """
+        if self._executor is None or not self._accepting:
+            raise RuntimeError("server is not running")
+        index = self._index  # captured: swaps affect later calls
+        apply = getattr(index, "apply", None)
+        if not callable(apply):
+            raise TypeError(
+                f"served index {type(index).__name__} does not accept "
+                "writes; wrap it in WritableIndex"
+            )
+        keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        ops = np.ascontiguousarray(ops, dtype=np.int8)
+        loop = asyncio.get_running_loop()
+        n = await loop.run_in_executor(self._executor, apply, keys, ops)
+        self.metrics.writes.inc(int(n))
+        self._sample_staleness()
+        return int(n)
+
     async def _submit(self, request: Request,
                       timeout_s: "float | None") -> Response:
         now = time.monotonic()
@@ -318,6 +388,7 @@ class IndexServer:
             if batch is None:
                 return
             self.metrics.record_batch(len(batch), self.batcher.depth())
+            self._sample_staleness()
             now = time.monotonic()
             live: "list[Request]" = []
             for req in batch:

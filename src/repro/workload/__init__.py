@@ -3,9 +3,12 @@
 from .generator import (
     PAPER_NUM_LOOKUPS,
     PAPER_NUM_RUNS,
+    MixedSegment,
+    MixedWorkload,
     RangeWorkload,
     Workload,
     make_arrivals,
+    make_mixed_workload,
     make_range_workload,
     make_workload,
     position_checksum,
@@ -26,6 +29,9 @@ __all__ = [
     "position_checksum",
     "RangeWorkload",
     "make_range_workload",
+    "MixedSegment",
+    "MixedWorkload",
+    "make_mixed_workload",
     "make_arrivals",
     "WorkloadResult",
     "execute_lookup_batch",

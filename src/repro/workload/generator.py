@@ -10,6 +10,7 @@ scale.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
 
 import numpy as np
@@ -21,6 +22,9 @@ __all__ = [
     "RangeWorkload",
     "make_range_workload",
     "make_arrivals",
+    "MixedSegment",
+    "MixedWorkload",
+    "make_mixed_workload",
 ]
 
 #: The paper's per-run lookup count (we default far lower; pass
@@ -151,6 +155,206 @@ class RangeWorkload:
     @property
     def checksum(self) -> int:
         return int(self.expected_starts.sum() + self.expected_counts.sum())
+
+
+@dataclass(frozen=True)
+class MixedSegment:
+    """One write burst followed by oracle-checked reads.
+
+    The mixed stream is segmented so validation stays exact under live
+    traffic: all writes of a segment are applied (and awaited) before
+    its reads fire, so every expected position is the searchsorted
+    oracle over a precisely known live key set.  Within a segment the
+    writes are an ordered stream (later ops win on the same key).
+    """
+
+    write_keys: np.ndarray  # uint64, applied in order
+    write_ops: np.ndarray  # int8: 1 = insert, 0 = delete
+    queries: np.ndarray  # uint64 point lookups (post-writes)
+    expected: np.ndarray  # int64 oracle lower-bound positions
+    range_lows: np.ndarray  # uint64
+    range_highs: np.ndarray  # uint64
+    expected_starts: np.ndarray  # int64
+    expected_counts: np.ndarray  # int64
+
+    @property
+    def num_writes(self) -> int:
+        return len(self.write_keys)
+
+    @property
+    def num_reads(self) -> int:
+        return len(self.queries) + len(self.range_lows)
+
+
+@dataclass(frozen=True)
+class MixedWorkload:
+    """A reproducible mixed read/write stream (SOSD-style splits).
+
+    SOSD and *Benchmarking Learned Indexes* evaluate read/write mixes
+    by ratio; ``write_fraction`` is that knob (0.0 reproduces the
+    read-only protocol in segmented form, so read throughput under
+    writes has an apples-to-apples baseline).  ``final_live_keys`` is
+    the oracle's end state -- drivers assert the served index agrees
+    after the stream drains.
+    """
+
+    segments: "tuple[MixedSegment, ...]"
+    seed: int
+    write_fraction: float
+    delete_fraction: float
+    final_live_keys: np.ndarray
+
+    @property
+    def num_writes(self) -> int:
+        return sum(s.num_writes for s in self.segments)
+
+    @property
+    def num_reads(self) -> int:
+        return sum(s.num_reads for s in self.segments)
+
+    @property
+    def checksum(self) -> int:
+        """Sum of all expected read positions (the paper's checksum)."""
+        return int(
+            sum(int(s.expected.sum()) + int(s.expected_starts.sum())
+                + int(s.expected_counts.sum()) for s in self.segments)
+        )
+
+
+class _LiveOracle:
+    """Sorted live-key list under upsert semantics (the reference).
+
+    Mirrors :class:`~repro.writable.index.WritableIndex` exactly:
+    ``insert`` leaves the key live with one copy (collapsing base
+    duplicates it overwrites), ``delete`` removes every copy.  A plain
+    ``bisect``-maintained Python list -- O(n) per write, which at
+    generation scale is irrelevant and trivially correct.
+    """
+
+    def __init__(self, keys: np.ndarray) -> None:
+        self.live = [int(k) for k in keys]
+
+    def insert(self, key: int) -> None:
+        lo = bisect.bisect_left(self.live, key)
+        hi = bisect.bisect_right(self.live, key, lo=lo)
+        self.live[lo:hi] = [key]
+
+    def delete(self, key: int) -> None:
+        lo = bisect.bisect_left(self.live, key)
+        hi = bisect.bisect_right(self.live, key, lo=lo)
+        del self.live[lo:hi]
+
+    def lower_bound(self, key: int) -> int:
+        return bisect.bisect_left(self.live, key)
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return self.live[int(rng.integers(0, len(self.live)))]
+
+
+def make_mixed_workload(
+    keys: np.ndarray,
+    num_ops: int = 10_000,
+    seed: int = 42,
+    write_fraction: float = 0.1,
+    delete_fraction: float = 0.4,
+    segment_size: int = 256,
+    range_fraction: float = 0.0,
+    include_absent: float = 0.1,
+) -> MixedWorkload:
+    """Sample a segmented mixed read/write stream over ``keys``.
+
+    ``write_fraction`` of the operations are writes; of those,
+    ``delete_fraction`` are deletes (sampled from currently live keys,
+    so they hit) and the rest inserts (fresh keys across the key span,
+    plus occasional upserts of present keys).  Reads are point lookups
+    over live and absent keys, with ``range_fraction`` of them range
+    counts.  The oracle is maintained *incrementally* write by write,
+    so every read's expected answer reflects exactly the writes before
+    it -- and, because the writable tier's answers are rebuild-timing
+    independent, a live run validates byte-exactly no matter when
+    background rebuilds land.
+    """
+    keys = np.asarray(keys, dtype=np.uint64)
+    if len(keys) == 0:
+        raise ValueError("cannot sample a mixed workload from no keys")
+    if not 0.0 <= write_fraction <= 1.0:
+        raise ValueError("write_fraction must be within [0, 1]")
+    if not 0.0 <= delete_fraction <= 1.0:
+        raise ValueError("delete_fraction must be within [0, 1]")
+    if not 0.0 <= range_fraction <= 1.0:
+        raise ValueError("range_fraction must be within [0, 1]")
+    if segment_size < 1:
+        raise ValueError("segment_size must be >= 1")
+    rng = np.random.default_rng(seed)
+    oracle = _LiveOracle(keys)
+    key_lo, key_hi = int(keys[0]), int(keys[-1])
+    span = max(key_hi - key_lo, 1)
+
+    def fresh_key() -> int:
+        # Fresh inserts cover the span plus a margin past both ends so
+        # out-of-range routing and clamping stay exercised.
+        margin = span // 8 + 1
+        lo = max(key_lo - margin, 0)
+        hi = min(key_hi + margin, 2**64 - 2)
+        return int(rng.integers(lo, hi + 1, dtype=np.uint64))
+
+    segments: "list[MixedSegment]" = []
+    remaining = int(num_ops)
+    while remaining > 0:
+        size = min(int(segment_size), remaining)
+        remaining -= size
+        num_writes = int(round(size * write_fraction))
+        num_reads = size - num_writes
+        wkeys = np.empty(num_writes, dtype=np.uint64)
+        wops = np.empty(num_writes, dtype=np.int8)
+        for i in range(num_writes):
+            if oracle.live and rng.random() < delete_fraction:
+                wkeys[i] = oracle.sample(rng)
+                wops[i] = 0
+                oracle.delete(int(wkeys[i]))
+            else:
+                if oracle.live and rng.random() < 0.15:
+                    wkeys[i] = oracle.sample(rng)  # upsert a live key
+                else:
+                    wkeys[i] = fresh_key()
+                wops[i] = 1
+                oracle.insert(int(wkeys[i]))
+        num_ranges = int(round(num_reads * range_fraction))
+        num_points = num_reads - num_ranges
+        queries = np.empty(num_points, dtype=np.uint64)
+        for i in range(num_points):
+            if oracle.live and rng.random() >= include_absent:
+                queries[i] = oracle.sample(rng)
+            else:
+                queries[i] = fresh_key()
+        expected = np.array(
+            [oracle.lower_bound(int(q)) for q in queries], dtype=np.int64
+        )
+        lows = np.empty(num_ranges, dtype=np.uint64)
+        highs = np.empty(num_ranges, dtype=np.uint64)
+        for i in range(num_ranges):
+            a = oracle.sample(rng) if oracle.live else fresh_key()
+            b = a + int(rng.integers(1, span // 50 + 2))
+            lows[i], highs[i] = min(a, b), min(max(a, b), 2**64 - 1)
+        starts = np.array(
+            [oracle.lower_bound(int(lo)) for lo in lows], dtype=np.int64
+        )
+        ends = np.array(
+            [oracle.lower_bound(int(hi)) for hi in highs], dtype=np.int64
+        )
+        segments.append(MixedSegment(
+            write_keys=wkeys, write_ops=wops,
+            queries=queries, expected=expected,
+            range_lows=lows, range_highs=highs,
+            expected_starts=starts, expected_counts=ends - starts,
+        ))
+    return MixedWorkload(
+        segments=tuple(segments),
+        seed=int(seed),
+        write_fraction=float(write_fraction),
+        delete_fraction=float(delete_fraction),
+        final_live_keys=np.array(oracle.live, dtype=np.uint64),
+    )
 
 
 def make_range_workload(

@@ -1,0 +1,45 @@
+"""The writable index tier: delta buffer + background rebuild + swap.
+
+The paper evaluates RMIs as static structures; this package makes the
+whole serving stack read-write (ROADMAP item 2) without changing any
+index's build or lookup code:
+
+* :mod:`repro.writable.delta` -- a sorted, per-key-unique write buffer
+  with newest-wins upsert semantics, sequence-number watermarks, and
+  per-entry age stamps (the staleness metric's raw material);
+* :mod:`repro.writable.index` -- :class:`WritableIndex`, wrapping any
+  :class:`~repro.baselines.interfaces.OrderedIndex` behind the same
+  batch contract (``lookup_batch`` / ``range_query_batch`` /
+  ``serve_batch``), merging base and delta in three vectorized passes
+  and publishing all state through one atomic view reference;
+* :mod:`repro.writable.rebuild` -- the background rebuild loop:
+  merge-sort the delta into the base, rebuild through the grouped-fit
+  fast path and the artifact cache, hot-swap through the server's
+  existing ``swap_index`` protocol.
+
+The mixed read/write workload generator and loadgen driver live in
+:mod:`repro.workload.generator` / :mod:`repro.serve.loadgen`; the gated
+benchmark is ``python -m repro.bench updates`` (``BENCH_updates.json``).
+"""
+
+from .delta import OP_INSERT, OP_TOMBSTONE, DeltaState, empty_delta
+from .index import RebuildTicket, WritableIndex
+from .rebuild import (
+    RebuildDaemon,
+    WritableFactory,
+    default_base_factory,
+    rebuilt_base_for,
+)
+
+__all__ = [
+    "OP_INSERT",
+    "OP_TOMBSTONE",
+    "DeltaState",
+    "empty_delta",
+    "RebuildTicket",
+    "WritableIndex",
+    "RebuildDaemon",
+    "WritableFactory",
+    "default_base_factory",
+    "rebuilt_base_for",
+]

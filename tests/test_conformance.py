@@ -9,9 +9,13 @@ side="left")`` would, and agrees element-wise with the scalar
 * the four SOSD-like datasets,
 * absent keys (gap midpoints and +-1 neighbours),
 * duplicate runs (first-position semantics; the tries reject them),
-* queries beyond both ends of the key space, and
+* queries beyond both ends of the key space,
 * property-style randomized adversarial key sets (seeded
-  ``numpy.random`` -- no extra dependencies).
+  ``numpy.random`` -- no extra dependencies), and
+* the writable tier: a ``WritableIndex`` wrapped over every family
+  must answer the same contract against the *live* key set after a
+  mixed write burst, honour the ``pack()`` soft-fallback while dirty,
+  and drop its packed-kernel cache on every mutation and rebuild.
 
 A pytest-marked smoke benchmark at the bottom asserts the point of the
 batch engine: vectorized lookups are at least 5x faster than an
@@ -352,6 +356,123 @@ def test_rmi_conformance_on_adversarial_sets():
             lower_bound_oracle(keys, queries),
             err_msg=family,
         )
+
+
+# ----------------------------------------------------------------------
+# Writable tier over every family
+# ----------------------------------------------------------------------
+
+
+def _write_burst(keys: np.ndarray, rng: np.random.Generator):
+    """A mixed batch: fresh inserts, upserts, deletes, one rewrite.
+
+    Returns ``(wkeys, ops, live)`` where ``live`` is the oracle key
+    array after the burst (base multiset with every written key's
+    multiplicity overridden: 1 for insert, 0 for tombstone).
+    """
+    from repro.writable.delta import OP_INSERT, OP_TOMBSTONE
+
+    present = keys[rng.choice(len(keys), 48, replace=False)]
+    present = present[np.sort(np.unique(present, return_index=True)[1])]
+    deletes, upserts = present[:16], present[16:32]
+    gaps = np.flatnonzero(np.diff(keys) > 2)
+    fresh = keys[gaps[rng.choice(len(gaps), 16, replace=False)]] \
+        + np.uint64(1)
+    fresh = np.unique(fresh)
+    wkeys = np.concatenate([deletes, upserts, fresh,
+                            deletes[:1]])           # rewrite: del then ins
+    ops = np.concatenate([
+        np.full(len(deletes), OP_TOMBSTONE, dtype=np.int8),
+        np.full(len(upserts) + len(fresh), OP_INSERT, dtype=np.int8),
+        np.array([OP_INSERT], dtype=np.int8),       # last op wins
+    ]).astype(np.int8)
+
+    final: dict[int, int] = {}
+    for k, op in zip(wkeys.tolist(), ops.tolist()):
+        final[k] = op
+    written = np.array(sorted(final), dtype=np.uint64)
+    live = np.sort(np.concatenate([
+        keys[~np.isin(keys, written)],
+        np.array([k for k, op in final.items() if op == int(OP_INSERT)],
+                 dtype=np.uint64),
+    ]))
+    return wkeys, ops, live
+
+
+@pytest.mark.parametrize("name", ALL_INDEXES)
+class TestWritableTier:
+    """Every family keeps the lookup contract behind ``WritableIndex``."""
+
+    def test_contract_after_write_burst(self, built, small_datasets, name):
+        from repro.writable import WritableIndex
+
+        base = built(name, "books")
+        keys = small_datasets["books"]
+        rng = np.random.default_rng(hash(name) & 0xFFFF)
+        wkeys, ops, live = _write_burst(keys, rng)
+
+        windex = WritableIndex(base)
+        windex.apply(wkeys, ops)
+        np.testing.assert_array_equal(np.asarray(windex.keys), live,
+                                      err_msg=name)
+        queries = np.concatenate([
+            wkeys, wkeys - np.uint64(1), wkeys + np.uint64(1),
+            keys[:: len(keys) // 64],
+            np.array([0, 2**64 - 1], dtype=np.uint64),
+        ])
+        np.testing.assert_array_equal(
+            windex.lookup_batch(queries),
+            lower_bound_oracle(live, queries),
+            err_msg=f"{name} dirty",
+        )
+        # half-open [low, high) ranges over the live set
+        lows, highs = queries[:32], np.maximum(queries[:32], queries[32:64])
+        starts, counts = windex.range_query_batch(lows, highs)
+        estarts = lower_bound_oracle(live, lows)
+        np.testing.assert_array_equal(starts, estarts, err_msg=name)
+        np.testing.assert_array_equal(
+            counts, lower_bound_oracle(live, highs) - estarts, err_msg=name
+        )
+        # rebuild drains the delta into a same-family base; answers and
+        # live keys are unchanged (rebuild-timing independence)
+        new_base = windex.rebuild()
+        assert type(new_base) is type(base), name
+        assert windex.delta_len == 0
+        np.testing.assert_array_equal(np.asarray(windex.keys), live,
+                                      err_msg=name)
+        np.testing.assert_array_equal(
+            windex.lookup_batch(queries),
+            lower_bound_oracle(live, queries),
+            err_msg=f"{name} rebuilt",
+        )
+
+    def test_pack_soft_fallback_and_cache_invalidation(
+        self, built, small_datasets, name
+    ):
+        """``pack()`` is the base's packed form only while clean, and
+        the ``_packed_cache`` slot drops on every apply and rebuild."""
+        from repro.writable import WritableIndex
+
+        base = built(name, "books")
+        keys = small_datasets["books"]
+        windex = WritableIndex(base)
+        base_packs = base.pack() is not None
+
+        # clean: delegate to the base (and cache whatever it returns)
+        assert (windex.pack() is not None) == base_packs, name
+        windex._packed()
+        assert "_packed_cache" in windex.__dict__
+
+        windex.insert(int(keys[0]) + 1)
+        assert "_packed_cache" not in windex.__dict__, name
+        assert windex.pack() is None, f"{name} must soft-fallback dirty"
+        assert windex._packed() is None
+
+        # finish_rebuild (via the inline path) must drop the cached None
+        windex.rebuild()
+        assert "_packed_cache" not in windex.__dict__, name
+        assert (windex.pack() is not None) == base_packs, name
+        assert (windex._packed() is not None) == base_packs, name
 
 
 # ----------------------------------------------------------------------

@@ -212,6 +212,34 @@ class TestBackendParity:
         for g, w in zip(got, want):
             np.testing.assert_array_equal(g, w)
 
+    def test_delta_correct_matches_reference(self, kernel_backend):
+        """The writable tier's fused dirty-read kernel is bit-identical
+        to the staged ``searchsorted`` + gather reference on adversarial
+        delta sizes and boundary queries."""
+        reference = kernels.get_backend("numpy")
+        rng = np.random.default_rng(31337)
+        for dn in (1, 2, 7, 100, 4096):
+            delta_keys = np.sort(rng.choice(
+                np.arange(0, 2**64 - 2, 2**40, dtype=np.uint64),
+                size=dn, replace=False,
+            ))
+            corr = rng.integers(-64, 64, dn + 1).astype(np.int64)
+            queries = np.concatenate([
+                delta_keys,
+                np.maximum(delta_keys, np.uint64(1)) - np.uint64(1),
+                delta_keys + np.uint64(1),
+                rng.integers(0, 2**64, 257, dtype=np.uint64),
+                np.array([0, 2**64 - 1], dtype=np.uint64),
+            ])
+            base_pos = rng.integers(0, 10**6, len(queries)).astype(np.int64)
+            np.testing.assert_array_equal(
+                kernel_backend.delta_correct(delta_keys, corr, base_pos,
+                                             queries),
+                reference.delta_correct(delta_keys, corr, base_pos,
+                                        queries),
+                err_msg=f"{kernel_backend.name}/dn={dn}",
+            )
+
     def test_dispatcher_routes_search_through_backend(
         self, kernel_backend, books_keys, queries
     ):
