@@ -1,0 +1,52 @@
+"""Self-tuning serving: the closed-loop autotuner control plane.
+
+The serving tier answers queries; this package decides *what should be
+serving them*.  A near-zero-overhead :class:`~repro.autotune.sampler.
+WorkloadSampler` taps live traffic into a bounded reservoir; the
+:class:`~repro.autotune.planner.Planner` scores candidate index
+configurations (families, RMI tuning grid, kernel backends) with the
+calibrated cost model against the observed profile; the
+:class:`~repro.autotune.controller.AutoTuner` applies hysteresis,
+builds the winner off-thread, verifies it, hot-swaps it with zero
+request loss, and rolls back if the measured p99 regresses.  Every
+decision is auditable through the :class:`~repro.autotune.report.
+DecisionJournal`, including how each swap's predicted improvement held
+up against the measured one.
+"""
+
+from .controller import (
+    AutoTuner,
+    ServerTarget,
+    ShardTarget,
+    TunerConfig,
+    infer_config,
+)
+from .planner import (
+    DEFAULT_FAMILIES,
+    CandidateConfig,
+    CandidateFactory,
+    CandidateScore,
+    Plan,
+    Planner,
+    kernel_family,
+)
+from .report import DecisionJournal
+from .sampler import WorkloadProfile, WorkloadSampler
+
+__all__ = [
+    "WorkloadSampler",
+    "WorkloadProfile",
+    "Planner",
+    "Plan",
+    "CandidateConfig",
+    "CandidateFactory",
+    "CandidateScore",
+    "DEFAULT_FAMILIES",
+    "kernel_family",
+    "AutoTuner",
+    "TunerConfig",
+    "ServerTarget",
+    "ShardTarget",
+    "infer_config",
+    "DecisionJournal",
+]

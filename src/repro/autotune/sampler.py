@@ -1,0 +1,247 @@
+"""Near-zero-overhead live traffic sampling for the autotuner.
+
+The control plane needs to know what the served workload *looks like*
+-- which keys are hot, how many requests are ranges, how big the
+batches run -- without taxing the hot path it observes.
+:class:`WorkloadSampler` keeps a bounded reservoir of request keys
+(vectorized Algorithm R: one RNG draw per *batch*, a handful of NumPy
+ops regardless of traffic volume) plus a few scalar counters; the
+serving tier calls :meth:`WorkloadSampler.observe` once per dispatched
+batch with arrays it has already formed, so the added work is O(batch)
+array writes amortized to nanoseconds per request.
+
+:meth:`WorkloadSampler.profile` condenses the reservoir into a
+:class:`WorkloadProfile`: an access-skew estimate (position-bucket
+perplexity over the served key array -- uniform traffic covers every
+bucket evenly, zipf traffic collapses onto a few), the absent-key
+rate, the point/range mix, batch shape, and the arrival rate.  The
+planner prices candidate configs against exactly this profile.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["WorkloadSampler", "WorkloadProfile"]
+
+#: Position buckets used for the skew (coverage) estimate.
+_SKEW_BUCKETS = 64
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """A bounded summary of observed traffic, priced by the planner."""
+
+    #: Reservoir of observed keys (point keys and range lows), a
+    #: uniform sample of the request stream.  Unordered by contract --
+    #: every consumer must be invariant to sample permutation.
+    sample: np.ndarray
+    #: Total requests observed (points + ranges), not just sampled.
+    requests: int
+    points: int
+    ranges: int
+    batches: int
+    #: Observation span in seconds (first to last observe call).
+    duration_s: float
+    #: Fraction of sampled keys absent from the served key array
+    #: (lower-bound workloads still answer them; they change the search
+    #: pattern, not correctness).
+    absent_fraction: float
+    #: Working-set fraction estimate in (0, 1]: the perplexity of the
+    #: sample's position-bucket distribution over the served array,
+    #: normalized by the bucket count.  1.0 = uniform access; zipf-hot
+    #: traffic drives it toward 0, shrinking the cache-resident bytes
+    #: the cost model charges for.
+    coverage: float = 1.0
+
+    @property
+    def range_fraction(self) -> float:
+        return self.ranges / self.requests if self.requests else 0.0
+
+    @property
+    def arrival_rate(self) -> float:
+        """Observed requests per second (0.0 when the span is trivial)."""
+        if self.duration_s <= 0.0:
+            return 0.0
+        return self.requests / self.duration_s
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.requests / self.batches if self.batches else 0.0
+
+    def to_json(self) -> "dict[str, Any]":
+        """Journal-ready summary (the raw sample stays out of reports)."""
+        return {
+            "sample_size": int(len(self.sample)),
+            "requests": int(self.requests),
+            "points": int(self.points),
+            "ranges": int(self.ranges),
+            "batches": int(self.batches),
+            "range_fraction": round(self.range_fraction, 4),
+            "mean_batch_size": round(self.mean_batch_size, 2),
+            "arrival_rate": round(self.arrival_rate, 2),
+            "duration_s": round(self.duration_s, 4),
+            "absent_fraction": round(self.absent_fraction, 4),
+            "coverage": round(self.coverage, 4),
+        }
+
+
+@dataclass
+class WorkloadSampler:
+    """Bounded reservoir over the live request stream (single-writer).
+
+    One sampler per server (or per shard); ``observe`` is called on the
+    dispatch path with the batch arrays the server already built, so
+    the reservoir is a uniform sample of all observed keys without any
+    per-request bookkeeping.  Like the metrics objects, it is written
+    from one thread (the event loop) only.
+    """
+
+    capacity: int = 4096
+    seed: int = 0
+    _keys: np.ndarray = field(init=False, repr=False)
+    _filled: int = field(init=False, default=0)
+    _seen: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        self.capacity = max(int(self.capacity), 1)
+        self._keys = np.zeros(self.capacity, dtype=np.uint64)
+        self._rng = np.random.default_rng(self.seed)
+        self.points = 0
+        self.ranges = 0
+        self.batches = 0
+        self._t_first: "float | None" = None
+        self._t_last: "float | None" = None
+
+    def observe(
+        self,
+        point_keys: np.ndarray,
+        range_lows: np.ndarray,
+        range_highs: np.ndarray,
+        now: "float | None" = None,
+    ) -> None:
+        """Fold one dispatched batch into the reservoir.
+
+        ``range_highs`` only contributes to shape accounting; the
+        reservoir samples point keys and range *lows* (both are access
+        positions a candidate index must answer fast).
+        """
+        npts, nrng = len(point_keys), len(range_lows)
+        if not npts and not nrng:
+            return
+        self.points += npts
+        self.ranges += nrng
+        self.batches += 1
+        t = time.monotonic() if now is None else float(now)
+        if self._t_first is None:
+            self._t_first = t
+        self._t_last = t
+        if nrng:
+            batch = np.concatenate((
+                np.asarray(point_keys, dtype=np.uint64),
+                np.asarray(range_lows, dtype=np.uint64),
+            )) if npts else np.asarray(range_lows, dtype=np.uint64)
+        else:
+            batch = np.asarray(point_keys, dtype=np.uint64)
+        self._absorb(batch)
+
+    def _absorb(self, batch: np.ndarray) -> None:
+        """Vectorized Algorithm R over one batch of stream items."""
+        m = len(batch)
+        start = 0
+        if self._filled < self.capacity:
+            take = min(self.capacity - self._filled, m)
+            self._keys[self._filled:self._filled + take] = batch[:take]
+            self._filled += take
+            self._seen += take
+            start = take
+        if start >= m:
+            return
+        rest = batch[start:]
+        # Stream index of each remaining item (0-based): item i is kept
+        # with probability capacity / (i + 1), landing in a uniform slot
+        # -- the classic reservoir invariant, batched into one draw.
+        idx = self._seen + np.arange(len(rest), dtype=np.int64)
+        slots = self._rng.integers(0, idx + 1)
+        keep = slots < self.capacity
+        if np.any(keep):
+            # Later duplicates of a slot overwrite earlier ones, which
+            # is exactly processing the stream in order.
+            self._keys[slots[keep]] = rest[keep]
+        self._seen += len(rest)
+
+    @property
+    def sample(self) -> np.ndarray:
+        """A copy of the current reservoir contents."""
+        return self._keys[: self._filled].copy()
+
+    @property
+    def observed(self) -> int:
+        return self.points + self.ranges
+
+    def reset(self) -> None:
+        """Forget everything (e.g. after a deliberate workload change)."""
+        self._filled = 0
+        self._seen = 0
+        self.points = 0
+        self.ranges = 0
+        self.batches = 0
+        self._t_first = None
+        self._t_last = None
+
+    def profile(self, keys: "np.ndarray | None" = None) -> WorkloadProfile:
+        """Summarize the reservoir into a :class:`WorkloadProfile`.
+
+        ``keys`` is the served (sorted) key array; with it the profile
+        carries the absent-key rate and the skew-derived coverage
+        estimate.  Without it both default to the neutral values.
+        """
+        sample = self.sample
+        duration = 0.0
+        if self._t_first is not None and self._t_last is not None:
+            duration = max(self._t_last - self._t_first, 0.0)
+        absent = 0.0
+        coverage = 1.0
+        if keys is not None and len(sample) and len(keys):
+            keys = np.asarray(keys)
+            pos = np.searchsorted(keys, sample, side="left")
+            hit = (pos < len(keys)) & (keys[np.minimum(pos, len(keys) - 1)]
+                                       == sample)
+            absent = 1.0 - float(np.mean(hit))
+            coverage = _coverage(pos, len(keys))
+        return WorkloadProfile(
+            sample=sample,
+            requests=self.observed,
+            points=self.points,
+            ranges=self.ranges,
+            batches=self.batches,
+            duration_s=duration,
+            absent_fraction=absent,
+            coverage=coverage,
+        )
+
+
+def _coverage(positions: np.ndarray, n: int) -> float:
+    """Perplexity-based working-set fraction of sampled access positions.
+
+    Buckets the accessed positions into :data:`_SKEW_BUCKETS` equal
+    slices of the key array and computes ``exp(entropy) / buckets`` of
+    the bucket distribution: 1.0 when accesses spread evenly, tending
+    to ``1/buckets`` when one bucket absorbs everything.  Order- and
+    duplicate-stable: a permutation of the same positions yields the
+    same value.
+    """
+    if n <= 0 or not len(positions):
+        return 1.0
+    buckets = min(_SKEW_BUCKETS, n)
+    which = np.minimum(positions.astype(np.int64) * buckets // n,
+                       buckets - 1)
+    counts = np.bincount(which, minlength=buckets).astype(np.float64)
+    p = counts / counts.sum()
+    nz = p[p > 0.0]
+    entropy = -float(np.sum(nz * np.log(nz)))
+    return float(np.exp(entropy) / buckets)

@@ -16,6 +16,9 @@ Usage::
         --min-speedup 5 [--gate-backend numba]
     python -m repro.bench updates --n 200000 --out BENCH_updates.json \\
         --min-retention 0.5 --max-staleness-s 2.0
+    python -m repro.bench tune --n 200000 --out BENCH_tune.json \\
+        --min-improvement 0.1
+    python -m repro.bench tune --check BENCH_tune.json
 """
 
 from __future__ import annotations
@@ -396,6 +399,85 @@ def _cache_main(argv: "list[str]") -> int:
     return 0
 
 
+def _tune_main(argv: "list[str]") -> int:
+    """``tune`` subcommand: closed-loop autotuning benchmark."""
+    from .tune import (
+        check_tune_report,
+        render_tune_report,
+        tune_report,
+        write_tune_report,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench tune",
+        description="Drive a skew-shifting workload against the "
+        "closed-loop autotuner: the controller must converge to a "
+        "measurably better config, with zero wrong answers and zero "
+        "dropped requests across every swap",
+    )
+    parser.add_argument("--check", metavar="FILE", default=None,
+                        help="only structurally validate a committed "
+                        "report (no run)")
+    parser.add_argument("--n", type=int, default=200_000)
+    parser.add_argument("--dataset", default="books")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--start-layer2", type=int, default=16,
+                        help="layer2 of the mis-tuned starting RMI "
+                        "(default 16: ~n/16 keys per leaf)")
+    parser.add_argument("--chunks-per-window", type=int, default=128,
+                        help="bulk dispatches per control window")
+    parser.add_argument("--bulk-chunk", type=int, default=4096,
+                        help="queries per bulk dispatch")
+    parser.add_argument("--tuning-windows", type=int, default=6,
+                        help="max control windows to converge in")
+    parser.add_argument("--skew-windows", type=int, default=3,
+                        help="Zipf windows after the shift (default 3)")
+    parser.add_argument("--min-improvement", type=float, default=0.10,
+                        help="gate: measured converged p99 must beat the "
+                        "start phase median by this fraction")
+    parser.add_argument("--layer2-grid", default="1024,16384",
+                        help="RMI layer2 sizes the planner considers")
+    parser.add_argument("--no-calibrate", action="store_true",
+                        help="skip kernel-overhead calibration")
+    parser.add_argument("--cache-dir", default=None,
+                        help="artifact cache directory (persists "
+                        "calibrations)")
+    parser.add_argument("--out", metavar="FILE", default=None,
+                        help="write the JSON report here")
+    args = parser.parse_args(argv)
+    if args.check is not None:
+        problems = check_tune_report(args.check)
+        for problem in problems:
+            print(f"FAIL: {problem}")
+        if not problems:
+            print(f"OK: {args.check} is structurally sound and its "
+                  "gates passed")
+        return 1 if problems else 0
+    if args.cache_dir is not None:
+        from .. import cache as artifact_cache
+
+        artifact_cache.activate(args.cache_dir)
+    report = tune_report(
+        dataset=args.dataset,
+        n=args.n,
+        seed=args.seed,
+        start_layer2=args.start_layer2,
+        chunks_per_window=args.chunks_per_window,
+        bulk_chunk=args.bulk_chunk,
+        tuning_windows=args.tuning_windows,
+        skew_windows=args.skew_windows,
+        min_improvement=args.min_improvement,
+        layer2_grid=tuple(int(s) for s in args.layer2_grid.split(",")
+                          if s.strip()),
+        calibrate=not args.no_calibrate,
+    )
+    print(render_tune_report(report))
+    if args.out:
+        write_tune_report(report, args.out)
+        print(f"[report written to {args.out}]")
+    return 0 if report["gates"]["passed"] else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     if argv and argv[0] == "figures":
@@ -404,6 +486,8 @@ def main(argv: list[str] | None = None) -> int:
         return _kernels_main(argv[1:])
     if argv and argv[0] == "updates":
         return _updates_main(argv[1:])
+    if argv and argv[0] == "tune":
+        return _tune_main(argv[1:])
     if argv and argv[0] == "cache":
         return _cache_main(argv[1:])
     parser = argparse.ArgumentParser(

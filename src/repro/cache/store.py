@@ -5,6 +5,8 @@ Layout under the cache root (one subdirectory per artifact kind)::
     <root>/datasets/<digest>.npy    + <digest>.json   (key arrays)
     <root>/indexes/<digest>.npz     + <digest>.json   (built-index snapshots)
     <root>/results/<digest>.json    + <digest>.meta.json (figure results)
+    <root>/calibrations/<digest>.json + <digest>.meta.json (cost-model
+                                                            calibrations)
 
 ``<digest>`` is the SHA-256 of the artifact's fingerprint (see
 :mod:`repro.cache.fingerprint`); the sidecar meta file records the full
@@ -33,7 +35,12 @@ from .fingerprint import canonicalize, fingerprint_digest, sha256_file
 __all__ = ["ArtifactCache", "ARTIFACT_KINDS"]
 
 #: Artifact kind -> payload file suffix.
-ARTIFACT_KINDS = {"datasets": ".npy", "indexes": ".npz", "results": ".json"}
+ARTIFACT_KINDS = {
+    "datasets": ".npy",
+    "indexes": ".npz",
+    "results": ".json",
+    "calibrations": ".json",
+}
 
 
 class ArtifactCache:

@@ -9,7 +9,8 @@ Public surface:
 * A CDFShop-style configuration optimizer (:mod:`repro.core.optimizer`).
 """
 
-from .advisor import Recommendation, WorkloadRequirements, recommend_index
+from .advisor import (Recommendation, WorkloadRequirements,
+                      eligible_families, recommend_index)
 from .analysis import (
     IntervalStats,
     PredictionErrorStats,
@@ -71,6 +72,7 @@ from .search import (
 )
 
 __all__ = [
+    "eligible_families",
     "recommend_index",
     "WorkloadRequirements",
     "Recommendation",

@@ -36,7 +36,12 @@ import numpy as np
 from ..data.cdf import has_duplicates
 from .robust import detect_outliers
 
-__all__ = ["WorkloadRequirements", "Recommendation", "recommend_index"]
+__all__ = [
+    "WorkloadRequirements",
+    "Recommendation",
+    "eligible_families",
+    "recommend_index",
+]
 
 
 @dataclass(frozen=True)
@@ -149,6 +154,54 @@ def _data_traits(keys: np.ndarray) -> tuple[bool, bool]:
     return outliers, has_duplicates(keys)
 
 
+def _exclusion_reason(
+    p: _Profile, req: WorkloadRequirements, duplicates: bool
+) -> str | None:
+    """The guideline clause that rules this family out, or ``None``."""
+    if req.needs_updates and not p.updates:
+        return ("excluded: no update support (Table 1) but updates are "
+                "required")
+    if duplicates and not p.handles_duplicates:
+        return ("excluded: cannot represent duplicate keys (the paper's "
+                "wiki observation, Section 8.1)")
+    return None
+
+
+def eligible_families(
+    requirements: WorkloadRequirements | None = None,
+    keys: np.ndarray | None = None,
+) -> dict[str, list[str]]:
+    """The families the guideline does *not* rule out, with reasons.
+
+    The machine-usable form of the advisor: a mapping from index-family
+    name to the explanatory sentences that apply to it (its Section 9.2
+    blurb plus any data-trait caveats).  Hard exclusions (updates
+    required, duplicate keys) are simply absent from the mapping --
+    callers such as the autotune planner enumerate candidates directly
+    from the keys.  ``keys`` is optional; without a sample only the
+    requirement-driven exclusions apply.
+    """
+    req = requirements or WorkloadRequirements()
+    if keys is None:
+        outliers, duplicates = False, False
+    else:
+        outliers, duplicates = _data_traits(keys)
+
+    eligible: dict[str, list[str]] = {}
+    for name, p in _PROFILES.items():
+        if _exclusion_reason(p, req, duplicates) is not None:
+            continue
+        reasons = [p.blurb]
+        if outliers and p.needs_smooth_cdf:
+            reasons.append("caveat: the data has fb-like outliers; "
+                           "this index needs a smooth CDF (Section 6.1)")
+        elif outliers and p.robust_to_distribution:
+            reasons.append("unaffected by the detected outliers "
+                           "(distribution-robust)")
+        eligible[name] = reasons
+    return eligible
+
+
 def recommend_index(
     keys: np.ndarray,
     requirements: WorkloadRequirements | None = None,
@@ -166,14 +219,9 @@ def recommend_index(
     results: list[Recommendation] = []
     for name, p in _PROFILES.items():
         reasons = [p.blurb]
-        if req.needs_updates and not p.updates:
-            reasons.append("excluded: no update support (Table 1) but "
-                           "updates are required")
-            results.append(Recommendation(name, float("-inf"), reasons))
-            continue
-        if duplicates and not p.handles_duplicates:
-            reasons.append("excluded: cannot represent duplicate keys "
-                           "(the paper's wiki observation, Section 8.1)")
+        excluded = _exclusion_reason(p, req, duplicates)
+        if excluded is not None:
+            reasons.append(excluded)
             results.append(Recommendation(name, float("-inf"), reasons))
             continue
 

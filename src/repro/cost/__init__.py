@@ -1,6 +1,7 @@
 """Operation counting and the analytic latency model."""
 
-from .calibrate import calibrate_machine, measure_chase_latency
+from .calibrate import (cached_kernel_overhead, calibrate_machine,
+                        machine_id, measure_chase_latency)
 from .counters import BuildCounters, OperationCounters
 from .model import XEON_E5_2620V4, CostModel, MachineModel
 
@@ -10,6 +11,8 @@ __all__ = [
     "CostModel",
     "MachineModel",
     "XEON_E5_2620V4",
+    "cached_kernel_overhead",
     "calibrate_machine",
+    "machine_id",
     "measure_chase_latency",
 ]

@@ -19,6 +19,9 @@ return nonsense (monotonicity of tier latencies is enforced).
 
 from __future__ import annotations
 
+import json
+import os
+import platform
 import time
 from dataclasses import replace
 
@@ -30,6 +33,8 @@ __all__ = [
     "measure_chase_latency",
     "calibrate_machine",
     "calibrate_kernel_overhead",
+    "cached_kernel_overhead",
+    "machine_id",
     "KERNEL_FAMILIES",
 ]
 
@@ -227,3 +232,78 @@ def calibrate_kernel_overhead(
             "seed": int(seed),
         },
     }
+
+
+def machine_id() -> str:
+    """A stable identifier for the measured host.
+
+    Calibrations are performance measurements, so a cached one is only
+    valid on the machine that produced it; this string is the
+    ``machine_id`` field of
+    :func:`repro.cache.fingerprint.calibration_fingerprint`.
+    """
+    return "-".join((
+        platform.node() or "unknown",
+        platform.machine() or "unknown",
+        f"{os.cpu_count() or 0}c",
+    ))
+
+
+#: In-process calibration memo: (machine, backend, family, params) ->
+#: result.  Even without a disk cache a process probes each pair once.
+_overhead_memo: "dict[tuple, dict]" = {}
+
+
+def cached_kernel_overhead(
+    backend: "str | None" = None,
+    n: int = 100_000,
+    batch: int = 4096,
+    repeats: int = 5,
+    seed: int = 0,
+    family: str = "search",
+    cache=None,
+) -> dict:
+    """:func:`calibrate_kernel_overhead`, probed at most once per pair.
+
+    Results persist through the artifact cache (kind
+    ``"calibrations"``) keyed by
+    :func:`~repro.cache.fingerprint.calibration_fingerprint` over
+    ``(machine_id(), backend, params, family)``, so a ``(backend,
+    family)`` pair is never re-probed on the same machine -- the
+    autotune controller calls this on every planning cycle and must not
+    pay ~100ms of probe per family each time.  An in-process memo backs
+    the disk store so the fast path is a dict hit.  ``cache=None`` uses
+    the process's active cache (``repro.cache.active_cache()``); pass an
+    :class:`~repro.cache.store.ArtifactCache` to override.
+    """
+    from ..cache import active_cache
+    from ..cache.fingerprint import calibration_fingerprint
+    from ..kernels import get_backend
+
+    be = get_backend(backend)
+    params = {"n": int(n), "batch": int(batch), "repeats": int(repeats),
+              "seed": int(seed)}
+    host = machine_id()
+    memo_key = (host, be.name, str(family), tuple(sorted(params.items())))
+    hit = _overhead_memo.get(memo_key)
+    if hit is not None:
+        return dict(hit)
+    store = cache if cache is not None else active_cache()
+    fp = calibration_fingerprint(host, be.name, params, family)
+    if store is not None:
+        path = store.get("calibrations", fp)
+        if path is not None:
+            result = json.loads(path.read_text())
+            _overhead_memo[memo_key] = result
+            return dict(result)
+    result = calibrate_kernel_overhead(
+        be.name, n=n, batch=batch, repeats=repeats, seed=seed,
+        family=family,
+    )
+    if store is not None:
+        store.put(
+            "calibrations", fp,
+            lambda p: p.write_text(json.dumps(result, indent=2) + "\n"),
+        )
+    _overhead_memo[memo_key] = result
+    return dict(result)

@@ -43,7 +43,15 @@ from .loadgen import (
     run_mixed_closed_loop,
     run_open_loop,
 )
-from .metrics import Counter, Gauge, Histogram, ServeMetrics, rollup_states
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsWindow,
+    ServeMetrics,
+    rollup_states,
+    window_between,
+)
 from .router import (
     LocalBackend,
     ShardDeadError,
@@ -60,6 +68,7 @@ __all__ = [
     "Histogram",
     "IndexServer",
     "LocalBackend",
+    "MetricsWindow",
     "MicroBatcher",
     "Request",
     "Response",
@@ -79,4 +88,5 @@ __all__ = [
     "run_batch_closed_loop",
     "run_mixed_closed_loop",
     "run_open_loop",
+    "window_between",
 ]

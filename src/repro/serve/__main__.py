@@ -13,6 +13,9 @@ Usage::
         --metrics-out cluster_metrics.json
     python -m repro.serve scale --shards 1,2,4 --min-speedup 2.5 \\
         --merge-into BENCH_serve.json
+    python -m repro.serve tune --dataset books --n 200000 \\
+        --start-layer2 64 --requests 8000 --windows 8 --dry-run \\
+        --journal-out tune_journal.json
 
 ``serve`` runs a live server against an open-loop workload and reports
 tail latency; ``bench`` produces the committed batched-vs-unbatched
@@ -22,7 +25,10 @@ multi-process tier behind the scatter/gather router, drives it
 open-loop with oracle validation, and optionally hot-swaps one shard
 and/or SIGKILLs one worker mid-run (the CI smoke); ``scale`` measures
 the 1->N shard scaling curve and can merge it into the committed
-``BENCH_serve.json``.  All subcommands resolve datasets and built
+``BENCH_serve.json``.  ``tune`` runs the closed-loop autotuner against
+live open-loop traffic -- the controller profiles the workload, plans
+with the calibrated cost model, and hot-swaps the winner (or, with
+``--dry-run``, journals the ranked plan without acting).  All subcommands resolve datasets and built
 indexes through the artifact cache when ``--cache-dir`` (or
 ``$REPRO_CACHE_DIR``) is set.
 """
@@ -592,6 +598,156 @@ def _scale_main(argv: "list[str]") -> int:
     return 0
 
 
+async def _tune_session(args: argparse.Namespace, index: Any, keys):
+    from ..autotune import (
+        AutoTuner,
+        Planner,
+        ServerTarget,
+        TunerConfig,
+        WorkloadSampler,
+    )
+
+    sampler = WorkloadSampler(capacity=args.sample_capacity, seed=args.seed)
+    server = IndexServer(
+        index,
+        max_batch_size=args.max_batch,
+        max_wait_s=args.max_wait_ms / 1e3,
+        max_queue=args.max_queue,
+        shed_policy=args.shed_policy,
+        sampler=sampler,
+        log_interval_s=None,
+    )
+    planner = Planner(
+        calibrate=not args.no_calibrate,
+        rmi_layer2_sizes=tuple(
+            int(s) for s in args.layer2_grid.split(",") if s.strip()
+        ),
+    )
+    tuner = AutoTuner(
+        ServerTarget(server),
+        planner,
+        TunerConfig(
+            improvement_threshold=args.improvement_threshold,
+            hysteresis_windows=args.hysteresis_windows,
+            rollback_threshold=args.rollback_threshold,
+            min_window_requests=args.min_window_requests,
+            dry_run=args.dry_run,
+        ),
+    )
+    windows = []
+    async with server:
+        per_window = max(args.requests // args.windows, 1)
+        for w in range(args.windows):
+            report = await run_open_loop(
+                server, keys,
+                num_requests=per_window,
+                qps=args.qps,
+                seed=args.seed + w,
+                access=args.access,
+                range_fraction=args.range_fraction,
+                timeout_s=None if args.timeout_ms is None
+                else args.timeout_ms / 1e3,
+            )
+            record = await tuner.step()
+            decision = record["kind"] if record else "measured"
+            p99 = report.get("latency_ms", {}).get("p99")
+            print(f"[window {w}] completed={report['completed']} "
+                  f"p99={p99}ms decision={decision} "
+                  f"serving={tuner.current.describe() if tuner.current else '?'}")
+            windows.append({"window": w, "loadgen": report,
+                            "decision": decision})
+    return windows, tuner
+
+
+def _tune_main(argv: "list[str]") -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve tune",
+        description="Closed-loop autotuning of a live server: profile "
+        "the workload, score candidates with the cost model, hot-swap "
+        "the winner",
+    )
+    _add_common(parser)
+    parser.add_argument("--index", default="rmi",
+                        help=f"starting index ({', '.join(INDEX_TYPES)})")
+    parser.add_argument("--start-layer2", type=int, default=None,
+                        help="layer2 size of the starting RMI (lets the "
+                        "demo start from a deliberately mis-tuned config)")
+    parser.add_argument("--windows", type=int, default=8,
+                        help="control windows to run (requests split "
+                        "evenly across them)")
+    parser.add_argument("--layer2-grid", default="1024,16384",
+                        help="comma-separated RMI layer2 sizes the "
+                        "planner considers")
+    parser.add_argument("--improvement-threshold", type=float,
+                        default=0.10,
+                        help="predicted p99 improvement required to act")
+    parser.add_argument("--hysteresis-windows", type=int, default=2,
+                        help="consecutive windows the winner must hold")
+    parser.add_argument("--rollback-threshold", type=float, default=0.25,
+                        help="measured p99 regression triggering rollback")
+    parser.add_argument("--min-window-requests", type=int, default=256)
+    parser.add_argument("--sample-capacity", type=int, default=4096,
+                        help="workload reservoir size")
+    parser.add_argument("--no-calibrate", action="store_true",
+                        help="skip kernel-overhead calibration probes")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="plan and journal only; never build or swap")
+    parser.add_argument("--journal-out", metavar="FILE", default=None,
+                        help="write the decision journal JSON here")
+    args = parser.parse_args(argv)
+    _activate_cache(args)
+
+    keys = _dataset(args.dataset, args.n, args.seed)
+    if args.start_layer2 is not None:
+        if args.index != "rmi":
+            raise SystemExit("--start-layer2 only applies to --index rmi")
+        from ..baselines import RMIAsIndex
+
+        index = RMIAsIndex(keys, layer2_size=args.start_layer2)
+    else:
+        index = _load_index(args.index, args.dataset, args.n, args.seed)
+    log.info("tuning from %s over %s (n=%d)%s", args.index, args.dataset,
+             args.n, " [dry run]" if args.dry_run else "")
+    windows, tuner = asyncio.run(_tune_session(args, index, keys))
+
+    summary = tuner.journal.summary()
+    print(f"decisions: {summary['counts']}")
+    pvm = summary["predicted_vs_measured"]
+    if pvm["swaps_measured"]:
+        print(f"predicted-vs-measured: {pvm['swaps_measured']} swap(s), "
+              f"max abs ratio error {pvm['max_abs_error']:.3f}, "
+              f"directions agree: {pvm['directions_agree']}")
+    if args.journal_out:
+        tuner.journal.dump(args.journal_out)
+        print(f"[journal written to {args.journal_out}]")
+
+    failed = []
+    wrong = sum(w["loadgen"]["wrong"] for w in windows)
+    if wrong:
+        failed.append(f"{wrong} wrong answers during tuning")
+    resolved = sum(sum(w["loadgen"]["statuses"].values()) for w in windows)
+    if resolved != args.requests // args.windows * args.windows:
+        failed.append(f"only {resolved} requests resolved")
+    plan = tuner.last_plan
+    if plan is None or not plan.ranked:
+        failed.append("controller never produced a non-empty ranked plan")
+    elif not plan.finite():
+        failed.append("ranked plan contains non-finite predicted "
+                      "latencies")
+    else:
+        print(f"final plan: {len(plan.ranked)} candidates, winner "
+              f"{plan.winner.config.describe()} "
+              f"(predicted p99 {plan.winner.predicted_p99_ns:.0f}ns)")
+    if args.dry_run and tuner.swaps_done:
+        failed.append("dry run must never swap")
+    for reason in failed:
+        print(f"FAIL: {reason}")
+    if not failed:
+        print(f"OK: {len(windows)} control windows, "
+              f"{tuner.swaps_done} swap(s), zero wrong answers")
+    return 1 if failed else 0
+
+
 def main(argv: "list[str] | None" = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     logging.basicConfig(
@@ -601,7 +757,7 @@ def main(argv: "list[str] | None" = None) -> int:
     )
     commands = {"serve": _serve_main, "bench": _bench_main,
                 "swap": _swap_main, "cluster": _cluster_main,
-                "scale": _scale_main}
+                "scale": _scale_main, "tune": _tune_main}
     if not argv or argv[0] in ("-h", "--help") or argv[0] not in commands:
         print(__doc__)
         return 0 if argv and argv[0] in ("-h", "--help") else 2

@@ -23,8 +23,8 @@ import math
 import time
 from typing import Any
 
-__all__ = ["Counter", "Gauge", "Histogram", "ServeMetrics",
-           "rollup_states"]
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsWindow",
+           "ServeMetrics", "rollup_states", "window_between"]
 
 #: Counter attributes of :class:`ServeMetrics`, in snapshot order.
 #: ``state()``/``merge_state()`` and the cluster roll-up iterate this
@@ -267,8 +267,10 @@ class ServeMetrics:
         #: Age of the oldest unmerged write (the staleness bound);
         #: sampled by the server, reset on rebuild hot-swaps.
         self.staleness_s = Gauge()
-        #: Request latency (submit -> response), seconds.
-        self.latency_s = Histogram(lo=1e-6, hi=1e3)
+        #: Request latency (submit -> response), seconds.  80 bins per
+        #: decade (~2.9% bin width): the autotuner compares pre/post-swap
+        #: window p99 *ratios*, which coarser bins would quantize away.
+        self.latency_s = Histogram(lo=1e-6, hi=1e3, bins_per_decade=80)
         #: Requests per executed batch.
         self.batch_size = Histogram(lo=1.0, hi=1e6, bins_per_decade=40)
         #: Queue depth sampled when each batch is collected.
@@ -404,6 +406,124 @@ def rollup_states(states: "list[dict[str, Any]]") -> ServeMetrics:
         if state is not None:
             merged.merge_state(state)
     return merged
+
+
+def _histogram_window(prev: "dict[str, Any]",
+                      cur: "dict[str, Any]") -> "dict[str, Any]":
+    """The histogram state of just the interval ``prev -> cur``.
+
+    Bin counts subtract exactly (both states come from the same
+    monotonically growing histogram), so windowed percentiles are as
+    bin-accurate as lifetime ones.  ``min``/``max`` are exact whenever
+    the lifetime extreme moved during the window; otherwise they are
+    bounded by the edges of the outermost non-empty window bins.
+    """
+    if (cur["lo"], cur["hi"], cur["bins_per_decade"]) != (
+        prev["lo"], prev["hi"], prev["bins_per_decade"]
+    ) or len(cur["counts"]) != len(prev["counts"]):
+        raise ValueError("cannot window histograms with different bins")
+    counts = [c - p for c, p in zip(cur["counts"], prev["counts"])]
+    count = cur["count"] - prev["count"]
+    if count < 0 or any(c < 0 for c in counts):
+        raise ValueError("windowed histogram went backwards; snapshots "
+                         "must come from the same growing histogram")
+    state = dict(cur)
+    state["counts"] = counts
+    state["count"] = count
+    if count == 0:
+        state["total"] = 0.0
+        state["min"] = None
+        state["max"] = None
+        return state
+    state["total"] = cur["total"] - prev["total"]
+    nonzero = [i for i, c in enumerate(counts) if c]
+    log_lo = math.log10(cur["lo"])
+    step = 1.0 / cur["bins_per_decade"]
+    if prev["min"] is None or cur["min"] < prev["min"]:
+        state["min"] = cur["min"]
+    else:
+        state["min"] = min(10.0 ** (log_lo + nonzero[0] * step),
+                           cur["max"])
+    if prev["max"] is None or cur["max"] > prev["max"]:
+        state["max"] = cur["max"]
+    else:
+        state["max"] = min(10.0 ** (log_lo + (nonzero[-1] + 1) * step),
+                           cur["max"])
+    if state["min"] > state["max"]:
+        state["min"] = state["max"]
+    return state
+
+
+def window_between(prev_state: "dict[str, Any]",
+                   cur_state: "dict[str, Any]") -> ServeMetrics:
+    """The metrics of just the interval between two ``state()`` snapshots.
+
+    Counters become per-interval deltas, histograms subtract bin-by-bin
+    (percentiles of only the window's observations), gauges report the
+    current level with a window-scoped high-water mark.  This is what
+    lets the autotune controller react to the *last* window instead of
+    lifetime aggregates that old traffic dominates.
+    """
+    window = ServeMetrics()
+    for name in COUNTER_NAMES:
+        delta = (cur_state["counters"].get(name, 0)
+                 - prev_state["counters"].get(name, 0))
+        if delta < 0:
+            raise ValueError(f"counter {name!r} went backwards between "
+                             "snapshots")
+        getattr(window, name).inc(delta)
+    for name in HISTOGRAM_NAMES:
+        prev_h = prev_state["histograms"].get(name)
+        cur_h = cur_state["histograms"].get(name)
+        if prev_h is not None and cur_h is not None:
+            delta_state = _histogram_window(prev_h, cur_h)
+            if delta_state["count"]:
+                getattr(window, name).merge_state(delta_state)
+    for name in GAUGE_NAMES:
+        prev_g = prev_state.get("gauges", {}).get(name)
+        cur_g = cur_state.get("gauges", {}).get(name)
+        if cur_g is None:
+            continue
+        gauge = getattr(window, name)
+        gauge.value = float(cur_g["value"])
+        # The lifetime high-water mark only tells the window's max when
+        # it moved during the window; otherwise the freshest sample is
+        # the best window-scoped bound available.
+        if prev_g is None or cur_g["max"] > prev_g["max"]:
+            gauge.max = float(cur_g["max"])
+        else:
+            gauge.max = float(cur_g["value"])
+        gauge.samples = (int(cur_g.get("samples", 0))
+                         - int(prev_g.get("samples", 0) if prev_g else 0))
+    window.started_at = prev_state.get("started_at", window.started_at)
+    return window
+
+
+class MetricsWindow:
+    """Rolling per-interval view over a live :class:`ServeMetrics`.
+
+    ``advance()`` returns the metrics of the interval since the previous
+    ``advance()`` (or construction) and moves the window forward; the
+    wall-clock length of that interval is ``last_window_s``.  The
+    controller polls this once per control window.
+    """
+
+    def __init__(self, metrics: ServeMetrics,
+                 clock=time.monotonic) -> None:
+        self._metrics = metrics
+        self._clock = clock
+        self._prev = metrics.state()
+        self._prev_t = clock()
+        self.last_window_s = 0.0
+
+    def advance(self) -> ServeMetrics:
+        cur = self._metrics.state()
+        now = self._clock()
+        window = window_between(self._prev, cur)
+        self.last_window_s = max(float(now - self._prev_t), 0.0)
+        self._prev = cur
+        self._prev_t = now
+        return window
 
 
 def _rounded(summary: "dict[str, float]") -> "dict[str, float]":

@@ -341,6 +341,7 @@ class ShardRouter:
         shed_policy: str = "block",
         default_timeout_s: "float | None" = None,
         metrics: "ServeMetrics | None" = None,
+        samplers: "Sequence[Any] | None" = None,
     ) -> None:
         if shed_policy not in ("reject", "block"):
             raise ValueError(f"unknown shed policy {shed_policy!r}")
@@ -357,6 +358,16 @@ class ShardRouter:
         self.shed_policy = shed_policy
         self.default_timeout_s = default_timeout_s
         self.metrics = metrics if metrics is not None else ServeMetrics()
+        #: Optional per-shard workload samplers (:class:`~repro.autotune.
+        #: sampler.WorkloadSampler`), fed each shard's dispatched batches
+        #: -- shards see different traffic, so each gets its own profile
+        #: and the autotuner may converge them to different configs.
+        if samplers is not None and len(samplers) != backend.plan.num_shards:
+            raise ValueError(
+                f"samplers must match num_shards "
+                f"({len(samplers)} != {backend.plan.num_shards})"
+            )
+        self.samplers = list(samplers) if samplers is not None else None
         self._batchers = [
             MicroBatcher(max_batch_size=max_batch_size,
                          max_wait_s=max_wait_s, max_queue=max_queue)
@@ -514,6 +525,17 @@ class ShardRouter:
                     live.append(req)
             if not live:
                 continue
+            sampler = (self.samplers[shard_id]
+                       if self.samplers is not None else None)
+            if sampler is not None:
+                sampler.observe(
+                    np.array([r.key for r in live if r.op == OP_LOOKUP],
+                             dtype=np.uint64),
+                    np.array([r.low for r in live if r.op == OP_RANGE],
+                             dtype=np.uint64),
+                    np.array([r.high for r in live if r.op == OP_RANGE],
+                             dtype=np.uint64),
+                )
             if not self._backend.alive(shard_id):
                 for req in live:
                     self._deliver(shard_id, req, STATUS_ERROR, None, None,
@@ -626,6 +648,10 @@ class ShardRouter:
         ids = self.plan.route_points(queries)
 
         async def one(shard_id: int, idx: np.ndarray) -> None:
+            if self.samplers is not None \
+                    and self.samplers[shard_id] is not None:
+                self.samplers[shard_id].observe(queries[idx], _EMPTY_U64,
+                                                _EMPTY_U64)
             positions, _, _ = await self._backend.execute_bulk(
                 shard_id, queries[idx], _EMPTY_U64, _EMPTY_U64
             )
@@ -661,6 +687,10 @@ class ShardRouter:
 
         async def one(shard_id: int, idx: "list[int]") -> None:
             sel = np.asarray(idx, dtype=np.int64)
+            if self.samplers is not None \
+                    and self.samplers[shard_id] is not None:
+                self.samplers[shard_id].observe(_EMPTY_U64, lows[sel],
+                                                highs[sel])
             _, starts, counts = await self._backend.execute_bulk(
                 shard_id, _EMPTY_U64, lows[sel], highs[sel]
             )

@@ -82,6 +82,7 @@ class IndexServer:
         shed_policy: str = "reject",
         default_timeout_s: "float | None" = None,
         metrics: "ServeMetrics | None" = None,
+        sampler: Any = None,
         log_interval_s: "float | None" = None,
         kernels: "str | None" = None,
         gil_switch_interval_s: "float | None" = None,
@@ -115,6 +116,10 @@ class IndexServer:
         self.gil_switch_interval_s = gil_switch_interval_s
         self._saved_switch_interval: "float | None" = None
         self.metrics = metrics if metrics is not None else ServeMetrics()
+        #: Optional workload sampler (:class:`~repro.autotune.sampler.
+        #: WorkloadSampler`): fed each dispatched batch's key arrays on
+        #: the event-loop thread, the autotuner's view of live traffic.
+        self.sampler = sampler
         self.log_interval_s = log_interval_s
         self._task: "asyncio.Task | None" = None
         self._logger_task: "asyncio.Task | None" = None
@@ -293,8 +298,10 @@ class IndexServer:
         therefore execution order -- with the micro-batched lane, and
         captures the index reference at call time, so :meth:`swap_index`
         has the same zero-loss semantics for bulk traffic.  Counters and
-        the batch-size histogram are recorded; per-request latency is
-        not (one bulk call is one dispatch, not ``n`` queued requests).
+        the batch-size histogram are recorded; latency is recorded once
+        per dispatch (one bulk call is one dispatch, not ``n`` queued
+        requests), so windowed p99 stays meaningful under bulk-only
+        traffic -- the autotuner's post-swap watchdog relies on that.
         """
         if self._executor is None or not self._accepting:
             raise RuntimeError("server is not running")
@@ -302,9 +309,12 @@ class IndexServer:
         point_keys = np.ascontiguousarray(point_keys, dtype=np.uint64)
         range_lows = np.ascontiguousarray(range_lows, dtype=np.uint64)
         range_highs = np.ascontiguousarray(range_highs, dtype=np.uint64)
+        if self.sampler is not None:
+            self.sampler.observe(point_keys, range_lows, range_highs)
         n = len(point_keys) + len(range_lows)
         self.metrics.submitted.inc(n)
         loop = asyncio.get_running_loop()
+        start = loop.time()
         try:
             positions, starts, counts = await loop.run_in_executor(
                 self._executor, index.serve_batch,
@@ -314,6 +324,7 @@ class IndexServer:
             self.metrics.errors.inc(n)
             raise
         if n:
+            self.metrics.latency_s.observe(loop.time() - start)
             self.metrics.record_batch(n, self.batcher.depth())
             self.metrics.completed.inc(n)
         return positions, starts, counts
@@ -410,6 +421,8 @@ class IndexServer:
             point_keys = np.array([r.key for r in lookups], dtype=np.uint64)
             lows = np.array([r.low for r in ranges], dtype=np.uint64)
             highs = np.array([r.high for r in ranges], dtype=np.uint64)
+            if self.sampler is not None:
+                self.sampler.observe(point_keys, lows, highs)
             try:
                 positions, starts, counts = await loop.run_in_executor(
                     self._executor, index.serve_batch,

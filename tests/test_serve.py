@@ -549,3 +549,122 @@ def test_stop_while_coalesce_deadline_pending_serves_queued(serve_keys):
     assert [r.status for r in responses] == [STATUS_OK] * 5
     want = lower_bound_oracle(serve_keys, serve_keys[:5])
     assert [r.position for r in responses] == list(want)
+
+
+# ----------------------------------------------------------------------
+# Windowed metrics (the autotuner's per-control-window view)
+# ----------------------------------------------------------------------
+
+
+def test_window_between_counter_deltas():
+    from repro.serve import ServeMetrics, window_between
+
+    metrics = ServeMetrics()
+    metrics.completed.inc(100)
+    metrics.timeouts.inc(3)
+    prev = metrics.state()
+    metrics.completed.inc(40)
+    metrics.rejected.inc(2)
+    window = window_between(prev, metrics.state())
+    assert window.completed.value == 40
+    assert window.rejected.value == 2
+    assert window.timeouts.value == 0  # unchanged counters window to zero
+
+
+def test_window_between_histogram_percentiles_see_only_the_window():
+    from repro.serve import ServeMetrics, window_between
+
+    metrics = ServeMetrics()
+    for _ in range(500):
+        metrics.latency_s.observe(0.100)  # old, slow traffic
+    prev = metrics.state()
+    for _ in range(500):
+        metrics.latency_s.observe(0.001)  # the window: fast traffic
+    window = window_between(prev, metrics.state())
+    # Lifetime p99 is dominated by the old 100ms observations; the
+    # window's is not -- that is the whole point of windowing.
+    assert metrics.latency_s.percentile(99) == pytest.approx(0.100, rel=0.1)
+    assert window.latency_s.percentile(99) == pytest.approx(0.001, rel=0.1)
+    assert window.latency_s.count == 500
+    assert window.latency_s.min == pytest.approx(0.001, rel=0.1)
+    assert window.latency_s.max <= 0.100  # bounded by outermost window bin
+
+
+def test_window_between_empty_window_and_merge_roundtrip():
+    from repro.serve import Histogram, ServeMetrics, window_between
+
+    metrics = ServeMetrics()
+    metrics.completed.inc(10)
+    metrics.latency_s.observe(0.005)
+    prev = metrics.state()
+    window = window_between(prev, metrics.state())
+    assert window.completed.value == 0
+    assert window.latency_s.count == 0
+
+    # Merge semantics: two consecutive windows rebuilt into one
+    # histogram equal the lifetime histogram bin-for-bin.
+    metrics.latency_s.observe(0.002)
+    mid = metrics.state()
+    metrics.latency_s.observe(0.050)
+    cur = metrics.state()
+    w1 = window_between(prev, mid)
+    w2 = window_between(mid, cur)
+    merged = Histogram(lo=w1.latency_s.lo, hi=w1.latency_s.hi,
+                       bins_per_decade=w1.latency_s.bins_per_decade)
+    merged.merge_state(w1.latency_s.state())
+    merged.merge_state(w2.latency_s.state())
+    lifetime_delta = window_between(prev, cur)
+    assert merged.counts == lifetime_delta.latency_s.counts
+    assert merged.count == 2
+
+
+def test_window_between_rejects_backwards_snapshots():
+    from repro.serve import ServeMetrics, window_between
+
+    metrics = ServeMetrics()
+    metrics.completed.inc(5)
+    metrics.latency_s.observe(0.001)
+    later = metrics.state()
+    earlier = ServeMetrics().state()
+    with pytest.raises(ValueError):
+        window_between(later, earlier)
+
+
+def test_metrics_window_advances(serve_keys):
+    from repro.serve import MetricsWindow, ServeMetrics
+
+    metrics = ServeMetrics()
+    roller = MetricsWindow(metrics, clock=iter([1.0, 3.0, 6.0]).__next__)
+    metrics.completed.inc(7)
+    metrics.latency_s.observe(0.004)
+    w1 = roller.advance()
+    assert w1.completed.value == 7
+    assert w1.latency_s.count == 1
+    assert roller.last_window_s == pytest.approx(2.0)
+    w2 = roller.advance()
+    assert w2.completed.value == 0  # the window moved forward
+    assert roller.last_window_s == pytest.approx(3.0)
+
+
+def test_bulk_lane_records_dispatch_latency(serve_keys):
+    """serve_bulk observes one latency sample per dispatch, so windowed
+    p99 stays meaningful under bulk-only traffic (the autotuner's
+    post-swap watchdog measures through it)."""
+    from repro.serve import window_between
+
+    async def run():
+        server = IndexServer(BinarySearchIndex(serve_keys),
+                             shed_policy="block")
+        empty = np.array([], dtype=np.uint64)
+        async with server:
+            prev = server.metrics.state()
+            for lo in range(0, 2_048, 256):
+                await server.serve_bulk(serve_keys[lo:lo + 256],
+                                        empty, empty)
+            window = window_between(prev, server.metrics.state())
+        return window
+
+    window = asyncio.run(run())
+    assert window.latency_s.count == 8  # one observation per dispatch
+    assert window.completed.value == 2_048  # but per-query completion
+    assert window.latency_s.percentile(99) > 0.0
